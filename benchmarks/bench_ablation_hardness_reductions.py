@@ -1,0 +1,21 @@
+"""Theorems 3.3 and 5.1 -- the hardness reductions, exercised empirically.
+
+Regenerates: the table of small yes/no instances for the 3-colourability
+reduction (minimal join-tree weight 0 iff colourable) and for the acyclic-BCQ
+reduction (minimal NF-decomposition weight 0 iff the query is true).
+
+Shape asserted: every instance is classified consistently with the ground
+truth, which is the behavioural content of the two reductions.
+"""
+
+from conftest import emit
+
+from repro.experiments.ablation import hardness_reduction_experiment
+
+
+def test_hardness_reductions(benchmark):
+    result = benchmark.pedantic(hardness_reduction_experiment, rounds=1, iterations=1)
+    emit(result)
+    assert all(row["consistent"] for row in result.rows)
+    reductions = {row["reduction"] for row in result.rows}
+    assert len(reductions) == 2

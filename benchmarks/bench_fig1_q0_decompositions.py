@@ -1,0 +1,25 @@
+"""Fig. 1 -- H(Q0) and its width-2 hypertree decompositions.
+
+Regenerates: the hypertree width of the introductory example Q0 and the two
+width-2 decompositions HD'/HD'' shown in Fig. 1 (reconstructed from their
+reported width histograms), plus the decomposition computed by k-decomp.
+Shape asserted: hw(H(Q0)) = 2 and all three decompositions are valid width-2
+hypertrees.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import fig1_experiment
+
+
+def test_fig1_q0_decompositions(benchmark):
+    result = benchmark.pedantic(fig1_experiment, rounds=1, iterations=1)
+    emit(result)
+
+    rows = {row["object"]: row for row in result.rows}
+    assert rows["H(Q0)"]["hypertree_width"] == 2
+    for label, row in rows.items():
+        if label == "H(Q0)":
+            continue
+        assert row["width"] == 2
+        assert row["valid"] is True

@@ -1,0 +1,53 @@
+"""Scalability -- minimal-k-decomp planning cost as queries grow.
+
+The practical counterpart of the Theorem 4.5 complexity bound: planning time
+is polynomial in the number of atoms (through Ψ) and grows steeply with k.
+This extension benchmark measures minimal-k-decomp on growing chain and
+cycle queries and on Q1 for k = 2..4.
+
+Shape asserted: every produced decomposition respects the width bound, and
+planning Q1 at k = 4 costs more than at k = 2 (the overhead the paper charges
+against large k in Fig. 8(A)).
+"""
+
+import time
+
+from conftest import emit
+
+from repro.experiments.ablation import scalability_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.planner.cost_k_decomp import cost_k_decomp
+from repro.query.examples import q1
+from repro.workloads.paper_queries import fig5_statistics
+
+
+def test_scalability_chains_and_cycles(benchmark):
+    result = benchmark.pedantic(
+        lambda: scalability_experiment(sizes=(4, 6, 8, 10, 12), k=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    assert all(row["width"] <= 2 for row in result.rows)
+    chains = [row for row in result.rows if row["family"] == "chain"]
+    assert all(row["width"] == 1 for row in chains)
+
+
+def test_planning_overhead_grows_with_k(benchmark):
+    statistics = fig5_statistics()
+
+    def sweep():
+        result = ExperimentResult(
+            name="Planning overhead -- Q1, cost-k-decomp",
+            description="Wall-clock planning time per width bound.",
+        )
+        for k in (2, 3, 4):
+            started = time.perf_counter()
+            plan = cost_k_decomp(q1(), statistics, k)
+            result.add_row(k=k, width=plan.width, seconds=time.perf_counter() - started)
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(result)
+    seconds = result.column("seconds")
+    assert seconds[-1] > seconds[0]

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see the
+per-experiment index in DESIGN.md), asserts the *shape* the paper reports,
+and prints the regenerated rows so that running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the tables next to pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print an ExperimentResult table (visible with ``-s`` or on failure)."""
+    print()
+    print(result.to_table())

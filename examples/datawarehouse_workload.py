@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Structure-aware planning on data-warehouse-style populating queries.
+
+The paper motivates weighted hypertree decompositions with the queries used
+to populate or refresh a data warehouse (Section 6): long join queries over
+the reconciled schema -- "often long queries involving many join operations
+... not very intricate and have low hypertree width, though not necessarily
+acyclic".
+
+This example builds such a workload -- a long cyclic join (a ring of
+dimension hops) and an acyclic snowflake -- over synthetic databases whose
+relations are much larger than their attribute domains (the regime where join
+orders matter), and compares:
+
+* the quantitative-only left-deep plan (what a classical optimiser produces),
+* the cost-k-decomp plan (structure + statistics).
+
+Run with::
+
+    python examples/datawarehouse_workload.py
+"""
+
+from __future__ import annotations
+
+from repro.decomposition.kdecomp import hypertree_width
+from repro.planner.compare import compare_planners
+from repro.workloads.synthetic import cycle_query, snowflake_query, workload_database
+
+
+def run_case(query, database, k_values=(2, 3)) -> None:
+    width = hypertree_width(query.hypergraph())
+    print(f"--- {query.name}: {len(query.atoms)} atoms, hypertree width {width}")
+    report = compare_planners(query, database, k_values=k_values, budget=5_000_000)
+    base = report.baseline
+    print(
+        f"  left-deep baseline : work={base.evaluation_work:>10,}  "
+        f"time={base.evaluation_seconds:.2f}s"
+        + ("  [exceeded budget]" if base.budget_exceeded else "")
+    )
+    for k in sorted(report.structural):
+        m = report.structural[k]
+        print(
+            f"  cost-{k}-decomp     : work={m.evaluation_work:>10,}  "
+            f"time={m.evaluation_seconds:.2f}s  "
+            f"(baseline/structural work ratio {report.work_ratio(k):.1f}x)"
+        )
+    print()
+
+
+def main() -> None:
+    # A long cyclic populating query: a ring of 8 joins.
+    ring = cycle_query(8, name="dw_ring")
+    ring_db = workload_database(ring, tuples_per_relation=150, domain_size=40, seed=11)
+    run_case(ring, ring_db)
+
+    # An acyclic snowflake: 3 arms of 3 hops each around a hub.
+    snowflake = snowflake_query(3, 3, name="dw_snowflake")
+    snowflake_db = workload_database(
+        snowflake, tuples_per_relation=150, domain_size=40, seed=7
+    )
+    run_case(snowflake, snowflake_db, k_values=(1, 2))
+
+    print(
+        "On the cyclic workload every left-deep order must materialise a large\n"
+        "intermediate result, while the hypertree plan keeps each cluster small\n"
+        "and prunes with semijoins -- the effect behind Fig. 8 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

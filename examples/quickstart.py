@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: decompose a conjunctive query and weigh the decomposition.
+
+This walks through the core objects of the library on the paper's
+introductory example Q0 (Section 1, Fig. 1):
+
+1. write a conjunctive query in datalog syntax and build its hypergraph;
+2. compute its hypertree width and a minimum-width normal-form decomposition
+   (k-decomp);
+3. attach weighting functions (the lexicographic TAF of Example 3.1) and use
+   minimal-k-decomp to find the minimum-weight decomposition;
+4. decide a weight threshold with threshold-k-decomp.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    hypertree_width,
+    is_acyclic,
+    k_decomp,
+    minimal_k_decomp,
+    minimum_weight,
+    parse_query,
+    threshold_k_decomp,
+    width_taf,
+)
+from repro.weights import lexicographic_taf
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A conjunctive query and its hypergraph (the paper's Q0).
+    # ------------------------------------------------------------------
+    query = parse_query(
+        "ans <- s1(A,B,D), s2(B,C,D), s3(B,E), s4(D,G), "
+        "s5(E,F,G), s6(E,H), s7(F,I), s8(G,J)",
+        name="Q0",
+    )
+    hypergraph = query.hypergraph()
+    print(query.describe())
+    print()
+    print(hypergraph.describe())
+    print()
+    print(f"α-acyclic?           {is_acyclic(hypergraph)}")
+    print(f"hypertree width:     {hypertree_width(hypergraph)}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. A minimum-width normal-form decomposition (unweighted).
+    # ------------------------------------------------------------------
+    decomposition = k_decomp(hypergraph, 2)
+    print("A width-2 normal-form hypertree decomposition (k-decomp):")
+    print(decomposition.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Weighted decompositions: the lexicographic TAF of Example 3.1.
+    # ------------------------------------------------------------------
+    lex = lexicographic_taf(hypergraph)
+    minimal = minimal_k_decomp(hypergraph, 2, lex)
+    print(
+        "Lexicographically minimal decomposition "
+        f"(ω^lex = {lex.weigh(minimal):.0f}, histogram {minimal.width_histogram()}):"
+    )
+    print(minimal.describe())
+    print()
+    print(f"width TAF minimum over kNFD (k=2): {minimum_weight(hypergraph, 2, width_taf()):.0f}")
+
+    # ------------------------------------------------------------------
+    # 4. The threshold decision problem (Theorem 5.1's problem).
+    # ------------------------------------------------------------------
+    best = lex.weigh(minimal)
+    print(
+        f"∃ NF decomposition with ω^lex ≤ {best:.0f}?  "
+        f"{threshold_k_decomp(hypergraph, 2, lex, best)}"
+    )
+    print(
+        f"∃ NF decomposition with ω^lex ≤ {best - 1:.0f}?  "
+        f"{threshold_k_decomp(hypergraph, 2, lex, best - 1)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's main entry points::
+
+    python -m repro.cli decompose QUERY_OR_FILE [--k K] [--taf lex|width|nodes]
+    python -m repro.cli plan QUERY [--k K] [--tuples N] [--seed S]
+    python -m repro.cli experiments [--fast]
+
+* ``decompose`` parses a datalog query (or a hypergraph file in the
+  benchmark format when the argument is a path ending in ``.hg``) and prints
+  its hypertree width plus a minimal decomposition for the chosen weighting
+  function.
+* ``plan`` plans a datalog query with cost-k-decomp over a synthetic database
+  and compares it against the left-deep baseline.
+* ``experiments`` regenerates the paper's tables (Fig. 1, Example 3.1, the Ψ
+  table, Figs. 6/7, and -- unless ``--fast`` -- Fig. 8) and prints them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.decomposition.kdecomp import hypertree_width
+from repro.decomposition.minimal import minimal_k_decomp
+from repro.hypergraph.io import load_hypergraph
+from repro.planner.compare import compare_planners
+from repro.planner.cost_k_decomp import cost_k_decomp
+from repro.query.conjunctive import parse_query
+from repro.weights.library import lexicographic_taf, node_count_taf, width_taf
+from repro.workloads.synthetic import workload_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weighted hypertree decompositions and optimal query plans",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    decompose = subparsers.add_parser(
+        "decompose", help="decompose a query or hypergraph file"
+    )
+    decompose.add_argument("query", help="datalog query text or path to a .hg file")
+    decompose.add_argument("--k", type=int, default=None, help="width bound (default: hw)")
+    decompose.add_argument(
+        "--taf",
+        choices=("width", "lex", "nodes"),
+        default="lex",
+        help="weighting function to minimise (default: lexicographic)",
+    )
+
+    plan = subparsers.add_parser("plan", help="plan a query with cost-k-decomp")
+    plan.add_argument("query", help="datalog query text")
+    plan.add_argument("--k", type=int, default=2, help="width bound (default 2)")
+    plan.add_argument("--tuples", type=int, default=150, help="tuples per relation")
+    plan.add_argument("--domain", type=int, default=30, help="attribute domain size")
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument(
+        "--compare", action="store_true", help="also run the left-deep baseline"
+    )
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "--fast", action="store_true", help="skip the Fig. 8 execution experiments"
+    )
+    return parser
+
+
+def _taf_for(name: str, hypergraph):
+    if name == "width":
+        return width_taf()
+    if name == "nodes":
+        return node_count_taf()
+    return lexicographic_taf(hypergraph)
+
+
+def _command_decompose(args) -> int:
+    if args.query.endswith(".hg") and os.path.exists(args.query):
+        hypergraph = load_hypergraph(args.query)
+        print(hypergraph.describe())
+    else:
+        query = parse_query(args.query)
+        print(query.describe())
+        hypergraph = query.hypergraph()
+    width = hypertree_width(hypergraph)
+    print(f"hypertree width: {width}")
+    k = args.k if args.k is not None else width
+    taf = _taf_for(args.taf, hypergraph)
+    decomposition = minimal_k_decomp(hypergraph, k, taf)
+    print(
+        f"[{taf.name}, {k}NFD]-minimal decomposition "
+        f"(weight {taf.weigh(decomposition):,.1f}):"
+    )
+    print(decomposition.describe())
+    return 0
+
+
+def _command_plan(args) -> int:
+    query = parse_query(args.query)
+    print(query.describe())
+    database = workload_database(
+        query,
+        tuples_per_relation=args.tuples,
+        domain_size=args.domain,
+        seed=args.seed,
+    )
+    if args.compare:
+        report = compare_planners(query, database, k_values=(args.k,))
+        print(report.describe())
+    else:
+        plan = cost_k_decomp(query, database.statistics, args.k)
+        print(plan.describe())
+        result = plan.execute(database)
+        print(
+            f"answer cardinality: {result.cardinality}  "
+            f"evaluation work: {result.stats.total_work:,} tuples"
+        )
+    return 0
+
+
+def _command_experiments(args) -> int:
+    from repro.experiments import (
+        example31_experiment,
+        fig1_experiment,
+        fig6_7_experiment,
+        fig8a_experiment,
+        fig8b_experiment,
+        psi_table_experiment,
+    )
+
+    drivers = [fig1_experiment, example31_experiment, psi_table_experiment, fig6_7_experiment]
+    for driver in drivers:
+        print(driver().to_table())
+        print()
+    if not args.fast:
+        print(fig8a_experiment(tuples_per_relation=100, k_values=(2, 3, 4)).to_table())
+        print()
+        print(fig8b_experiment(tuples_per_relation=120).to_table())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "decompose":
+        return _command_decompose(args)
+    if args.command == "plan":
+        return _command_plan(args)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Relational database substrate: relations, statistics, algebra, Yannakakis,
+plan execution, synthetic data and the cost model."""
+
+from repro.db.relation import Relation, Row, Value
+from repro.db.statistics import CatalogStatistics, TableStatistics, analyze_relation
+from repro.db.database import Database
+from repro.db.algebra import (
+    OperatorStats,
+    cartesian_product,
+    evaluate_node_expression,
+    join_all,
+    natural_join,
+    project,
+    select,
+    semijoin,
+)
+from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean, semijoin_reduce
+from repro.db.executor import (
+    ExecutionResult,
+    build_tree_query,
+    execute_hypertree_plan,
+    naive_join_evaluation,
+)
+from repro.db.costmodel import AtomProfile, CardinalityEstimator
+from repro.db.generator import (
+    database_from_statistics,
+    generate_column,
+    generate_relation,
+    uniform_database,
+)
+
+__all__ = [
+    "Relation",
+    "Row",
+    "Value",
+    "CatalogStatistics",
+    "TableStatistics",
+    "analyze_relation",
+    "Database",
+    "OperatorStats",
+    "cartesian_product",
+    "evaluate_node_expression",
+    "join_all",
+    "natural_join",
+    "project",
+    "select",
+    "semijoin",
+    "TreeQuery",
+    "evaluate",
+    "evaluate_boolean",
+    "semijoin_reduce",
+    "ExecutionResult",
+    "build_tree_query",
+    "execute_hypertree_plan",
+    "naive_join_evaluation",
+    "AtomProfile",
+    "CardinalityEstimator",
+    "database_from_statistics",
+    "generate_column",
+    "generate_relation",
+    "uniform_database",
+]

@@ -1,0 +1,254 @@
+"""Relational algebra over variable-named relations, with work accounting.
+
+The operators here are the ones the paper's query plans are made of:
+
+* natural join ``⋈`` (hash join on the shared variables),
+* semijoin ``⋉`` (the workhorse of Yannakakis' algorithm),
+* projection ``Π`` and selection ``σ``.
+
+Every operator can be handed an :class:`OperatorStats` accumulator which
+counts the tuples read and produced.  The experiments use those counters as a
+hardware-independent proxy for evaluation time ("evaluation work"), which is
+what lets the Fig. 8 comparisons be reproduced deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.relation import Relation, Row
+from repro.exceptions import DatabaseError
+
+
+class EvaluationBudgetExceeded(DatabaseError):
+    """Raised when an execution exceeds its work budget (a query timeout).
+
+    The paper's baseline comparisons occasionally hit plans whose
+    intermediate results are orders of magnitude larger than the structural
+    plan's; a budget keeps experiments and tests bounded and lets the
+    comparison report "at least this much work" instead of hanging.
+    """
+
+    def __init__(self, work_so_far: int, budget: int) -> None:
+        self.work_so_far = work_so_far
+        self.budget = budget
+        super().__init__(
+            f"evaluation exceeded its work budget ({work_so_far:,} tuples "
+            f"processed, budget {budget:,})"
+        )
+
+
+@dataclass
+class OperatorStats:
+    """Counters of the work done by relational operators.
+
+    ``tuples_read`` counts every input tuple scanned, ``tuples_emitted``
+    every output tuple produced, and ``intermediate_tuples`` the sizes of all
+    intermediate results (output of every join/semijoin/projection), which is
+    the classical cost proxy for join processing.  ``operations`` counts
+    operator invocations by kind.  A non-``None`` ``budget`` turns the
+    accumulator into a watchdog: exceeding it raises
+    :class:`EvaluationBudgetExceeded`.
+    """
+
+    tuples_read: int = 0
+    tuples_emitted: int = 0
+    intermediate_tuples: int = 0
+    operations: Dict[str, int] = field(default_factory=dict)
+    budget: Optional[int] = None
+
+    def record(self, operator: str, read: int, emitted: int) -> None:
+        self.tuples_read += read
+        self.tuples_emitted += emitted
+        self.intermediate_tuples += emitted
+        self.operations[operator] = self.operations.get(operator, 0) + 1
+        if self.budget is not None and self.total_work > self.budget:
+            raise EvaluationBudgetExceeded(self.total_work, self.budget)
+
+    def check(self, extra: int) -> None:
+        """Raise if the work done so far plus ``extra`` pending tuples would
+        exceed the budget (lets long-running operators abort mid-flight)."""
+        if self.budget is not None and self.total_work + extra > self.budget:
+            raise EvaluationBudgetExceeded(self.total_work + extra, self.budget)
+
+    @property
+    def total_work(self) -> int:
+        """The single-number work measure used in the experiments."""
+        return self.tuples_read + self.tuples_emitted
+
+    def merge(self, other: "OperatorStats") -> None:
+        self.tuples_read += other.tuples_read
+        self.tuples_emitted += other.tuples_emitted
+        self.intermediate_tuples += other.intermediate_tuples
+        for key, value in other.operations.items():
+            self.operations[key] = self.operations.get(key, 0) + value
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "tuples_read": self.tuples_read,
+            "tuples_emitted": self.tuples_emitted,
+            "intermediate_tuples": self.intermediate_tuples,
+            "total_work": self.total_work,
+        }
+
+
+def _shared_attributes(left: Relation, right: Relation) -> Tuple[str, ...]:
+    return tuple(a for a in left.attributes if a in right.attributes)
+
+
+def natural_join(
+    left: Relation,
+    right: Relation,
+    stats: Optional[OperatorStats] = None,
+    name: Optional[str] = None,
+) -> Relation:
+    """Hash-based natural join on all shared attributes.
+
+    If the relations share no attribute the result is the Cartesian product,
+    as usual.
+    """
+    shared = _shared_attributes(left, right)
+    right_extra = [a for a in right.attributes if a not in shared]
+    out_attributes = left.attributes + tuple(right_extra)
+    right_positions = [right.position(a) for a in right_extra]
+
+    # Build on the smaller side for the usual hash-join asymmetry.
+    build, probe, build_is_left = (
+        (left, right, True) if left.cardinality <= right.cardinality else (right, left, False)
+    )
+    build_index = build.index_on(shared)
+    probe_positions = [probe.position(a) for a in shared]
+
+    rows: List[Row] = []
+    check_every = 65536
+    for probe_row in probe.rows:
+        key = tuple(probe_row[p] for p in probe_positions)
+        for build_row in build_index.get(key, ()):
+            left_row, right_row = (
+                (build_row, probe_row) if build_is_left else (probe_row, build_row)
+            )
+            extra = tuple(right_row[p] for p in right_positions)
+            rows.append(tuple(left_row) + extra)
+        if stats is not None and len(rows) >= check_every:
+            stats.check(len(rows))
+            check_every += 65536
+
+    result = Relation(name or f"({left.name}⋈{right.name})", out_attributes, rows)
+    if stats is not None:
+        stats.record("join", left.cardinality + right.cardinality, result.cardinality)
+    return result
+
+
+def join_all(
+    relations: Sequence[Relation],
+    stats: Optional[OperatorStats] = None,
+    order: Optional[Sequence[int]] = None,
+) -> Relation:
+    """Join a list of relations left-to-right (optionally in a given order)."""
+    if not relations:
+        raise DatabaseError("cannot join an empty list of relations")
+    sequence = list(relations) if order is None else [relations[i] for i in order]
+    result = sequence[0]
+    if stats is not None and len(sequence) == 1:
+        stats.record("scan", result.cardinality, result.cardinality)
+    for relation in sequence[1:]:
+        result = natural_join(result, relation, stats=stats)
+    return result
+
+
+def semijoin(
+    left: Relation,
+    right: Relation,
+    stats: Optional[OperatorStats] = None,
+) -> Relation:
+    """``left ⋉ right``: the rows of ``left`` that join with some row of
+    ``right`` (on the shared attributes)."""
+    shared = _shared_attributes(left, right)
+    if not shared:
+        # With no shared attribute the semijoin keeps everything iff the right
+        # side is non-empty.
+        rows = left.rows if right.cardinality else ()
+        result = left.with_rows(rows, name=left.name)
+        if stats is not None:
+            stats.record("semijoin", left.cardinality + right.cardinality, result.cardinality)
+        return result
+    right_keys = set(right.index_on(shared).keys())
+    left_positions = [left.position(a) for a in shared]
+    rows = [
+        row for row in left.rows if tuple(row[p] for p in left_positions) in right_keys
+    ]
+    result = left.with_rows(rows, name=left.name)
+    if stats is not None:
+        stats.record("semijoin", left.cardinality + right.cardinality, result.cardinality)
+    return result
+
+
+def project(
+    relation: Relation,
+    attributes: Sequence[str],
+    stats: Optional[OperatorStats] = None,
+    name: Optional[str] = None,
+    distinct: bool = True,
+) -> Relation:
+    """``Π_attributes(relation)``.
+
+    ``distinct=True`` (default) gives the set-algebra projection used by the
+    paper's per-node expressions ``E(p)``; ``distinct=False`` is the
+    SQL-style projection that keeps duplicates (used by the baseline plan's
+    final output before the explicit answer comparison).
+    """
+    wanted = [a for a in attributes if a in relation.attributes]
+    positions = [relation.position(a) for a in wanted]
+    projected = (tuple(row[p] for p in positions) for row in relation.rows)
+    if distinct:
+        rows = list(dict.fromkeys(projected))
+    else:
+        rows = list(projected)
+    result = Relation(name or relation.name, wanted, rows)
+    if stats is not None:
+        stats.record("project", relation.cardinality, result.cardinality)
+    return result
+
+
+def select(
+    relation: Relation,
+    predicate: Callable[[Dict[str, object]], bool],
+    stats: Optional[OperatorStats] = None,
+) -> Relation:
+    """``σ_predicate(relation)`` where the predicate sees a dict
+    ``attribute -> value``."""
+    rows = []
+    for row in relation.rows:
+        binding = dict(zip(relation.attributes, row))
+        if predicate(binding):
+            rows.append(row)
+    result = relation.with_rows(rows)
+    if stats is not None:
+        stats.record("select", relation.cardinality, result.cardinality)
+    return result
+
+
+def cartesian_product(
+    left: Relation, right: Relation, stats: Optional[OperatorStats] = None
+) -> Relation:
+    """Explicit Cartesian product (only valid when no attribute is shared)."""
+    if _shared_attributes(left, right):
+        raise DatabaseError("cartesian_product requires disjoint attribute sets")
+    return natural_join(left, right, stats=stats)
+
+
+def evaluate_node_expression(
+    relations: Sequence[Relation],
+    projection: Sequence[str],
+    stats: Optional[OperatorStats] = None,
+) -> Relation:
+    """The paper's per-node expression ``E(p) = Π_{χ(p)} ⋈_{h ∈ λ(p)} rel(h)``.
+
+    Relations are joined smallest-first (a reasonable default order for the
+    handful of relations in a λ label) and the result is projected onto
+    ``projection``.
+    """
+    ordered = sorted(range(len(relations)), key=lambda i: relations[i].cardinality)
+    joined = join_all(relations, stats=stats, order=ordered)
+    return project(joined, projection, stats=stats)

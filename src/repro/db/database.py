@@ -1,0 +1,150 @@
+"""In-memory databases and atom-to-relation binding.
+
+A :class:`Database` maps predicate names to :class:`~repro.db.relation.Relation`
+objects and carries a :class:`~repro.db.statistics.CatalogStatistics` catalog.
+The central operation for query evaluation is :meth:`Database.bind_atom`,
+which renames a relation's columns to the variables of a query atom (and
+applies the selections implied by constants and repeated variables), turning
+every body atom into a relation over query variables -- the form the
+relational-algebra operators and Yannakakis' algorithm work on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.db.relation import Relation
+from repro.db.statistics import CatalogStatistics, analyze_relation
+from repro.exceptions import DatabaseError
+from repro.query.atoms import Atom, is_variable
+from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
+
+
+class Database:
+    """A named collection of relations plus a statistics catalog."""
+
+    def __init__(
+        self,
+        relations: Optional[Mapping[str, Relation]] = None,
+        statistics: Optional[CatalogStatistics] = None,
+        name: str = "db",
+    ) -> None:
+        self.name = name
+        self._relations: Dict[str, Relation] = dict(relations or {})
+        self.statistics = statistics or CatalogStatistics()
+
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation) -> None:
+        self._relations[relation.name] = relation
+
+    def relation(self, predicate: str) -> Relation:
+        try:
+            return self._relations[predicate]
+        except KeyError as exc:
+            raise DatabaseError(
+                f"database {self.name!r} has no relation {predicate!r}"
+            ) from exc
+
+    def has_relation(self, predicate: str) -> bool:
+        return predicate in self._relations
+
+    def relation_names(self) -> Iterable[str]:
+        return sorted(self._relations)
+
+    def total_tuples(self) -> int:
+        return sum(r.cardinality for r in self._relations.values())
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> CatalogStatistics:
+        """Recompute the catalog from the stored relations (``ANALYZE TABLE``
+        for every table) and return it."""
+        catalog = CatalogStatistics()
+        for relation in self._relations.values():
+            catalog.add(analyze_relation(relation))
+        self.statistics = catalog
+        return catalog
+
+    # ------------------------------------------------------------------
+    def bind_atom(self, atom: Atom) -> Relation:
+        """The relation denoted by a query atom, with columns renamed to the
+        atom's variables.
+
+        Handles the three standard cases:
+
+        * plain variables -- rename the column to the variable;
+        * constants -- select the rows with that constant and drop the column;
+        * repeated variables -- select the rows where the positions agree and
+          keep a single column;
+        * *fresh* variables added by the completeness transformation
+          (Section 6) -- these do not exist in the stored relation, so each
+          row is extended with a unique surrogate value, preserving
+          cardinality and keeping the fresh column joinable only with itself.
+        """
+        stored = self.relation(atom.predicate)
+        fresh_terms = [t for t in atom.terms if is_variable(t) and is_fresh_variable(t)]
+        real_terms = [t for t in atom.terms if t not in fresh_terms]
+        if len(real_terms) != stored.arity:
+            raise DatabaseError(
+                f"atom {atom} has {len(real_terms)} stored terms but relation "
+                f"{atom.predicate!r} has arity {stored.arity}"
+            )
+
+        out_attributes = []
+        seen_positions: Dict[str, int] = {}
+        keep_positions = []
+        for position, term in enumerate(real_terms):
+            if is_variable(term) and term not in seen_positions:
+                seen_positions[term] = position
+                out_attributes.append(term)
+                keep_positions.append(position)
+
+        rows = []
+        for row in stored.rows:
+            ok = True
+            for position, term in enumerate(real_terms):
+                if not is_variable(term):
+                    if row[position] != _coerce_constant(term):
+                        ok = False
+                        break
+                elif row[seen_positions[term]] != row[position]:
+                    ok = False
+                    break
+            if ok:
+                rows.append(tuple(row[p] for p in keep_positions))
+
+        if fresh_terms:
+            out_attributes = out_attributes + fresh_terms
+            rows = [
+                row + tuple(f"{atom.name}@{i}" for _ in fresh_terms)
+                for i, row in enumerate(rows)
+            ]
+        return Relation(atom.name, out_attributes, rows)
+
+    def bind_query(self, query: ConjunctiveQuery) -> Dict[str, Relation]:
+        """Bind every atom of the query; keys are atom names."""
+        return {atom.name: self.bind_atom(atom) for atom in query.atoms}
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, relations={len(self._relations)}, "
+            f"tuples={self.total_tuples()})"
+        )
+
+    def describe(self) -> str:
+        lines = [f"Database {self.name!r}"]
+        for name in self.relation_names():
+            relation = self._relations[name]
+            lines.append(
+                f"  {name}({', '.join(relation.attributes)}): {relation.cardinality} tuples"
+            )
+        return "\n".join(lines)
+
+
+def _coerce_constant(term: str):
+    """Constants written in queries are strings; compare them against stored
+    integers as well so ``r(X, 3)`` matches a relation holding ints."""
+    try:
+        return int(term)
+    except ValueError:
+        return term

@@ -1,0 +1,135 @@
+"""Executing hypertree query plans.
+
+A (complete) hypertree decomposition of a query is a query plan (Section 1.1
+and Section 6 of the paper): first evaluate, for every decomposition node
+``p``, the expression ``E(p) = Π_{χ(p)} ⋈_{h ∈ λ(p)} rel(h)``; the resulting
+tree of relations is an acyclic *tree query* which Yannakakis' algorithm then
+answers in output-polynomial time.
+
+:func:`execute_hypertree_plan` carries out both phases against an in-memory
+:class:`~repro.db.database.Database` and reports the work performed, which is
+what the Fig. 8 experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.db.algebra import OperatorStats, evaluate_node_expression
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean
+from repro.decomposition.hypertree import HypertreeDecomposition
+from repro.exceptions import DatabaseError
+from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running a query plan.
+
+    ``relation`` is the answer relation (``None`` for Boolean queries);
+    ``boolean`` the Boolean answer (``None`` for non-Boolean queries);
+    ``stats`` the relational-operator work counters.
+    """
+
+    relation: Optional[Relation]
+    boolean: Optional[bool]
+    stats: OperatorStats
+
+    @property
+    def cardinality(self) -> int:
+        if self.relation is None:
+            return 1 if self.boolean else 0
+        return self.relation.cardinality
+
+
+def build_tree_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    decomposition: HypertreeDecomposition,
+    stats: Optional[OperatorStats] = None,
+) -> TreeQuery:
+    """Materialise ``E(p)`` for every decomposition node and assemble the
+    acyclic tree query."""
+    bound = database.bind_query(query)
+    relations: Dict[object, Relation] = {}
+    for node in decomposition.nodes():
+        inputs = []
+        for edge_name in sorted(node.lambda_edges):
+            if edge_name not in bound:
+                raise DatabaseError(
+                    f"decomposition uses edge {edge_name!r} which is not an atom "
+                    f"of query {query.name!r}"
+                )
+            inputs.append(bound[edge_name])
+        projection = sorted(node.chi)
+        relations[node.node_id] = evaluate_node_expression(
+            inputs, projection, stats=stats
+        )
+    children = {
+        node_id: decomposition.children(node_id)
+        for node_id in decomposition.node_ids()
+    }
+    return TreeQuery(root=decomposition.root, children=children, relations=relations)
+
+
+def execute_hypertree_plan(
+    query: ConjunctiveQuery,
+    database: Database,
+    decomposition: HypertreeDecomposition,
+    require_complete: bool = True,
+    budget: Optional[int] = None,
+) -> ExecutionResult:
+    """Run the query through the hypertree plan.
+
+    The decomposition must be *complete* for the answer to be correct (every
+    atom strongly covered); set ``require_complete=False`` only when the
+    caller has already ensured semantic completeness by other means (e.g. the
+    fresh-variable construction of Section 6).  ``budget`` caps the total
+    evaluation work (tuples read + emitted); exceeding it raises
+    :class:`repro.db.algebra.EvaluationBudgetExceeded`.
+    """
+    if require_complete and not decomposition.is_complete():
+        raise DatabaseError(
+            "the decomposition is not complete; complete it first "
+            "(repro.decomposition.complete_decomposition) or plan with the "
+            "fresh-variable construction"
+        )
+    stats = OperatorStats(budget=budget)
+    tree = build_tree_query(query, database, decomposition, stats=stats)
+    if query.is_boolean:
+        answer = evaluate_boolean(tree, stats=stats)
+        return ExecutionResult(relation=None, boolean=answer, stats=stats)
+    result = evaluate(tree, list(query.output_variables), stats=stats)
+    return ExecutionResult(relation=result, boolean=None, stats=stats)
+
+
+def naive_join_evaluation(
+    query: ConjunctiveQuery,
+    database: Database,
+    order: Optional[Tuple[str, ...]] = None,
+    budget: Optional[int] = None,
+) -> ExecutionResult:
+    """Evaluate the query by joining all bound atoms in a (given or textual)
+    order, with no structural awareness -- the "flat" evaluation a
+    quantitative-only engine performs once its optimiser has fixed a join
+    order.  Used as the execution backend of the baseline optimiser."""
+    from repro.db.algebra import join_all, project
+
+    stats = OperatorStats(budget=budget)
+    bound = database.bind_query(query)
+    names = list(order) if order is not None else sorted(bound)
+    unknown = [n for n in names if n not in bound]
+    if unknown:
+        raise DatabaseError(f"unknown atoms in join order: {unknown}")
+    if set(names) != set(bound):
+        raise DatabaseError("join order must mention every atom exactly once")
+    relations = [bound[n] for n in names]
+    joined = join_all(relations, stats=stats)
+    if query.is_boolean:
+        return ExecutionResult(relation=None, boolean=joined.cardinality > 0, stats=stats)
+    wanted = [v for v in query.output_variables if not is_fresh_variable(v)]
+    result = project(joined, wanted, stats=stats, name="answer")
+    return ExecutionResult(relation=result, boolean=None, stats=stats)

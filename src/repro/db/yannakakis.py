@@ -1,0 +1,169 @@
+"""Yannakakis' algorithm for acyclic query evaluation.
+
+Once a structural decomposition method has turned a query into an equivalent
+*tree query* -- a join tree whose nodes carry relations -- Yannakakis'
+classical algorithm answers it in output-polynomial time (Section 1.1 of the
+paper):
+
+1. **bottom-up semijoin pass**: every node is semijoined with each of its
+   children, so a node keeps only tuples that have a partner below it;
+2. **top-down semijoin pass**: every child is semijoined with its (already
+   reduced) parent, making the whole tree globally consistent;
+3. **bottom-up join pass**: the reduced node relations are joined bottom-up,
+   projecting at each step onto the output variables plus the variables still
+   needed higher up, which bounds every intermediate result by the final
+   output size (times the input).
+
+For a Boolean query the third pass is unnecessary: after the first pass the
+answer is *true* iff the root relation is non-empty.
+
+The node relations here are arbitrary relations over query variables; the
+caller (the hypertree-plan executor or the acyclic-query evaluator) decides
+what each node holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.algebra import OperatorStats, natural_join, project, semijoin
+from repro.db.relation import Relation
+from repro.exceptions import DatabaseError
+
+
+@dataclass
+class TreeQuery:
+    """A join tree whose nodes carry relations over query variables.
+
+    ``children`` maps node id -> child ids; ``relations`` maps node id -> its
+    relation; ``root`` is the root node id.  Node ids are opaque (ints or
+    strings).
+    """
+
+    root: object
+    children: Dict[object, Tuple[object, ...]]
+    relations: Dict[object, Relation]
+
+    def node_ids(self) -> Tuple[object, ...]:
+        order = [self.root]
+        i = 0
+        while i < len(order):
+            order.extend(self.children.get(order[i], ()))
+            i += 1
+        return tuple(order)
+
+    def post_order(self) -> Tuple[object, ...]:
+        result: List[object] = []
+
+        def visit(node) -> None:
+            for kid in self.children.get(node, ()):
+                visit(kid)
+            result.append(node)
+
+        visit(self.root)
+        return tuple(result)
+
+    def validate(self) -> None:
+        ids = self.node_ids()
+        if set(ids) != set(self.relations):
+            raise DatabaseError(
+                "tree query is inconsistent: tree nodes and relations differ"
+            )
+
+
+def semijoin_reduce(
+    tree: TreeQuery, stats: Optional[OperatorStats] = None, full: bool = True
+) -> TreeQuery:
+    """The semijoin program of Yannakakis' algorithm.
+
+    The bottom-up pass is always performed; the top-down pass only when
+    ``full`` is true (it is not needed for Boolean queries).  Returns a new
+    :class:`TreeQuery` with reduced relations.
+    """
+    tree.validate()
+    relations = dict(tree.relations)
+
+    # Bottom-up: parent ⋉ child, children first.
+    for node in tree.post_order():
+        for child in tree.children.get(node, ()):
+            relations[node] = semijoin(relations[node], relations[child], stats=stats)
+
+    if full:
+        # Top-down: child ⋉ parent, parents first.
+        for node in tree.node_ids():
+            for child in tree.children.get(node, ()):
+                relations[child] = semijoin(relations[child], relations[node], stats=stats)
+
+    return TreeQuery(root=tree.root, children=dict(tree.children), relations=relations)
+
+
+def evaluate_boolean(tree: TreeQuery, stats: Optional[OperatorStats] = None) -> bool:
+    """Answer the Boolean query represented by the tree: true iff the
+    semijoin-reduced root is non-empty."""
+    reduced = semijoin_reduce(tree, stats=stats, full=False)
+    return reduced.relations[reduced.root].cardinality > 0
+
+
+def evaluate(
+    tree: TreeQuery,
+    output_variables: Sequence[str],
+    stats: Optional[OperatorStats] = None,
+) -> Relation:
+    """Full evaluation: the projection of the join of all node relations onto
+    ``output_variables`` (all variables of the tree if empty).
+
+    After full semijoin reduction, nodes are joined bottom-up; each
+    intermediate result is projected onto the output variables plus the
+    variables shared with the remaining (upper) part of the tree, which is
+    the projection discipline that makes Yannakakis output-polynomial.
+    """
+    reduced = semijoin_reduce(tree, stats=stats, full=True)
+    relations = dict(reduced.relations)
+
+    wanted = list(output_variables)
+    if not wanted:
+        seen = set()
+        for relation in relations.values():
+            for attribute in relation.attributes:
+                if attribute not in seen:
+                    seen.add(attribute)
+                    wanted.append(attribute)
+
+    # Variables appearing in each subtree, to decide what must be kept when a
+    # child is folded into its parent.
+    parent: Dict[object, object] = {reduced.root: None}
+    for node in reduced.node_ids():
+        for child in reduced.children.get(node, ()):
+            parent[child] = node
+
+    def attributes_above(node) -> set:
+        """Attributes appearing outside the subtree rooted at ``node``."""
+        inside = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            inside.add(current)
+            stack.extend(reduced.children.get(current, ()))
+        outside_attrs: set = set()
+        for other, relation in relations.items():
+            if other not in inside:
+                outside_attrs.update(relation.attributes)
+        return outside_attrs
+
+    folded = dict(relations)
+    for node in reduced.post_order():
+        if node == reduced.root:
+            continue
+        above = attributes_above(node)
+        keep = [
+            a
+            for a in folded[node].attributes
+            if a in above or a in wanted
+        ]
+        contribution = project(folded[node], keep, stats=stats)
+        up = parent[node]
+        folded[up] = natural_join(folded[up], contribution, stats=stats)
+
+    result = project(folded[reduced.root], wanted, stats=stats, name="answer")
+    return result

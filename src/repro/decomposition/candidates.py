@@ -1,0 +1,261 @@
+"""The candidates graph of minimal-k-decomp (Fig. 2 of the paper).
+
+The algorithm maintains a weighted directed bipartite graph ``CG`` whose
+nodes are split into
+
+* **subproblems** ``N_sub``: pairs ``(R, C)`` where ``R`` is a *k-vertex*
+  (a set of at most ``k`` hyperedges) and ``C`` is a ``[var(R)]``-component,
+  plus the special root subproblem ``(∅, var(H))`` standing for the whole
+  hypergraph; and
+* **candidates** ``N_sol``: pairs ``(S, C')`` where ``S`` is a k-vertex that
+  could become the root of a normal-form decomposition of the sub-hypergraph
+  induced by ``var(edges(C'))``, i.e. ``var(S) ∩ C' ≠ ∅`` and every
+  ``h ∈ S`` meets ``var(edges(C'))``.
+
+Arcs encode "solves" and "is a subproblem of":
+
+* a candidate ``(S, C)`` points to every subproblem ``(R, C)`` with
+  ``var(edges(C)) ∩ var(R) ⊆ var(S)`` (it can be the child of ``R``
+  decomposing ``C`` without breaking connectedness);
+* every subproblem ``(S, C'')`` with ``C''`` a ``[var(S)]``-component
+  contained in ``C`` points to the candidate ``(S, C)`` (it must be solved
+  below it).
+
+The same graph drives the unweighted ``k-decomp`` (Definition 7.2), the
+weighted ``minimal-k-decomp`` and the planner's ``cost-k-decomp``; they only
+differ in how they pick among a subproblem's surviving candidates.
+
+Node χ/λ labels follow the paper: for a candidate ``p = (S, C)``,
+``λ(p) = S`` and ``χ(p) = var(edges(C)) ∩ var(S)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.decomposition.hypertree import DecompositionNode
+from repro.exceptions import DecompositionError
+from repro.hypergraph.components import components
+from repro.hypergraph.hypergraph import EdgeName, Hypergraph, Vertex
+
+KVertex = FrozenSet[EdgeName]
+Component = FrozenSet[Vertex]
+
+#: A subproblem node ``(R, C)`` of ``N_sub``.
+Subproblem = Tuple[KVertex, Component]
+#: A candidate node ``(S, C)`` of ``N_sol``.
+Candidate = Tuple[KVertex, Component]
+
+
+def k_vertices(hypergraph: Hypergraph, k: int) -> Tuple[KVertex, ...]:
+    """All k-vertices: non-empty sets of at most ``k`` hyperedges.
+
+    The count of these is the quantity ``Ψ = Σ_{i=1..k} C(n, i)`` the paper
+    contrasts with the crude ``n^k`` bound after Theorem 4.5.
+    """
+    if k < 1:
+        raise DecompositionError("the width bound k must be at least 1")
+    names = hypergraph.edge_names
+    result: List[KVertex] = []
+    for size in range(1, min(k, len(names)) + 1):
+        for combo in combinations(names, size):
+            result.append(frozenset(combo))
+    return tuple(result)
+
+
+def count_k_vertices(num_edges: int, k: int) -> int:
+    """``Ψ`` computed arithmetically (for the Section 4.2 comparison table)."""
+    from math import comb
+
+    return sum(comb(num_edges, i) for i in range(1, k + 1))
+
+
+@dataclass
+class CandidateInfo:
+    """Cached per-candidate data: its labels and its subproblems."""
+
+    key: Candidate
+    lambda_edges: KVertex
+    chi: FrozenSet[Vertex]
+    component: Component
+    subproblems: Tuple[Subproblem, ...]
+
+    def as_node(self, node_id: int) -> DecompositionNode:
+        return DecompositionNode(
+            node_id=node_id,
+            lambda_edges=self.lambda_edges,
+            chi=self.chi,
+            component=self.component,
+        )
+
+
+class CandidatesGraph:
+    """The bipartite candidates graph for a hypergraph and width bound ``k``.
+
+    Construction performs the whole *Build the Candidates Graph* phase of
+    Fig. 2; the evaluation phase belongs to the algorithms that use the graph
+    (:mod:`repro.decomposition.minimal`).
+    """
+
+    def __init__(self, hypergraph: Hypergraph, k: int) -> None:
+        if hypergraph.num_edges() == 0:
+            raise DecompositionError("cannot decompose a hypergraph with no edges")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.root_subproblem: Subproblem = (frozenset(), frozenset(hypergraph.vertices))
+
+        self._k_vertices: Tuple[KVertex, ...] = k_vertices(hypergraph, k)
+        self._var_of_kvertex: Dict[KVertex, FrozenSet[Vertex]] = {
+            kv: hypergraph.var(kv) for kv in self._k_vertices
+        }
+        self._components_of_kvertex: Dict[KVertex, Tuple[Component, ...]] = {
+            kv: components(hypergraph, self._var_of_kvertex[kv])
+            for kv in self._k_vertices
+        }
+
+        # --- N_sub -----------------------------------------------------
+        self.subproblems: List[Subproblem] = [self.root_subproblem]
+        seen_components: set = {self.root_subproblem[1]}
+        for kv in self._k_vertices:
+            for component in self._components_of_kvertex[kv]:
+                self.subproblems.append((kv, component))
+                seen_components.add(component)
+
+        # Cache var(edges(C)) and edges(C) for every distinct component.
+        self._component_frontier: Dict[Component, FrozenSet[Vertex]] = {}
+        self._component_edges: Dict[Component, FrozenSet[EdgeName]] = {}
+        for component in seen_components:
+            edge_names = hypergraph.edges_touching(component)
+            self._component_edges[component] = edge_names
+            self._component_frontier[component] = hypergraph.var(edge_names)
+
+        # --- N_sol -----------------------------------------------------
+        self.candidates: Dict[Candidate, CandidateInfo] = {}
+        for component in seen_components:
+            frontier = self._component_frontier[component]
+            for kv in self._k_vertices:
+                kv_vars = self._var_of_kvertex[kv]
+                if not kv_vars & component:
+                    continue
+                if any(
+                    not (hypergraph.edge_vertices(h) & frontier) for h in kv
+                ):
+                    continue
+                chi = frontier & kv_vars
+                subs = tuple(
+                    (kv, sub_component)
+                    for sub_component in self._components_of_kvertex[kv]
+                    if sub_component <= component
+                )
+                key: Candidate = (kv, component)
+                self.candidates[key] = CandidateInfo(
+                    key=key,
+                    lambda_edges=kv,
+                    chi=chi,
+                    component=component,
+                    subproblems=subs,
+                )
+
+        # --- arcs: candidate -> subproblems it can solve -----------------
+        # Index candidates by their component so the scan is linear in the
+        # number of (subproblem, same-component candidate) pairs.
+        by_component: Dict[Component, List[Candidate]] = {}
+        for key in self.candidates:
+            by_component.setdefault(key[1], []).append(key)
+
+        # --- arcs: subproblem -> candidates that depend on it -------------
+        # (the reverse of ``CandidateInfo.subproblems``; the evaluation phase
+        # walks this index, so build it once here).
+        self.dependents: Dict[Subproblem, List[Candidate]] = {}
+        for key, info in self.candidates.items():
+            for subproblem in info.subproblems:
+                self.dependents.setdefault(subproblem, []).append(key)
+
+        self.solvers: Dict[Subproblem, Tuple[Candidate, ...]] = {}
+        for subproblem in self.subproblems:
+            r_kvertex, component = subproblem
+            r_vars = (
+                self._var_of_kvertex[r_kvertex] if r_kvertex else frozenset()
+            )
+            boundary = self._component_frontier[component] & r_vars
+            matching: List[Candidate] = []
+            for candidate_key in by_component.get(component, ()):
+                s_kvertex, _ = candidate_key
+                if boundary <= self._var_of_kvertex[s_kvertex]:
+                    matching.append(candidate_key)
+            self.solvers[subproblem] = tuple(matching)
+
+    # ------------------------------------------------------------------
+    # Accessors used by the algorithms
+    # ------------------------------------------------------------------
+    @property
+    def num_k_vertices(self) -> int:
+        return len(self._k_vertices)
+
+    def all_k_vertices(self) -> Tuple[KVertex, ...]:
+        return self._k_vertices
+
+    def var_of(self, kvertex: KVertex) -> FrozenSet[Vertex]:
+        if not kvertex:
+            return frozenset()
+        return self._var_of_kvertex[kvertex]
+
+    def component_frontier(self, component: Component) -> FrozenSet[Vertex]:
+        """``var(edges(C))`` for a component that appears in the graph."""
+        return self._component_frontier[component]
+
+    def component_edges(self, component: Component) -> FrozenSet[EdgeName]:
+        return self._component_edges[component]
+
+    def candidate_info(self, key: Candidate) -> CandidateInfo:
+        return self.candidates[key]
+
+    def candidates_for(self, subproblem: Subproblem) -> Tuple[Candidate, ...]:
+        """``incoming(q)`` for a subproblem ``q`` (before any pruning)."""
+        return self.solvers[subproblem]
+
+    def subproblems_of(self, candidate: Candidate) -> Tuple[Subproblem, ...]:
+        """``incoming(p)`` for a candidate ``p``: its child subproblems."""
+        return self.candidates[candidate].subproblems
+
+    def dependents_of(self, subproblem: Subproblem) -> Tuple[Candidate, ...]:
+        """``outcoming(q)`` for a subproblem ``q``: the candidates that have
+        ``q`` among their subproblems."""
+        return tuple(self.dependents.get(subproblem, ()))
+
+    def subproblems_sorted_for_processing(self) -> List[Subproblem]:
+        """Subproblems ordered by increasing component size.
+
+        Because every subproblem of a candidate for component ``C`` lives in
+        a strictly smaller component, this order guarantees that when a
+        subproblem is processed all candidates solving it already had their
+        own subproblems processed -- exactly the extraction condition
+        ``incoming(q) ⊆ weighted`` of Fig. 2.
+        """
+        return sorted(
+            self.subproblems,
+            key=lambda sub: (len(sub[1]), sorted(sub[1]), sorted(sub[0])),
+        )
+
+    # ------------------------------------------------------------------
+    def size_report(self) -> Dict[str, int]:
+        """Node/arc counts, matching the quantities in the Theorem 4.5
+        complexity discussion."""
+        solver_arcs = sum(len(v) for v in self.solvers.values())
+        subproblem_arcs = sum(len(info.subproblems) for info in self.candidates.values())
+        return {
+            "k_vertices": len(self._k_vertices),
+            "subproblems": len(self.subproblems),
+            "candidates": len(self.candidates),
+            "solver_arcs": solver_arcs,
+            "subproblem_arcs": subproblem_arcs,
+        }
+
+    def __repr__(self) -> str:
+        report = self.size_report()
+        return (
+            f"CandidatesGraph(k={self.k}, |N_sub|={report['subproblems']}, "
+            f"|N_sol|={report['candidates']})"
+        )

@@ -1,0 +1,306 @@
+"""minimal-k-decomp (Fig. 2): weighted, normal-form hypertree decompositions.
+
+Given a hypergraph ``H``, a width bound ``k`` and a tree aggregation function
+``F^{⊕,v,e}``, the algorithm returns an ``[F, kNFD_H]``-minimal hypertree
+decomposition -- a decomposition in normal form of width at most ``k`` whose
+weight is minimal among all such decompositions -- or reports *failure* when
+``kNFD_H = ∅`` (i.e. ``hw(H) > k``).
+
+The implementation follows the paper closely:
+
+1. build the candidates graph (:class:`repro.decomposition.candidates.CandidatesGraph`);
+2. *evaluate* it bottom-up: process subproblems in increasing component size
+   (which realises the extraction condition ``incoming(q) ⊆ weighted``),
+   either pruning candidates whose subproblem is unsolvable or folding the
+   best child weight into each candidate via
+   ``weight(p') := weight(p') ⊕ min_p (weight(p) ⊕ e(p', p))``;
+3. *select* a decomposition top-down (``Select-hypertree``), choosing a
+   minimum-weight candidate for every subproblem.
+
+Ties during selection are broken by a pluggable :class:`TieBreaker`; with the
+``"random"`` policy every minimal decomposition can be produced by some run,
+which is the completeness half of Theorem 4.4 and is exercised by the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.decomposition.candidates import (
+    Candidate,
+    CandidatesGraph,
+    Subproblem,
+)
+from repro.decomposition.hypertree import (
+    DecompositionNode,
+    HypertreeDecomposition,
+    NodeId,
+)
+from repro.exceptions import DecompositionError, NoDecompositionExistsError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.weights.semiring import INFINITY, Number
+from repro.weights.taf import TreeAggregationFunction
+
+
+class TieBreaker:
+    """Chooses among equally weighted candidates during ``Select-hypertree``.
+
+    ``"first"`` (deterministic, default) picks the smallest candidate under a
+    canonical ordering; ``"random"`` picks uniformly at random, realising the
+    non-deterministically complete selection the paper assumes for the
+    completeness statement of Theorem 4.4.
+    """
+
+    def __init__(self, policy: str = "first", seed: Optional[int] = None) -> None:
+        if policy not in {"first", "random"}:
+            raise DecompositionError(f"unknown tie-breaking policy {policy!r}")
+        self.policy = policy
+        self._rng = random.Random(seed)
+
+    def choose(self, tied: Sequence[Candidate]) -> Candidate:
+        ordered = sorted(tied, key=_candidate_sort_key)
+        if self.policy == "first" or len(ordered) == 1:
+            return ordered[0]
+        return self._rng.choice(ordered)
+
+
+def _candidate_sort_key(candidate: Candidate):
+    kvertex, component = candidate
+    return (tuple(sorted(kvertex)), tuple(sorted(component)))
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of the candidates-graph evaluation phase.
+
+    ``weights`` holds the final weight of every surviving candidate;
+    ``survivors`` maps each subproblem to the candidates that were not pruned;
+    ``root_candidates`` are the survivors of the special root subproblem.
+    """
+
+    graph: CandidatesGraph
+    weights: Dict[Candidate, Number]
+    survivors: Dict[Subproblem, Tuple[Candidate, ...]]
+
+    @property
+    def root_candidates(self) -> Tuple[Candidate, ...]:
+        return self.survivors.get(self.graph.root_subproblem, ())
+
+    def minimum_weight(self) -> Number:
+        """The weight of the minimal decomposition (``∞`` if none exists)."""
+        candidates = self.root_candidates
+        if not candidates:
+            return INFINITY
+        return min(self.weights[c] for c in candidates)
+
+
+def evaluate_candidates_graph(
+    graph: CandidatesGraph, taf: TreeAggregationFunction
+) -> EvaluationResult:
+    """The *Evaluate the Candidates Graph* phase of Fig. 2.
+
+    Candidates start with ``weight(p) = v_H(p)``; processing a solvable
+    subproblem ``q`` folds ``min_{p ∈ incoming(q)} (weight(p) ⊕ e(p', p))``
+    into every candidate ``p'`` that has ``q`` as a subproblem; an
+    unsolvable subproblem removes those candidates instead.
+    """
+    semiring = taf.semiring
+
+    # Node views are cached because the TAF may be expensive (cost estimation).
+    node_views: Dict[Candidate, DecompositionNode] = {}
+
+    def view(candidate: Candidate) -> DecompositionNode:
+        if candidate not in node_views:
+            info = graph.candidate_info(candidate)
+            node_views[candidate] = info.as_node(node_id=len(node_views))
+        return node_views[candidate]
+
+    weights: Dict[Candidate, Number] = {}
+    removed: set = set()
+    for candidate in graph.candidates:
+        weights[candidate] = taf.vertex_weight(view(candidate))
+
+    separable = taf.has_separable_edge
+    parent_parts: Dict[Candidate, Number] = {}
+    child_parts: Dict[Candidate, Number] = {}
+    if separable:
+        for candidate in graph.candidates:
+            node = view(candidate)
+            parent_parts[candidate] = taf.edge_parent_part(node)
+            child_parts[candidate] = taf.edge_child_part(node)
+
+    survivors: Dict[Subproblem, Tuple[Candidate, ...]] = {}
+
+    for subproblem in graph.subproblems_sorted_for_processing():
+        alive = tuple(
+            c for c in graph.candidates_for(subproblem) if c not in removed
+        )
+        survivors[subproblem] = alive
+        if not alive:
+            # No way to solve this subproblem: every candidate that depends on
+            # it is removed from the graph.
+            for candidate in graph.dependents_of(subproblem):
+                removed.add(candidate)
+            continue
+        # Fold the best solver of ``subproblem`` into each candidate that has
+        # it as a subproblem.
+        if separable:
+            # e(p, p') = parent_part(p) ⊕ child_part(p'); since min
+            # distributes over ⊕, the minimisation over solvers can be done
+            # once per subproblem and the parent contribution folded in per
+            # dependent.
+            best_child = INFINITY
+            for solver in alive:
+                value = semiring.combine(weights[solver], child_parts[solver])
+                if value < best_child:
+                    best_child = value
+            for candidate in graph.dependents_of(subproblem):
+                if candidate in removed:
+                    continue
+                best = semiring.combine(parent_parts[candidate], best_child)
+                weights[candidate] = semiring.combine(weights[candidate], best)
+            continue
+        for candidate in graph.dependents_of(subproblem):
+            if candidate in removed:
+                continue
+            parent_view = view(candidate)
+            best = INFINITY
+            for solver in alive:
+                value = semiring.combine(
+                    weights[solver], taf.edge_weight(parent_view, view(solver))
+                )
+                if value < best:
+                    best = value
+            weights[candidate] = semiring.combine(weights[candidate], best)
+
+    surviving_weights = {
+        candidate: weight
+        for candidate, weight in weights.items()
+        if candidate not in removed
+    }
+    # Also drop removed candidates from the survivor lists computed before
+    # their removal (a candidate can be pruned after one of its *other*
+    # subproblems was already processed only if it had not yet been counted,
+    # but we filter defensively so downstream code never sees pruned nodes).
+    filtered_survivors = {
+        subproblem: tuple(c for c in alive if c not in removed)
+        for subproblem, alive in survivors.items()
+    }
+    return EvaluationResult(
+        graph=graph, weights=surviving_weights, survivors=filtered_survivors
+    )
+
+
+def _select_hypertree(
+    result: EvaluationResult,
+    taf: TreeAggregationFunction,
+    tie_breaker: TieBreaker,
+) -> HypertreeDecomposition:
+    """The *Select-hypertree* phase: extract one minimal decomposition."""
+    graph = result.graph
+    semiring = taf.semiring
+    weights = result.weights
+
+    root_candidates = result.root_candidates
+    if not root_candidates:
+        raise NoDecompositionExistsError(graph.k)
+
+    best_root_weight = min(weights[c] for c in root_candidates)
+    tied_roots = [c for c in root_candidates if weights[c] == best_root_weight]
+    root_key = tie_breaker.choose(tied_roots)
+
+    nodes: Dict[NodeId, DecompositionNode] = {}
+    children: Dict[NodeId, List[NodeId]] = {}
+    next_id = 0
+
+    def materialise(candidate: Candidate) -> NodeId:
+        nonlocal next_id
+        node_id = next_id
+        next_id += 1
+        info = graph.candidate_info(candidate)
+        nodes[node_id] = info.as_node(node_id)
+        children[node_id] = []
+        parent_view = nodes[node_id]
+        for subproblem in info.subproblems:
+            alive = result.survivors.get(subproblem, ())
+            if not alive:
+                raise DecompositionError(
+                    "internal error: selected candidate has an unsolvable subproblem"
+                )
+            scored = [
+                (
+                    semiring.combine(
+                        weights[solver],
+                        taf.edge_weight(
+                            parent_view,
+                            graph.candidate_info(solver).as_node(-1),
+                        ),
+                    ),
+                    solver,
+                )
+                for solver in alive
+            ]
+            best_value = min(score for score, _ in scored)
+            tied = [solver for score, solver in scored if score == best_value]
+            chosen = tie_breaker.choose(tied)
+            child_id = materialise(chosen)
+            children[node_id].append(child_id)
+        return node_id
+
+    root_id = materialise(root_key)
+    return HypertreeDecomposition(
+        hypergraph=graph.hypergraph,
+        root=root_id,
+        children=children,
+        nodes=nodes,
+    )
+
+
+def minimal_k_decomp(
+    hypergraph: Hypergraph,
+    k: int,
+    taf: TreeAggregationFunction,
+    tie_breaker: Optional[TieBreaker] = None,
+    graph: Optional[CandidatesGraph] = None,
+) -> HypertreeDecomposition:
+    """Compute an ``[F^{⊕,v,e}, kNFD_H]``-minimal hypertree decomposition.
+
+    Parameters
+    ----------
+    hypergraph:
+        The hypergraph to decompose (assumed connected, as in the paper).
+    k:
+        The width bound.
+    taf:
+        The tree aggregation function to minimise.
+    tie_breaker:
+        Optional tie-breaking policy for the selection phase.
+    graph:
+        An already-built candidates graph to reuse (e.g. when evaluating
+        several TAFs over the same hypergraph and ``k``).
+
+    Raises
+    ------
+    NoDecompositionExistsError
+        If the hypergraph has no normal-form decomposition of width ``≤ k``,
+        i.e. ``hw(H) > k`` (the algorithm's *failure* output).
+    """
+    if graph is None:
+        graph = CandidatesGraph(hypergraph, k)
+    result = evaluate_candidates_graph(graph, taf)
+    return _select_hypertree(result, taf, tie_breaker or TieBreaker())
+
+
+def minimum_weight(
+    hypergraph: Hypergraph,
+    k: int,
+    taf: TreeAggregationFunction,
+    graph: Optional[CandidatesGraph] = None,
+) -> Number:
+    """The weight of the minimal decomposition without materialising it
+    (``∞`` when no width-``k`` NF decomposition exists)."""
+    if graph is None:
+        graph = CandidatesGraph(hypergraph, k)
+    return evaluate_candidates_graph(graph, taf).minimum_weight()

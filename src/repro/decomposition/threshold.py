@@ -1,0 +1,120 @@
+"""threshold-k-decomp (Fig. 4): the weight-threshold decision procedure.
+
+Theorem 5.1 shows that, for a *smooth* TAF, deciding whether some normal-form
+decomposition of width at most ``k`` has weight at most ``t`` is
+LOGCFL-complete.  The paper's procedure ``decomposable_k`` is an alternating
+(guess-and-check) algorithm; its deterministic simulation computes, for every
+candidate ``(S, C)``, the minimum weight of an NF decomposition of the
+sub-hypergraph induced by ``var(edges(C))`` rooted at a node with
+``λ = S`` -- exactly the quantity minimal-k-decomp accumulates bottom-up.
+
+We implement that deterministic simulation *top-down with memoisation*, i.e.
+structurally the same recursion as Fig. 4 with the guesses replaced by
+minimisation.  Because it is an independent traversal order from the
+bottom-up evaluation in :mod:`repro.decomposition.minimal`, the two are used
+to cross-check each other in the test suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional
+
+from repro.decomposition.candidates import Candidate, CandidatesGraph, Subproblem
+from repro.decomposition.hypertree import DecompositionNode
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.weights.semiring import INFINITY, Number
+from repro.weights.taf import TreeAggregationFunction
+
+
+class _ThresholdSolver:
+    """Memoised top-down computation of per-candidate minimal subtree weights."""
+
+    def __init__(self, graph: CandidatesGraph, taf: TreeAggregationFunction) -> None:
+        self.graph = graph
+        self.taf = taf
+        self._memo: Dict[Candidate, Number] = {}
+        self._views: Dict[Candidate, DecompositionNode] = {}
+
+    def view(self, candidate: Candidate) -> DecompositionNode:
+        if candidate not in self._views:
+            info = self.graph.candidate_info(candidate)
+            self._views[candidate] = info.as_node(node_id=len(self._views))
+        return self._views[candidate]
+
+    def best_candidate_weight(self, candidate: Candidate) -> Number:
+        """``v(p) ⊕ ⊕_q min_{p' solves q} (best(p') ⊕ e(p, p'))`` for the
+        candidate ``p``; ``∞`` if some subproblem below it is unsolvable."""
+        if candidate in self._memo:
+            return self._memo[candidate]
+        # Recursion depth is bounded by the number of hypergraph vertices
+        # (components shrink strictly), but mark in-progress entries to guard
+        # against accidental cycles.
+        self._memo[candidate] = INFINITY
+        info = self.graph.candidate_info(candidate)
+        semiring = self.taf.semiring
+        total = self.taf.vertex_weight(self.view(candidate))
+        parent_view = self.view(candidate)
+        for subproblem in info.subproblems:
+            best = INFINITY
+            for solver in self.graph.candidates_for(subproblem):
+                solver_weight = self.best_candidate_weight(solver)
+                if solver_weight == INFINITY:
+                    continue
+                value = semiring.combine(
+                    solver_weight, self.taf.edge_weight(parent_view, self.view(solver))
+                )
+                if value < best:
+                    best = value
+            if best == INFINITY:
+                self._memo[candidate] = INFINITY
+                return INFINITY
+            total = semiring.combine(total, best)
+        self._memo[candidate] = total
+        return total
+
+    def best_subproblem_weight(self, subproblem: Subproblem) -> Number:
+        """Minimum over all candidates solving ``subproblem``."""
+        best = INFINITY
+        for solver in self.graph.candidates_for(subproblem):
+            value = self.best_candidate_weight(solver)
+            if value < best:
+                best = value
+        return best
+
+
+def minimum_weight_recursive(
+    hypergraph: Hypergraph,
+    k: int,
+    taf: TreeAggregationFunction,
+    graph: Optional[CandidatesGraph] = None,
+) -> Number:
+    """The minimum TAF weight over ``kNFD_H``, computed by the top-down
+    recursion of threshold-k-decomp (``∞`` if ``kNFD_H = ∅``)."""
+    if graph is None:
+        graph = CandidatesGraph(hypergraph, k)
+    solver = _ThresholdSolver(graph, taf)
+    old_limit = sys.getrecursionlimit()
+    # Recursion depth is bounded by the number of vertices (the component
+    # shrinks strictly along any branch); leave generous headroom.
+    sys.setrecursionlimit(max(old_limit, 10 * hypergraph.num_vertices() + 1000))
+    try:
+        return solver.best_subproblem_weight(graph.root_subproblem)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def threshold_k_decomp(
+    hypergraph: Hypergraph,
+    k: int,
+    taf: TreeAggregationFunction,
+    threshold: Number,
+    graph: Optional[CandidatesGraph] = None,
+) -> bool:
+    """Decide whether some ``HD ∈ kNFD_H`` has ``F^{⊕,v,e}(HD) ≤ threshold``.
+
+    This is the decision problem of Theorem 5.1.  The answer is ``False``
+    both when every decomposition is heavier than the threshold and when no
+    width-``k`` normal-form decomposition exists at all.
+    """
+    return minimum_weight_recursive(hypergraph, k, taf, graph=graph) <= threshold

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  The more specific subclasses mirror the layers
+of the system: hypergraphs, queries, decompositions, weighting functions, the
+relational substrate and the planner.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class HypergraphError(ReproError):
+    """Malformed hypergraph, unknown vertex/edge, or disconnected input
+    where a connected hypergraph is required."""
+
+
+class QueryError(ReproError):
+    """Malformed conjunctive query or query parsing failure."""
+
+
+class DecompositionError(ReproError):
+    """A hypertree violates the hypertree-decomposition conditions, or a
+    decomposition-producing algorithm was asked for something impossible."""
+
+
+class NoDecompositionExistsError(DecompositionError):
+    """Raised when no decomposition of the requested width exists.
+
+    This mirrors the ``failure`` output of the paper's algorithms
+    (minimal-k-decomp, k-decomp): the hypergraph has hypertree width
+    greater than the requested bound ``k``.
+    """
+
+    def __init__(self, k: int, message: str | None = None) -> None:
+        self.k = k
+        if message is None:
+            message = f"no normal-form hypertree decomposition of width <= {k} exists"
+        super().__init__(message)
+
+
+class WeightingError(ReproError):
+    """Invalid weighting function (e.g. a broken semiring) or an attempt to
+    evaluate a weighting function on an incompatible decomposition."""
+
+
+class DatabaseError(ReproError):
+    """Schema mismatch, unknown relation, or invalid relational operation."""
+
+
+class PlanningError(ReproError):
+    """Query-planning failure (e.g. the query has hypertree width larger than
+    the planner's bound and no fallback was requested)."""

@@ -1,0 +1,207 @@
+"""``[V]``-connectivity: adjacency, paths and components.
+
+Section 2.2 of the paper defines, for a hypergraph ``H`` and a set of
+variables ``V ⊆ var(H)``:
+
+* ``X`` is **[V]-adjacent** to ``Y`` if some edge ``h`` has
+  ``{X, Y} ⊆ h - V``;
+* a **[V]-path** is a sequence of pairwise-[V]-adjacent variables;
+* a set ``W`` is **[V]-connected** if every pair of its variables is linked by
+  a [V]-path;
+* a **[V]-component** is a maximal [V]-connected non-empty subset of
+  ``var(H) - V``.
+
+Components drive both the normal form (Definition 2.2) and the candidates
+graph of minimal-k-decomp, so the functions here are written for clarity *and*
+speed: component computation is a single BFS over the hypergraph with the
+separator removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import EdgeName, Hypergraph, Vertex
+
+
+def separated_adjacency(
+    hypergraph: Hypergraph, separator: Iterable[Vertex]
+) -> Dict[Vertex, FrozenSet[Vertex]]:
+    """Adjacency map of the [separator]-adjacency relation.
+
+    Two vertices are adjacent iff they co-occur in some edge once the
+    separator vertices have been removed from every edge.
+    """
+    sep = frozenset(separator)
+    adjacency: Dict[Vertex, set] = {
+        v: set() for v in hypergraph.vertices - sep
+    }
+    for name in hypergraph.edge_names:
+        remaining = hypergraph.edge_vertices(name) - sep
+        for v in remaining:
+            adjacency[v] |= remaining
+    return {v: frozenset(neigh - {v}) for v, neigh in adjacency.items()}
+
+
+def is_adjacent(
+    hypergraph: Hypergraph, x: Vertex, y: Vertex, separator: Iterable[Vertex]
+) -> bool:
+    """True iff ``x`` is [separator]-adjacent to ``y``."""
+    sep = frozenset(separator)
+    if x in sep or y in sep:
+        return False
+    for name in hypergraph.edges_of_vertex(x):
+        remaining = hypergraph.edge_vertices(name) - sep
+        if x in remaining and y in remaining:
+            return True
+    return False
+
+
+def find_path(
+    hypergraph: Hypergraph,
+    source: Vertex,
+    target: Vertex,
+    separator: Iterable[Vertex],
+) -> List[Vertex] | None:
+    """A [separator]-path from ``source`` to ``target``, or ``None``.
+
+    The path is returned as a list of vertices ``source = X0, ..., Xl = target``
+    with consecutive vertices [separator]-adjacent.  A vertex is trivially
+    connected to itself (a length-0 path) provided it is outside the
+    separator.
+    """
+    sep = frozenset(separator)
+    if source in sep or target in sep:
+        return None
+    if source == target:
+        return [source]
+    adjacency = separated_adjacency(hypergraph, sep)
+    parents: Dict[Vertex, Vertex] = {source: source}
+    frontier = [source]
+    while frontier:
+        new_frontier: List[Vertex] = []
+        for v in frontier:
+            for u in adjacency.get(v, frozenset()):
+                if u not in parents:
+                    parents[u] = v
+                    if u == target:
+                        path = [u]
+                        while path[-1] != source:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    new_frontier.append(u)
+        frontier = new_frontier
+    return None
+
+
+def is_connected_set(
+    hypergraph: Hypergraph, vertex_set: Iterable[Vertex], separator: Iterable[Vertex]
+) -> bool:
+    """True iff ``vertex_set`` is [separator]-connected."""
+    wanted = frozenset(vertex_set)
+    sep = frozenset(separator)
+    if not wanted:
+        return True
+    if wanted & sep:
+        return False
+    components_list = components(hypergraph, sep)
+    return any(wanted <= comp for comp in components_list)
+
+
+def components(
+    hypergraph: Hypergraph, separator: Iterable[Vertex]
+) -> Tuple[FrozenSet[Vertex], ...]:
+    """All [separator]-components of the hypergraph.
+
+    Returned as a tuple of frozensets, sorted by their smallest vertex so the
+    result is deterministic.  Components are maximal [separator]-connected
+    subsets of ``var(H) - separator``; by definition, the empty set is never a
+    component.
+    """
+    sep = frozenset(separator)
+    remaining = hypergraph.vertices - sep
+    if not remaining:
+        return tuple()
+
+    # Union-find style BFS: group vertices that share an edge with the
+    # separator removed.
+    unvisited = set(remaining)
+    comps: List[FrozenSet[Vertex]] = []
+    # Precompute the reduced edges once.
+    reduced_edges: List[FrozenSet[Vertex]] = []
+    vertex_to_reduced: Dict[Vertex, List[int]] = {v: [] for v in remaining}
+    for name in hypergraph.edge_names:
+        reduced = hypergraph.edge_vertices(name) - sep
+        if reduced:
+            idx = len(reduced_edges)
+            reduced_edges.append(reduced)
+            for v in reduced:
+                vertex_to_reduced[v].append(idx)
+
+    while unvisited:
+        start = unvisited.pop()
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            v = frontier.pop()
+            for idx in vertex_to_reduced[v]:
+                for u in reduced_edges[idx]:
+                    if u not in comp:
+                        comp.add(u)
+                        frontier.append(u)
+        unvisited -= comp
+        comps.append(frozenset(comp))
+    comps.sort(key=lambda c: min(c))
+    return tuple(comps)
+
+
+def component_of(
+    hypergraph: Hypergraph, vertex: Vertex, separator: Iterable[Vertex]
+) -> FrozenSet[Vertex]:
+    """The [separator]-component containing ``vertex`` (which must lie outside
+    the separator)."""
+    sep = frozenset(separator)
+    for comp in components(hypergraph, sep):
+        if vertex in comp:
+            return comp
+    raise ValueError(f"vertex {vertex!r} lies inside the separator or is unknown")
+
+
+def edges_of_component(
+    hypergraph: Hypergraph, component: Iterable[Vertex]
+) -> FrozenSet[EdgeName]:
+    """``edges(C)``: all edges having at least one vertex in the component."""
+    return hypergraph.edges_touching(component)
+
+
+def component_frontier(
+    hypergraph: Hypergraph, component: Iterable[Vertex]
+) -> FrozenSet[Vertex]:
+    """``var(edges(C))``: the component plus its boundary vertices."""
+    return hypergraph.vertices_of_edges_touching(component)
+
+
+def components_under_edge_set(
+    hypergraph: Hypergraph, edge_names: Iterable[EdgeName]
+) -> Tuple[FrozenSet[Vertex], ...]:
+    """The [var(S)]-components for a set ``S`` of edges.
+
+    Convenience wrapper used throughout the candidates-graph construction,
+    where separators are always of the form ``var(S)`` for a k-vertex ``S``.
+    """
+    return components(hypergraph, hypergraph.var(edge_names))
+
+
+def sub_components(
+    hypergraph: Hypergraph,
+    separator: Iterable[Vertex],
+    inside: Iterable[Vertex],
+) -> Tuple[FrozenSet[Vertex], ...]:
+    """The [separator]-components that are subsets of ``inside``.
+
+    This is the set ``C = {C' | C' is a [var(S)]-component and C' ⊆ C}`` used
+    by minimal-k-decomp and threshold-k-decomp when expanding a subproblem.
+    """
+    region = frozenset(inside)
+    return tuple(c for c in components(hypergraph, separator) if c <= region)

@@ -1,0 +1,260 @@
+"""Reading and writing hypergraphs, queries and decompositions.
+
+Interoperability with the formats used by existing (unweighted) hypertree
+decomposition tools and by database tooling:
+
+* the **HyperBench / det-k-decomp** text format for hypergraphs
+  (``edge_name(v1,v2,...),`` one or more edges, comments with ``%``) --
+  :func:`parse_hypergraph_text` / :func:`hypergraph_to_text`;
+* a simple **SQL SELECT-PROJECT-JOIN** front end --
+  :func:`query_from_sql` turns ``SELECT x.a FROM r x, s y WHERE x.b = y.b``
+  into a :class:`~repro.query.conjunctive.ConjunctiveQuery` (equi-joins only,
+  the class of queries the paper handles);
+* **GraphML/DOT-style exports** of decompositions for visual inspection --
+  :func:`decomposition_to_dot`.
+
+These functions are pure translators: they never change widths or weights.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.decomposition.hypertree import HypertreeDecomposition
+from repro.exceptions import HypergraphError, QueryError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.conjunctive import ConjunctiveQuery, build_query
+
+_EDGE_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)")
+
+
+# ----------------------------------------------------------------------
+# HyperBench / det-k-decomp hypergraph format
+# ----------------------------------------------------------------------
+def parse_hypergraph_text(text: str) -> Hypergraph:
+    """Parse the classical hypergraph benchmark format.
+
+    Each edge is written ``name(v1, v2, ...)``; edges are separated by commas
+    or newlines; ``%`` starts a comment; a trailing ``.`` is allowed.
+
+    Example::
+
+        % the paper's Q0
+        s1(A,B,D), s2(B,C,D), s3(B,E), s4(D,G),
+        s5(E,F,G), s6(E,H), s7(F,I), s8(G,J).
+    """
+    stripped_lines = []
+    for line in text.splitlines():
+        comment = line.find("%")
+        if comment >= 0:
+            line = line[:comment]
+        stripped_lines.append(line)
+    body = " ".join(stripped_lines).strip().rstrip(".")
+    if not body:
+        raise HypergraphError("empty hypergraph text")
+    edges: Dict[str, List[str]] = {}
+    for match in _EDGE_RE.finditer(body):
+        name = match.group(1)
+        vertices = [v.strip() for v in match.group(2).split(",") if v.strip()]
+        if not vertices:
+            raise HypergraphError(f"edge {name!r} has no vertices")
+        if name in edges:
+            raise HypergraphError(f"duplicate edge name {name!r}")
+        edges[name] = vertices
+    if not edges:
+        raise HypergraphError("no edges found in hypergraph text")
+    return Hypergraph(edges)
+
+
+def hypergraph_to_text(hypergraph: Hypergraph, comment: Optional[str] = None) -> str:
+    """Serialise a hypergraph back to the benchmark format."""
+    lines = []
+    if comment:
+        lines.append(f"% {comment}")
+    rendered = [
+        f"{name}({','.join(sorted(hypergraph.edge_vertices(name)))})"
+        for name in hypergraph.edge_names
+    ]
+    lines.append(",\n".join(rendered) + ".")
+    return "\n".join(lines)
+
+
+def load_hypergraph(path: str) -> Hypergraph:
+    """Read a hypergraph file in the benchmark format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_hypergraph_text(handle.read())
+
+
+def save_hypergraph(hypergraph: Hypergraph, path: str, comment: Optional[str] = None) -> None:
+    """Write a hypergraph file in the benchmark format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(hypergraph_to_text(hypergraph, comment=comment))
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# SQL SELECT-PROJECT-JOIN front end
+# ----------------------------------------------------------------------
+_SQL_RE = re.compile(
+    r"select\s+(?P<select>.+?)\s+from\s+(?P<from>.+?)(?:\s+where\s+(?P<where>.+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def query_from_sql(
+    sql: str,
+    schemas: Dict[str, Sequence[str]],
+    name: str = "Q",
+) -> ConjunctiveQuery:
+    """Translate a SELECT-PROJECT-JOIN SQL statement into a conjunctive query.
+
+    Supported fragment (the Select-Project-Join class the paper's queries
+    live in):
+
+    * ``FROM r alias1, s alias2, ...`` (aliases optional; the same table may
+      appear several times with different aliases);
+    * ``WHERE`` as a conjunction (``AND``) of equality predicates between
+      columns (``alias1.col = alias2.col``) or between a column and a
+      constant (``alias.col = 42``);
+    * ``SELECT alias.col, ...`` or ``SELECT *`` (Boolean query when the
+      selected columns are irrelevant, use ``SELECT 1``).
+
+    ``schemas`` maps each table name to its column list, in order.
+    """
+    match = _SQL_RE.match(sql.strip())
+    if not match:
+        raise QueryError("cannot parse SQL statement (expected SELECT ... FROM ... [WHERE ...])")
+    select_clause = match.group("select").strip()
+    from_clause = match.group("from").strip()
+    where_clause = (match.group("where") or "").strip()
+
+    # --- FROM: aliases ------------------------------------------------
+    aliases: List[Tuple[str, str]] = []  # (alias, table)
+    for item in from_clause.split(","):
+        parts = item.strip().split()
+        if not parts:
+            continue
+        table = parts[0]
+        alias = parts[-1] if len(parts) > 1 else parts[0]
+        if table not in schemas:
+            raise QueryError(f"unknown table {table!r} (no schema provided)")
+        aliases.append((alias, table))
+    if not aliases:
+        raise QueryError("empty FROM clause")
+    alias_to_table = dict(aliases)
+    if len(alias_to_table) != len(aliases):
+        raise QueryError("duplicate aliases in FROM clause")
+
+    # Each (alias, column) starts as its own variable; equality predicates
+    # merge variables via union-find; constants pin the term.
+    def initial_variable(alias: str, column: str) -> str:
+        return f"V_{alias}_{column}"
+
+    parent: Dict[str, str] = {}
+    constant_of: Dict[str, str] = {}
+
+    def find(variable: str) -> str:
+        parent.setdefault(variable, variable)
+        while parent[variable] != variable:
+            parent[variable] = parent[parent[variable]]
+            variable = parent[variable]
+        return variable
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            return
+        parent[root_b] = root_a
+        if root_b in constant_of:
+            constant_of.setdefault(root_a, constant_of[root_b])
+
+    column_re = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*)\.([A-Za-z_][A-Za-z_0-9]*)$")
+
+    def parse_operand(token: str) -> Tuple[str, Optional[str]]:
+        """Return (variable, constant) -- exactly one of the two is set."""
+        token = token.strip()
+        column = column_re.match(token)
+        if column:
+            alias, col = column.group(1), column.group(2)
+            if alias not in alias_to_table:
+                raise QueryError(f"unknown alias {alias!r} in WHERE clause")
+            if col not in schemas[alias_to_table[alias]]:
+                raise QueryError(
+                    f"table {alias_to_table[alias]!r} has no column {col!r}"
+                )
+            return initial_variable(alias, col), None
+        constant = token.strip("'\"")
+        return "", constant
+
+    if where_clause:
+        for predicate in re.split(r"\band\b", where_clause, flags=re.IGNORECASE):
+            predicate = predicate.strip()
+            if not predicate:
+                continue
+            if "=" not in predicate:
+                raise QueryError(
+                    f"only equality predicates are supported, got {predicate!r}"
+                )
+            left_text, right_text = predicate.split("=", 1)
+            left_var, left_const = parse_operand(left_text)
+            right_var, right_const = parse_operand(right_text)
+            if left_var and right_var:
+                union(left_var, right_var)
+            elif left_var and right_const is not None:
+                constant_of[find(left_var)] = right_const
+            elif right_var and left_const is not None:
+                constant_of[find(right_var)] = left_const
+            else:
+                raise QueryError(f"predicate {predicate!r} compares two constants")
+
+    # --- build atoms ----------------------------------------------------
+    def term_for(alias: str, column: str) -> str:
+        root = find(initial_variable(alias, column))
+        if root in constant_of:
+            return constant_of[root]
+        return root
+
+    body: List[Tuple[str, List[str]]] = []
+    for alias, table in aliases:
+        body.append((table, [term_for(alias, column) for column in schemas[table]]))
+
+    # --- SELECT ---------------------------------------------------------
+    output_variables: List[str] = []
+    if select_clause not in ("*", "1"):
+        for item in select_clause.split(","):
+            item = item.strip()
+            column = column_re.match(item)
+            if not column:
+                raise QueryError(f"cannot parse SELECT item {item!r}")
+            term = term_for(column.group(1), column.group(2))
+            if term.startswith("V_") and term not in output_variables:
+                output_variables.append(term)
+    elif select_clause == "*":
+        for alias, table in aliases:
+            for column in schemas[table]:
+                term = term_for(alias, column)
+                if term.startswith("V_") and term not in output_variables:
+                    output_variables.append(term)
+
+    return build_query(body, output_variables=output_variables, name=name)
+
+
+# ----------------------------------------------------------------------
+# Decomposition export
+# ----------------------------------------------------------------------
+def decomposition_to_dot(
+    decomposition: HypertreeDecomposition, name: str = "hypertree"
+) -> str:
+    """A Graphviz DOT rendering of a hypertree decomposition (λ and χ labels
+    per node), for visual inspection of plans and figures."""
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    for node in decomposition.nodes():
+        lam = ", ".join(sorted(node.lambda_edges))
+        chi = ", ".join(sorted(node.chi))
+        label = f"λ: {{{lam}}}\\nχ: {{{chi}}}"
+        lines.append(f'  n{node.node_id} [label="{label}"];')
+    for parent, child in decomposition.tree_edges():
+        lines.append(f"  n{parent} -> n{child};")
+    lines.append("}")
+    return "\n".join(lines)

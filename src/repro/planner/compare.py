@@ -1,0 +1,209 @@
+"""Head-to-head comparison harness: cost-k-decomp vs the quantitative-only
+baseline.
+
+This is the measurement core behind the Fig. 8 experiments: for a query, a
+database and a set of width bounds, it
+
+1. plans the query with the baseline left-deep optimiser and executes the
+   plan,
+2. plans it with cost-k-decomp for every requested ``k`` and executes those
+   plans,
+3. reports, per plan, the planning time, the estimated cost, the evaluation
+   work (tuples read + emitted, the hardware-independent proxy), the
+   wall-clock evaluation time, and the baseline/structural ratios the paper
+   plots.
+
+Correctness is also cross-checked: every structural plan must return exactly
+the same answer as the baseline plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.db.database import Database
+from repro.db.executor import ExecutionResult
+from repro.exceptions import PlanningError
+from repro.planner.baseline import baseline_plan
+from repro.planner.cost_k_decomp import cost_k_decomp
+from repro.planner.plans import HypertreePlan, JoinOrderPlan
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+@dataclass
+class PlanMeasurement:
+    """One executed plan and its measurements.
+
+    ``budget_exceeded`` marks runs that hit the evaluation-work budget (a
+    query timeout); for those, ``evaluation_work`` is the work done before
+    the abort, i.e. a lower bound, and ``answer_cardinality`` is -1.
+    """
+
+    label: str
+    planning_seconds: float
+    evaluation_seconds: float
+    estimated_cost: float
+    evaluation_work: int
+    answer_cardinality: int
+    width: Optional[int] = None
+    budget_exceeded: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return self.planning_seconds + self.evaluation_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "plan": self.label,
+            "width": self.width if self.width is not None else "-",
+            "planning_s": round(self.planning_seconds, 4),
+            "evaluation_s": round(self.evaluation_seconds, 4),
+            "total_s": round(self.total_seconds, 4),
+            "estimated_cost": round(self.estimated_cost, 1),
+            "evaluation_work": self.evaluation_work,
+            "answer_cardinality": self.answer_cardinality,
+            "budget_exceeded": self.budget_exceeded,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """The full comparison for one query/database pair."""
+
+    query_name: str
+    baseline: PlanMeasurement
+    structural: Dict[int, PlanMeasurement] = field(default_factory=dict)
+
+    def work_ratio(self, k: int) -> float:
+        """Baseline work / structural work for bound ``k`` (the quantity the
+        Fig. 8(A) bars report, using work instead of seconds)."""
+        measurement = self.structural[k]
+        return self.baseline.evaluation_work / max(measurement.evaluation_work, 1)
+
+    def time_ratio(self, k: int, include_planning: bool = True) -> float:
+        measurement = self.structural[k]
+        denominator = (
+            measurement.total_seconds if include_planning else measurement.evaluation_seconds
+        )
+        numerator = (
+            self.baseline.total_seconds if include_planning else self.baseline.evaluation_seconds
+        )
+        return numerator / max(denominator, 1e-9)
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = [self.baseline.as_row()]
+        for k in sorted(self.structural):
+            row = self.structural[k].as_row()
+            row["work_ratio_vs_baseline"] = round(self.work_ratio(k), 2)
+            rows.append(row)
+        return rows
+
+    def describe(self) -> str:
+        lines = [f"Comparison for {self.query_name}"]
+        for row in self.rows():
+            pieces = ", ".join(f"{key}={value}" for key, value in row.items())
+            lines.append(f"  {pieces}")
+        return "\n".join(lines)
+
+
+def _measure_execution(plan, database: Database) -> ExecutionResult:
+    return plan.execute(database)
+
+
+def _execute_and_measure(plan, database: Database, label: str, budget: Optional[int], width=None) -> PlanMeasurement:
+    from repro.db.algebra import EvaluationBudgetExceeded
+
+    started = time.perf_counter()
+    try:
+        result = plan.execute(database, budget=budget)
+        elapsed = time.perf_counter() - started
+        return PlanMeasurement(
+            label=label,
+            planning_seconds=plan.planning_seconds,
+            evaluation_seconds=elapsed,
+            estimated_cost=plan.estimated_cost,
+            evaluation_work=result.stats.total_work,
+            answer_cardinality=result.cardinality,
+            width=width,
+        )
+    except EvaluationBudgetExceeded as exc:
+        elapsed = time.perf_counter() - started
+        return PlanMeasurement(
+            label=label,
+            planning_seconds=plan.planning_seconds,
+            evaluation_seconds=elapsed,
+            estimated_cost=plan.estimated_cost,
+            evaluation_work=exc.work_so_far,
+            answer_cardinality=-1,
+            width=width,
+            budget_exceeded=True,
+        )
+
+
+def measure_baseline(
+    query: ConjunctiveQuery, database: Database, budget: Optional[int] = None
+) -> PlanMeasurement:
+    """Plan with the left-deep optimiser and execute."""
+    plan: JoinOrderPlan = baseline_plan(query, database.statistics)
+    return _execute_and_measure(plan, database, "baseline(left-deep)", budget)
+
+
+def measure_structural(
+    query: ConjunctiveQuery,
+    database: Database,
+    k: int,
+    completion: str = "fresh",
+    budget: Optional[int] = None,
+) -> PlanMeasurement:
+    """Plan with cost-k-decomp for one ``k`` and execute."""
+    plan: HypertreePlan = cost_k_decomp(query, database.statistics, k, completion=completion)
+    return _execute_and_measure(
+        plan, database, f"cost-{k}-decomp", budget, width=plan.width
+    )
+
+
+def compare_planners(
+    query: ConjunctiveQuery,
+    database: Database,
+    k_values: Sequence[int] = (2, 3, 4, 5),
+    completion: str = "fresh",
+    check_answers: bool = True,
+    budget: Optional[int] = 20_000_000,
+) -> ComparisonReport:
+    """Run the full comparison for one query over one database.
+
+    ``budget`` caps the evaluation work of every plan (default 20M tuples,
+    roughly tens of seconds of pure-Python evaluation); a plan that exceeds
+    it is reported with ``budget_exceeded=True`` and its work-so-far as a
+    lower bound, mirroring a query timeout in a real system.
+    """
+    baseline_measurement = measure_baseline(query, database, budget=budget)
+    report = ComparisonReport(query_name=query.name, baseline=baseline_measurement)
+    for k in k_values:
+        try:
+            measurement = measure_structural(
+                query, database, k, completion=completion, budget=budget
+            )
+        except PlanningError:
+            continue
+        report.structural[k] = measurement
+        answers_comparable = (
+            not measurement.budget_exceeded and not baseline_measurement.budget_exceeded
+        )
+        if (
+            check_answers
+            and answers_comparable
+            and measurement.answer_cardinality != baseline_measurement.answer_cardinality
+        ):
+            raise PlanningError(
+                f"answer mismatch for {query.name} at k={k}: structural plan returned "
+                f"{measurement.answer_cardinality} tuples, baseline "
+                f"{baseline_measurement.answer_cardinality}"
+            )
+    if not report.structural:
+        raise PlanningError(
+            f"no structural plan could be built for {query.name} with k in {list(k_values)}"
+        )
+    return report

@@ -1,0 +1,163 @@
+"""cost-k-decomp: minimal-k-decomp specialised to the query-cost TAF.
+
+Section 6 of the paper: given a conjunctive query ``Q``, catalog statistics
+and a width bound ``k``, compute a ``[cost_H(Q), kNFD_{H(Q)}]``-minimal
+weighted hypertree decomposition and read it as a query plan.
+
+Two details from the paper are handled here:
+
+* **Completeness.**  Query answering needs *complete* decompositions, but NF
+  decompositions need not be complete (and some hypergraphs have no complete
+  NF decomposition at all).  The paper's remedy is to add a fresh variable to
+  every query atom before decomposing -- then every atom must be strongly
+  covered -- and filter the fresh variables out of the emitted plan.  That is
+  the default behaviour (``completion="fresh"``); ``completion="post"``
+  instead decomposes the original hypergraph and attaches the missing atoms
+  afterwards (cheaper, but the completed decomposition may no longer be
+  weight-minimal, exactly as the paper warns).
+* **Reporting.**  The per-node ``$`` estimates of Figs. 6 and 7 are attached
+  to the returned :class:`~repro.planner.plans.HypertreePlan`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.db.statistics import CatalogStatistics
+from repro.decomposition.candidates import CandidatesGraph
+from repro.decomposition.hypertree import DecompositionNode, HypertreeDecomposition
+from repro.decomposition.minimal import TieBreaker, minimal_k_decomp
+from repro.decomposition.normal_form import complete_decomposition
+from repro.exceptions import NoDecompositionExistsError, PlanningError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.planner.plans import HypertreePlan
+from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
+from repro.weights.querycost import QueryCostTAF
+
+
+def _strip_fresh_variables(
+    decomposition: HypertreeDecomposition, original_hypergraph: Hypergraph
+) -> HypertreeDecomposition:
+    """Remove the fresh completeness variables from every χ label.
+
+    The fresh variables exist only to force every atom to be strongly covered
+    during planning (Section 6); carrying them into execution would prevent
+    the per-node projections from deduplicating.  Dropping them yields a
+    complete decomposition of the *original* query hypergraph with the same
+    tree, the same λ labels and the same width.
+    """
+    nodes = {}
+    for node in decomposition.nodes():
+        nodes[node.node_id] = DecompositionNode(
+            node_id=node.node_id,
+            lambda_edges=node.lambda_edges,
+            chi=frozenset(v for v in node.chi if not is_fresh_variable(v)),
+            component=None,
+        )
+    children = {
+        node_id: decomposition.children(node_id)
+        for node_id in decomposition.node_ids()
+    }
+    return HypertreeDecomposition(
+        hypergraph=original_hypergraph,
+        root=decomposition.root,
+        children=children,
+        nodes=nodes,
+    )
+
+
+def cost_k_decomp(
+    query: ConjunctiveQuery,
+    statistics: CatalogStatistics,
+    k: int,
+    completion: str = "fresh",
+    tie_breaker: Optional[TieBreaker] = None,
+) -> HypertreePlan:
+    """Compute the minimal-cost width-``k`` normal-form plan for ``query``.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query to plan.
+    statistics:
+        Catalog statistics (cardinalities and attribute selectivities) of the
+        underlying database.
+    k:
+        Width bound; must be at least the hypertree width of the (completed)
+        query hypergraph or planning fails.
+    completion:
+        ``"fresh"`` (default) uses the fresh-variable construction so the
+        minimal decomposition is complete by construction; ``"post"``
+        decomposes the original hypergraph and completes afterwards;
+        ``"none"`` returns the NF decomposition as-is (only useful for
+        inspection, not for execution).
+
+    Raises
+    ------
+    PlanningError
+        If no width-``k`` decomposition exists, or ``completion`` is invalid.
+    """
+    if completion not in {"fresh", "post", "none"}:
+        raise PlanningError(f"unknown completion mode {completion!r}")
+
+    started = time.perf_counter()
+    planned_query = query.with_fresh_head_variables() if completion == "fresh" else query
+    hypergraph = planned_query.hypergraph()
+    taf = QueryCostTAF(planned_query, statistics)
+
+    try:
+        decomposition = minimal_k_decomp(hypergraph, k, taf, tie_breaker=tie_breaker)
+    except NoDecompositionExistsError as exc:
+        raise PlanningError(
+            f"query {query.name!r} has no width-{k} normal-form decomposition "
+            f"({'with' if completion == 'fresh' else 'without'} the fresh-variable "
+            "construction); increase k"
+        ) from exc
+
+    estimated_cost = taf.weigh(decomposition)
+    node_estimates: Dict[int, float] = {
+        node.node_id: taf.node_estimate(node) for node in decomposition.nodes()
+    }
+
+    if completion == "post":
+        decomposition = complete_decomposition(decomposition)
+    elif completion == "fresh":
+        # The fresh variables have served their purpose (forcing strong
+        # covering); execute against the original query hypergraph.
+        decomposition = _strip_fresh_variables(decomposition, query.hypergraph())
+
+    elapsed = time.perf_counter() - started
+    return HypertreePlan(
+        query=query,
+        decomposition=decomposition,
+        estimated_cost=estimated_cost,
+        k=k,
+        node_estimates=node_estimates,
+        planning_seconds=elapsed,
+        planned_query=None,
+    )
+
+
+def best_plan_over_k(
+    query: ConjunctiveQuery,
+    statistics: CatalogStatistics,
+    k_values,
+    completion: str = "fresh",
+) -> Dict[int, HypertreePlan]:
+    """Plans for several width bounds (the Fig. 8(A) sweep ``k = 2..5``).
+
+    Returns a dict ``k -> plan``; values of ``k`` below the query's hypertree
+    width are silently skipped (planning fails there by definition).
+    """
+    plans: Dict[int, HypertreePlan] = {}
+    for k in k_values:
+        try:
+            plans[k] = cost_k_decomp(query, statistics, k, completion=completion)
+        except PlanningError:
+            continue
+    if not plans:
+        raise PlanningError(
+            f"no plan found for query {query.name!r} for any k in {list(k_values)}"
+        )
+    return plans

@@ -1,0 +1,106 @@
+"""Logical query plans.
+
+Two plan shapes appear in the paper's experiments:
+
+* :class:`HypertreePlan` -- a (complete) weighted hypertree decomposition of
+  the query, annotated with the per-node cost estimates (the ``$`` labels of
+  Figs. 6 and 7); produced by ``cost-k-decomp``.
+* :class:`JoinOrderPlan` -- a left-deep join order, the plan shape commercial
+  optimisers explore; produced by the baseline System-R style optimiser that
+  stands in for "CommDB".
+
+Both know how to execute themselves against a :class:`repro.db.database.Database`
+and return an :class:`repro.db.executor.ExecutionResult` carrying the work
+counters the experiments compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.database import Database
+from repro.db.executor import (
+    ExecutionResult,
+    execute_hypertree_plan,
+    naive_join_evaluation,
+)
+from repro.decomposition.hypertree import HypertreeDecomposition, NodeId
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+@dataclass
+class HypertreePlan:
+    """A structural query plan: a complete hypertree decomposition plus the
+    estimates the planner used to pick it."""
+
+    query: ConjunctiveQuery
+    decomposition: HypertreeDecomposition
+    estimated_cost: float
+    k: int
+    node_estimates: Dict[NodeId, float] = field(default_factory=dict)
+    planning_seconds: float = 0.0
+    #: The query actually decomposed (it differs from ``query`` when the
+    #: fresh-variable completeness construction of Section 6 was used).
+    planned_query: Optional[ConjunctiveQuery] = None
+
+    @property
+    def width(self) -> int:
+        return self.decomposition.width
+
+    def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
+        """Run the plan: per-node joins, then Yannakakis over the tree."""
+        query = self.planned_query or self.query
+        # Output variables must come from the original query (fresh variables
+        # are internal); rebuild the executed query with the original head.
+        executed = ConjunctiveQuery(
+            atoms=query.atoms,
+            output_variables=self.query.output_variables,
+            name=query.name,
+        )
+        return execute_hypertree_plan(
+            executed, database, self.decomposition, require_complete=False, budget=budget
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"Hypertree plan for {self.query.name} (k={self.k}, width={self.width}, "
+            f"estimated cost={self.estimated_cost:,.0f})"
+        ]
+
+        def visit(node_id: NodeId, depth: int) -> None:
+            node = self.decomposition.node(node_id)
+            estimate = self.node_estimates.get(node_id)
+            cost = f"  $≈{estimate:,.0f}" if estimate is not None else ""
+            lam = ", ".join(sorted(node.lambda_edges))
+            chi = ", ".join(sorted(node.chi))
+            lines.append(f"{'  ' * (depth + 1)}λ={{{lam}}} χ={{{chi}}}{cost}")
+            for kid in self.decomposition.children(node_id):
+                visit(kid, depth + 1)
+
+        visit(self.decomposition.root, 0)
+        return "\n".join(lines)
+
+
+@dataclass
+class JoinOrderPlan:
+    """A quantitative-only plan: a left-deep join order over the query atoms."""
+
+    query: ConjunctiveQuery
+    order: Tuple[str, ...]
+    estimated_cost: float
+    planning_seconds: float = 0.0
+
+    def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
+        """Join the atoms left-to-right in the chosen order (no structural
+        awareness: no semijoin reduction, no early projection)."""
+        return naive_join_evaluation(
+            self.query, database, order=self.order, budget=budget
+        )
+
+    def describe(self) -> str:
+        chain = " ⋈ ".join(self.order)
+        return (
+            f"Left-deep plan for {self.query.name}: {chain} "
+            f"(estimated cost={self.estimated_cost:,.0f})"
+        )

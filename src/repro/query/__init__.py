@@ -1,0 +1,27 @@
+"""Conjunctive-query layer: atoms, queries, parsing and the paper's queries."""
+
+from repro.query.atoms import Atom, is_variable, make_atom
+from repro.query.conjunctive import (
+    ConjunctiveQuery,
+    build_query,
+    fresh_variable_for,
+    is_fresh_variable,
+    parse_query,
+)
+from repro.query.examples import all_paper_queries, q0, q1, q2, q3
+
+__all__ = [
+    "Atom",
+    "is_variable",
+    "make_atom",
+    "ConjunctiveQuery",
+    "build_query",
+    "fresh_variable_for",
+    "is_fresh_variable",
+    "parse_query",
+    "all_paper_queries",
+    "q0",
+    "q1",
+    "q2",
+    "q3",
+]

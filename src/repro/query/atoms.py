@@ -1,0 +1,82 @@
+"""Atoms and terms of conjunctive queries.
+
+The paper adopts the logical (datalog) representation of relational queries:
+a conjunctive query is a rule ``ans(Y1,...,Ym) ← s1(X̄1) ∧ ... ∧ sn(X̄n)``.
+An :class:`Atom` is one ``si(X̄i)``; its arguments are variables (upper-case
+identifiers, following datalog convention) or constants (anything else).
+
+The hypergraph ``H(Q)`` of a query only sees the *variables* of each atom, so
+:meth:`Atom.variables` is the bridge into :mod:`repro.hypergraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import QueryError
+
+
+def is_variable(term: str) -> bool:
+    """Datalog convention: a term is a variable iff it starts with an
+    upper-case letter or an underscore."""
+    return bool(term) and (term[0].isupper() or term[0] == "_")
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A query atom ``predicate(term_1, ..., term_n)``.
+
+    ``name`` identifies the atom inside its query (distinct atoms over the
+    same predicate get distinct names, e.g. ``r#1``, ``r#2``); ``predicate``
+    names the database relation the atom refers to.
+    """
+
+    name: str
+    predicate: str
+    terms: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError(f"atom {self.name!r} has no arguments")
+        if not self.predicate:
+            raise QueryError("atom predicate name cannot be empty")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The variables of the atom, in first-occurrence order, duplicates
+        removed (this is ``var(A)`` in the paper)."""
+        seen = []
+        for term in self.terms:
+            if is_variable(term) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> Tuple[str, ...]:
+        return tuple(t for t in self.terms if not is_variable(t))
+
+    def variable_positions(self, variable: str) -> Tuple[int, ...]:
+        """All argument positions where ``variable`` occurs."""
+        return tuple(i for i, t in enumerate(self.terms) if t == variable)
+
+    def rename(self, mapping: dict) -> "Atom":
+        """A copy of the atom with variables renamed according to ``mapping``
+        (variables not in the mapping are kept)."""
+        new_terms = tuple(
+            mapping.get(t, t) if is_variable(t) else t for t in self.terms
+        )
+        return Atom(name=self.name, predicate=self.predicate, terms=new_terms)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(self.terms)})"
+
+
+def make_atom(predicate: str, terms, name: str | None = None) -> Atom:
+    """Convenience constructor: ``make_atom("r", ["A", "B"])``."""
+    terms_tuple = tuple(str(t) for t in terms)
+    return Atom(name=name or predicate, predicate=predicate, terms=terms_tuple)

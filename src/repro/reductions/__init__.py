@@ -1,0 +1,21 @@
+"""The paper's hardness reductions, implemented so they can be exercised
+empirically on small instances (Theorems 3.3 and 5.1)."""
+
+from repro.reductions.coloring import (
+    brute_force_3coloring,
+    coloring_hwf,
+    coloring_hypergraph,
+    coloring_join_tree,
+    is_legal_coloring,
+)
+from repro.reductions.acyclic_bcq import BCQReduction, reduction_minimum_weight
+
+__all__ = [
+    "brute_force_3coloring",
+    "coloring_hwf",
+    "coloring_hypergraph",
+    "coloring_join_tree",
+    "is_legal_coloring",
+    "BCQReduction",
+    "reduction_minimum_weight",
+]

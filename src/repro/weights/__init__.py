@@ -1,0 +1,62 @@
+"""Weighting functions: semirings, HWFs, vertex aggregation functions, TAFs."""
+
+from repro.weights.semiring import (
+    INFINITY,
+    MAX_MIN,
+    SUM_MIN,
+    Number,
+    Semiring,
+    named_semiring,
+)
+from repro.weights.hwf import (
+    CallableHWF,
+    HypertreeWeightingFunction,
+    VertexAggregationFunction,
+    node_count_hwf,
+    width_hwf,
+)
+from repro.weights.taf import (
+    TreeAggregationFunction,
+    from_edge_function,
+    from_vertex_function,
+    zero_edge_weight,
+    zero_vertex_weight,
+)
+from repro.weights.querycost import QueryCostTAF, query_cost_taf
+from repro.weights.library import (
+    largest_chi_taf,
+    lexicographic_separator_taf,
+    lexicographic_taf,
+    lexicographic_weight_of_histogram,
+    node_count_taf,
+    separator_taf,
+    width_taf,
+)
+
+__all__ = [
+    "INFINITY",
+    "MAX_MIN",
+    "SUM_MIN",
+    "Number",
+    "Semiring",
+    "named_semiring",
+    "CallableHWF",
+    "HypertreeWeightingFunction",
+    "VertexAggregationFunction",
+    "node_count_hwf",
+    "width_hwf",
+    "TreeAggregationFunction",
+    "from_edge_function",
+    "from_vertex_function",
+    "zero_edge_weight",
+    "zero_vertex_weight",
+    "QueryCostTAF",
+    "query_cost_taf",
+    "largest_chi_taf",
+    "lexicographic_separator_taf",
+    "lexicographic_taf",
+    "lexicographic_weight_of_histogram",
+    "node_count_taf",
+    "separator_taf",
+    "width_taf",
+]

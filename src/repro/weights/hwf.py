@@ -1,0 +1,86 @@
+"""Hypertree weighting functions (HWFs) and vertex aggregation functions.
+
+Section 3 of the paper: a *hypertree weighting function* ``ω_H`` is any
+polynomial-time function mapping a hypertree decomposition of ``H`` to a
+non-negative real.  A *vertex aggregation function*
+``Λ^v_H(HD) = Σ_p v_H(p)`` sums a per-node score ``v_H``.
+
+HWFs are intentionally unrestricted -- they are the class for which the paper
+proves NP-hardness of minimisation (Theorems 3.3 and 3.4).  The tractable
+subclass, tree aggregation functions, lives in :mod:`repro.weights.taf`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.decomposition.hypertree import DecompositionNode, HypertreeDecomposition
+
+
+@runtime_checkable
+class HypertreeWeightingFunction(Protocol):
+    """Anything that can weigh a whole hypertree decomposition."""
+
+    def weigh(self, decomposition: HypertreeDecomposition) -> float:
+        """Return the weight of the decomposition."""
+        ...
+
+
+class CallableHWF:
+    """Wrap a plain callable ``HD -> float`` as an HWF."""
+
+    def __init__(self, function: Callable[[HypertreeDecomposition], float], name: str = "hwf") -> None:
+        self._function = function
+        self.name = name
+
+    def weigh(self, decomposition: HypertreeDecomposition) -> float:
+        return float(self._function(decomposition))
+
+    def __call__(self, decomposition: HypertreeDecomposition) -> float:
+        return self.weigh(decomposition)
+
+    def __repr__(self) -> str:
+        return f"CallableHWF({self.name})"
+
+
+class VertexAggregationFunction:
+    """``Λ^v_H(HD) = Σ_{p ∈ vertices(T)} v_H(p)``.
+
+    ``vertex_weight`` receives a :class:`DecompositionNode` and must return a
+    non-negative number.  Theorem 3.4 shows minimising these over all
+    k-bounded hypertree decompositions is already NP-hard for ``k ≥ 4``; they
+    become tractable when the search space is restricted to normal-form
+    decompositions, because every vertex aggregation function is a tree
+    aggregation function with ``⊕ = +`` and a constant-⊥ edge weight.
+    """
+
+    def __init__(
+        self,
+        vertex_weight: Callable[[DecompositionNode], float],
+        name: str = "vertex-aggregation",
+    ) -> None:
+        self.vertex_weight = vertex_weight
+        self.name = name
+
+    def weigh(self, decomposition: HypertreeDecomposition) -> float:
+        return float(
+            sum(self.vertex_weight(node) for node in decomposition.nodes())
+        )
+
+    def __call__(self, decomposition: HypertreeDecomposition) -> float:
+        return self.weigh(decomposition)
+
+    def __repr__(self) -> str:
+        return f"VertexAggregationFunction({self.name})"
+
+
+def width_hwf() -> CallableHWF:
+    """``ω^w(HD) = max_p |λ(p)|`` -- the width of the decomposition
+    (Section 3, first example)."""
+    return CallableHWF(lambda hd: float(hd.width), name="width")
+
+
+def node_count_hwf() -> CallableHWF:
+    """The number of decomposition nodes; a simple structural HWF used in
+    tests and examples."""
+    return CallableHWF(lambda hd: float(hd.num_nodes()), name="node-count")

@@ -1,0 +1,88 @@
+"""The query-cost TAF ``cost_H(Q)`` of Example 4.3.
+
+For a conjunctive query ``Q`` over a database with catalog statistics, the
+TAF ``F^{+, v*, e*}`` weighs a decomposition node ``p`` by the estimated cost
+``v*(p)`` of evaluating ``E(p) = Π_{χ(p)} ⋈_{h ∈ λ(p)} rel(h)`` and a tree
+edge ``(p, p')`` by the estimated cost ``e*(p, p')`` of the semijoin
+``E(p) ⋉ E(p')``.  Minimal decompositions w.r.t. this TAF are the paper's
+"optimal query plans" (relative to the cost model and the class
+``kNFD_{H(Q)}``).
+
+The estimates come from :class:`repro.db.costmodel.CardinalityEstimator`,
+i.e. only from relation cardinalities and attribute selectivities -- never
+from the data itself -- exactly like a DBMS optimiser.  ``cost_H(Q)`` is
+*not* smooth in the paper's sense (its arithmetic is not logspace), and the
+flag on the returned TAF records that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.costmodel import CardinalityEstimator
+from repro.db.statistics import CatalogStatistics
+from repro.decomposition.hypertree import DecompositionNode
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.weights.semiring import SUM_MIN
+from repro.weights.taf import TreeAggregationFunction
+
+
+class QueryCostTAF(TreeAggregationFunction):
+    """``cost_H(Q)``: the TAF whose minimal decompositions are optimal query
+    plans under the textbook cost model.
+
+    The instance keeps the estimator around (``.estimator``) so planners and
+    experiments can report per-node estimates (the ``$``-labels of Figs. 6
+    and 7).
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        statistics: CatalogStatistics,
+        estimator: Optional[CardinalityEstimator] = None,
+    ) -> None:
+        self.query = query
+        self.statistics = statistics
+        self.estimator = estimator or CardinalityEstimator(query, statistics)
+        super().__init__(
+            semiring=SUM_MIN,
+            vertex_weight=self._vertex_cost,
+            edge_weight=self._edge_cost,
+            name=f"cost_H({query.name})",
+            smooth=False,
+            # e*(p, p') = |E(p)| + |E(p')| is separable, which lets the
+            # planner use the fast evaluation path.
+            edge_parent_part=self.node_estimate,
+            edge_child_part=self.node_estimate,
+        )
+
+    # ------------------------------------------------------------------
+    def _vertex_cost(self, node: DecompositionNode) -> float:
+        """``v*(p)``: estimated cost of evaluating ``E(p)``."""
+        return self.estimator.node_expression_cost(
+            sorted(node.lambda_edges), sorted(node.chi)
+        )
+
+    def _edge_cost(self, parent: DecompositionNode, child: DecompositionNode) -> float:
+        """``e*(p, p')``: estimated cost of the semijoin ``E(p) ⋉ E(p')``."""
+        return self.estimator.semijoin_cost(
+            sorted(parent.lambda_edges),
+            sorted(parent.chi),
+            sorted(child.lambda_edges),
+            sorted(child.chi),
+        )
+
+    # ------------------------------------------------------------------
+    def node_estimate(self, node: DecompositionNode) -> float:
+        """The estimated output cardinality of ``E(p)`` (used for reporting)."""
+        return self.estimator.projection_cardinality(
+            sorted(node.lambda_edges), sorted(node.chi)
+        )
+
+
+def query_cost_taf(
+    query: ConjunctiveQuery, statistics: CatalogStatistics
+) -> QueryCostTAF:
+    """Convenience constructor matching the paper's notation."""
+    return QueryCostTAF(query, statistics)

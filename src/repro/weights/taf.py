@@ -1,0 +1,164 @@
+"""Tree aggregation functions (Definition 4.1).
+
+A TAF over a semiring ``⟨R+, ⊕, min, ⊥, ∞⟩`` is
+
+``F^{⊕,v,e}_H(HD) = ⊕_{p ∈ N} ( v_H(p) ⊕ ⊕_{(p,p') ∈ E} e_H(p, p') )``
+
+where ``v_H`` scores decomposition nodes and ``e_H`` scores tree edges
+(parent, child).  Unlike general HWFs, TAFs look at the tree only through
+node scores and parent/child edge scores, which is exactly the locality the
+candidates-graph algorithm (minimal-k-decomp) exploits.
+
+The class also records whether the TAF is *smooth* (logspace-evaluable,
+Section 5); smoothness has no operational effect in a RAM implementation but
+the flag is carried through so experiments can report which complexity regime
+(LOGCFL vs P) each weighting function falls into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.decomposition.hypertree import DecompositionNode, HypertreeDecomposition
+from repro.exceptions import WeightingError
+from repro.weights.semiring import SUM_MIN, Number, Semiring
+
+VertexWeight = Callable[[DecompositionNode], Number]
+EdgeWeight = Callable[[DecompositionNode, DecompositionNode], Number]
+
+
+def zero_vertex_weight(node: DecompositionNode) -> Number:
+    """The constant-⊥ vertex weight (``⊥ = 0`` for the built-in semirings)."""
+    return 0.0
+
+
+def zero_edge_weight(parent: DecompositionNode, child: DecompositionNode) -> Number:
+    """The constant-⊥ edge weight."""
+    return 0.0
+
+
+class TreeAggregationFunction:
+    """A concrete TAF ``F^{⊕,v,e}``.
+
+    Parameters
+    ----------
+    semiring:
+        The ``⟨R+, ⊕, min, ⊥, ∞⟩`` structure to aggregate with.
+    vertex_weight:
+        ``v_H``; receives a :class:`DecompositionNode`.
+    edge_weight:
+        ``e_H``; receives the parent node then the child node.  Defaults to
+        the constant ``⊥`` (which turns the TAF into a vertex aggregation
+        function when ``⊕ = +``).
+    name:
+        Identifier used in reports.
+    smooth:
+        Whether the TAF is smooth in the sense of Section 5 (its value and
+        both component functions are logspace computable).  Purely
+        informational.
+    edge_parent_part / edge_child_part:
+        Optional *separable* form of the edge weight:
+        ``e(p, p') = edge_parent_part(p) ⊕ edge_child_part(p')``.
+        When both are supplied, minimal-k-decomp's evaluation phase uses a
+        much cheaper update (the parent contribution factors out of the
+        minimisation over child candidates, which is sound because ``min``
+        distributes over ``⊕`` in the semiring).  All of the paper's TAFs --
+        including ``cost_H(Q)``, whose ``e*(p, p')`` is the sum of the two
+        nodes' estimated sizes -- are separable; the generic path is kept for
+        arbitrary user-supplied edge weights.
+    """
+
+    def __init__(
+        self,
+        semiring: Semiring = SUM_MIN,
+        vertex_weight: VertexWeight = zero_vertex_weight,
+        edge_weight: EdgeWeight = zero_edge_weight,
+        name: str = "taf",
+        smooth: bool = True,
+        edge_parent_part: Optional[VertexWeight] = None,
+        edge_child_part: Optional[VertexWeight] = None,
+    ) -> None:
+        self.semiring = semiring
+        self.vertex_weight = vertex_weight
+        self.edge_weight = edge_weight
+        self.name = name
+        self.smooth = smooth
+        self.edge_parent_part = edge_parent_part
+        self.edge_child_part = edge_child_part
+        if (
+            edge_weight is zero_edge_weight
+            and edge_parent_part is None
+            and edge_child_part is None
+        ):
+            # The constant-⊥ edge weight is trivially separable.
+            neutral = semiring.neutral
+            self.edge_parent_part = lambda node: neutral
+            self.edge_child_part = lambda node: neutral
+
+    @property
+    def has_separable_edge(self) -> bool:
+        """True when the separable form of the edge weight is available."""
+        return self.edge_parent_part is not None and self.edge_child_part is not None
+
+    # ------------------------------------------------------------------
+    def node_contribution(
+        self, decomposition: HypertreeDecomposition, node_id: int
+    ) -> Number:
+        """``v(p) ⊕ ⊕_{children p'} e(p, p')`` for one node."""
+        node = decomposition.node(node_id)
+        value = self.vertex_weight(node)
+        for child_id in decomposition.children(node_id):
+            child = decomposition.node(child_id)
+            value = self.semiring.combine(value, self.edge_weight(node, child))
+        return value
+
+    def weigh(self, decomposition: HypertreeDecomposition) -> Number:
+        """Evaluate the TAF on a whole decomposition (the direct definition,
+        independent of any decomposition algorithm -- used to cross-check
+        minimal-k-decomp's bookkeeping)."""
+        contributions = (
+            self.node_contribution(decomposition, node_id)
+            for node_id in decomposition.node_ids()
+        )
+        return self.semiring.combine_all(contributions)
+
+    def __call__(self, decomposition: HypertreeDecomposition) -> Number:
+        return self.weigh(decomposition)
+
+    # ------------------------------------------------------------------
+    def validate_semiring(self, samples=(0.0, 1.0, 2.5, 7.0)) -> None:
+        """Check the semiring laws on sample values; raises on violation."""
+        self.semiring.verify(list(samples))
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeAggregationFunction(name={self.name!r}, "
+            f"semiring={self.semiring.name}, smooth={self.smooth})"
+        )
+
+
+def from_vertex_function(
+    vertex_weight: VertexWeight, name: str = "vertex-taf"
+) -> TreeAggregationFunction:
+    """Lift a per-node scoring function into a TAF over the sum semiring,
+    i.e. the TAF equivalent of a vertex aggregation function."""
+    return TreeAggregationFunction(
+        semiring=SUM_MIN,
+        vertex_weight=vertex_weight,
+        edge_weight=zero_edge_weight,
+        name=name,
+    )
+
+
+def from_edge_function(
+    edge_weight: EdgeWeight,
+    semiring: Semiring = SUM_MIN,
+    name: str = "edge-taf",
+) -> TreeAggregationFunction:
+    """A TAF that only scores tree edges (e.g. separator-based functions)."""
+    return TreeAggregationFunction(
+        semiring=semiring,
+        vertex_weight=zero_vertex_weight,
+        edge_weight=edge_weight,
+        name=name,
+    )

@@ -1,0 +1,118 @@
+"""Tests for GYO reduction, α-acyclicity and join-tree construction."""
+
+import pytest
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.acyclicity import (
+    all_join_trees,
+    build_join_tree,
+    gyo_reduction,
+    is_acyclic,
+)
+from repro.hypergraph.generators import (
+    cycle_hypergraph,
+    paper_q0_hypergraph,
+    path_hypergraph,
+    star_hypergraph,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestAcyclicity:
+    def test_single_edge_acyclic(self):
+        assert is_acyclic(Hypergraph({"e": ["A", "B", "C"]}))
+
+    def test_path_acyclic(self):
+        assert is_acyclic(path_hypergraph(5))
+
+    def test_star_acyclic(self):
+        assert is_acyclic(star_hypergraph(4))
+
+    def test_cycle_not_acyclic(self):
+        assert not is_acyclic(cycle_hypergraph(4))
+
+    def test_triangle_of_binary_edges_is_cyclic(self):
+        assert not is_acyclic(cycle_hypergraph(3))
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # The classical example: adding a big edge over all three vertices
+        # makes the hypergraph α-acyclic.
+        h = Hypergraph(
+            {
+                "e1": ["A", "B"],
+                "e2": ["B", "C"],
+                "e3": ["A", "C"],
+                "big": ["A", "B", "C"],
+            }
+        )
+        assert is_acyclic(h)
+
+    def test_q0_is_cyclic(self):
+        assert not is_acyclic(paper_q0_hypergraph())
+
+    def test_empty_hypergraph_acyclic(self):
+        assert is_acyclic(Hypergraph({}))
+
+
+class TestGYO:
+    def test_trace_records_residual(self):
+        trace = gyo_reduction(cycle_hypergraph(4))
+        assert not trace.acyclic
+        assert len(trace.residual) > 1
+
+    def test_trace_on_acyclic(self):
+        trace = gyo_reduction(path_hypergraph(3))
+        assert trace.acyclic
+        assert len(trace.residual) <= 1
+
+
+class TestJoinTree:
+    def test_join_tree_of_path(self):
+        h = path_hypergraph(4)
+        tree = build_join_tree(h)
+        assert set(tree.nodes()) == set(h.edge_names)
+        assert tree.satisfies_connectedness()
+
+    def test_join_tree_of_star(self):
+        tree = build_join_tree(star_hypergraph(5))
+        assert tree.satisfies_connectedness()
+
+    def test_join_tree_parent_map(self):
+        tree = build_join_tree(path_hypergraph(3))
+        parents = tree.parent_map()
+        assert parents[tree.root] is None
+        assert len(parents) == 3
+
+    def test_join_tree_post_order_ends_at_root(self):
+        tree = build_join_tree(path_hypergraph(4))
+        assert tree.post_order()[-1] == tree.root
+
+    def test_cyclic_hypergraph_has_no_join_tree(self):
+        with pytest.raises(HypergraphError):
+            build_join_tree(cycle_hypergraph(5))
+
+    def test_edgeless_hypergraph_rejected(self):
+        with pytest.raises(HypergraphError):
+            build_join_tree(Hypergraph({}))
+
+    def test_tree_edges_consistent_with_children(self):
+        tree = build_join_tree(star_hypergraph(3))
+        for parent, child in tree.edges():
+            assert child in tree.children[parent]
+
+
+class TestAllJoinTrees:
+    def test_enumeration_on_tiny_hypergraph(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"]})
+        trees = all_join_trees(h)
+        # Two edges: either can be the root -> exactly two join trees.
+        assert len(trees) == 2
+        assert all(t.satisfies_connectedness() for t in trees)
+
+    def test_enumeration_respects_limit(self):
+        h = star_hypergraph(3)
+        trees = all_join_trees(h, limit=2)
+        assert len(trees) <= 2
+
+    def test_enumeration_empty_for_cyclic(self):
+        assert all_join_trees(cycle_hypergraph(4), limit=5) == []

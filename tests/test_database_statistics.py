@@ -1,0 +1,167 @@
+"""Tests for databases, atom binding, statistics and synthetic data generation."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.generator import (
+    database_from_statistics,
+    generate_column,
+    generate_relation,
+    uniform_database,
+)
+from repro.db.relation import Relation
+from repro.db.statistics import CatalogStatistics, TableStatistics, analyze_relation
+from repro.exceptions import DatabaseError
+from repro.query.conjunctive import build_query
+from repro.query.examples import q1
+from repro.workloads.paper_queries import (
+    FIG5_CARDINALITIES,
+    FIG5_SELECTIVITIES,
+    fig5_statistics,
+)
+
+
+class TestStatistics:
+    def test_table_statistics_selectivity(self):
+        stats = TableStatistics("r", 100, {"x": 10, "y": 50})
+        assert stats.cardinality == 100
+        assert stats.selectivity("x") == 10
+        assert stats.selectivity("unknown") == 100
+
+    def test_invalid_statistics_rejected(self):
+        with pytest.raises(DatabaseError):
+            TableStatistics("r", -1, {})
+        with pytest.raises(DatabaseError):
+            TableStatistics("r", 10, {"x": 20})
+
+    def test_analyze_relation(self):
+        relation = Relation("r", ["x", "y"], [(1, 1), (1, 2), (2, 2)])
+        stats = analyze_relation(relation)
+        assert stats.cardinality == 3
+        assert stats.distinct_counts == {"x": 2, "y": 2}
+
+    def test_catalog_roundtrip(self):
+        catalog = CatalogStatistics.from_declared(
+            {"r": 100}, {"r": {"x": 10}}
+        )
+        assert catalog.cardinality("r") == 100
+        assert catalog.selectivity("r", "x") == 10
+        assert catalog.has_table("r")
+        assert not catalog.has_table("s")
+        with pytest.raises(DatabaseError):
+            catalog.table("s")
+        assert "r" in catalog.describe()
+
+    def test_fig5_statistics_match_paper(self):
+        catalog = fig5_statistics()
+        assert catalog.cardinality("a") == 4606
+        assert catalog.selectivity("b", "Y") == 5
+        assert catalog.selectivity("j", "X") == 8
+        assert set(catalog.relation_names()) == set(FIG5_CARDINALITIES)
+        for name, selectivities in FIG5_SELECTIVITIES.items():
+            for attribute, value in selectivities.items():
+                assert catalog.selectivity(name, attribute) == value
+
+
+class TestDatabase:
+    def test_add_and_lookup(self, tiny_database):
+        assert tiny_database.has_relation("r")
+        assert tiny_database.relation("r").cardinality == 4
+        with pytest.raises(DatabaseError):
+            tiny_database.relation("missing")
+        assert tiny_database.total_tuples() == 10
+        assert "tiny" in repr(tiny_database)
+        assert "r(x, y)" in tiny_database.describe()
+
+    def test_analyze_populates_catalog(self, tiny_database):
+        catalog = tiny_database.analyze()
+        assert catalog.cardinality("r") == 4
+        assert catalog.selectivity("r", "x") == 3
+
+    def test_bind_atom_renames_to_variables(self, tiny_database):
+        query = build_query([("r", ["X", "Y"])])
+        bound = tiny_database.bind_atom(query.atoms[0])
+        assert bound.attributes == ("X", "Y")
+        assert bound.cardinality == 4
+
+    def test_bind_atom_with_constant(self, tiny_database):
+        query = build_query([("r", ["X", "1"])])
+        bound = tiny_database.bind_atom(query.atoms[0])
+        assert bound.attributes == ("X",)
+        assert bound.cardinality == 0  # no row has y = 1
+
+        query2 = build_query([("r", ["X", "10"])])
+        bound2 = tiny_database.bind_atom(query2.atoms[0])
+        assert bound2.cardinality == 1
+
+    def test_bind_atom_with_repeated_variable(self):
+        db = Database(
+            relations={"p": Relation("p", ["a", "b"], [(1, 1), (1, 2), (3, 3)])}
+        )
+        query = build_query([("p", ["X", "X"])])
+        bound = db.bind_atom(query.atoms[0])
+        assert bound.attributes == ("X",)
+        assert sorted(bound.rows) == [(1,), (3,)]
+
+    def test_bind_atom_with_fresh_variable(self, tiny_database):
+        query = build_query([("r", ["X", "Y"])]).with_fresh_head_variables()
+        bound = tiny_database.bind_atom(query.atoms[0])
+        assert len(bound.attributes) == 3
+        assert bound.cardinality == 4
+        # The fresh column takes a distinct value per row.
+        assert bound.distinct_count(bound.attributes[-1]) == 4
+
+    def test_bind_atom_arity_mismatch(self, tiny_database):
+        query = build_query([("r", ["X", "Y", "Z"])])
+        with pytest.raises(DatabaseError):
+            tiny_database.bind_atom(query.atoms[0])
+
+    def test_bind_query(self, tiny_database):
+        query = build_query([("r", ["X", "Y"]), ("s", ["Y", "Z"])])
+        bound = tiny_database.bind_query(query)
+        assert set(bound) == {"r", "s"}
+
+
+class TestGenerator:
+    def test_generate_column_distinct_count(self):
+        import random
+
+        values = generate_column(100, 7, random.Random(0))
+        assert len(values) == 100
+        assert len(set(values)) == 7
+
+    def test_generate_relation_matches_profile(self):
+        relation = generate_relation(
+            "r", ["x", "y"], cardinality=200, distinct_counts={"x": 5, "y": 12}, seed=1
+        )
+        assert relation.cardinality == 200
+        assert relation.distinct_count("x") == 5
+        assert relation.distinct_count("y") == 12
+
+    def test_generate_relation_deterministic(self):
+        a = generate_relation("r", ["x"], 50, {"x": 9}, seed=4)
+        b = generate_relation("r", ["x"], 50, {"x": 9}, seed=4)
+        assert a == b
+
+    def test_database_from_statistics_realises_fig5_profile(self):
+        db = database_from_statistics(q1(), fig5_statistics(), seed=0, scale=0.02)
+        for atom in q1().atoms:
+            relation = db.relation(atom.predicate)
+            expected = max(int(round(FIG5_CARDINALITIES[atom.predicate] * 0.02)), 1)
+            assert relation.cardinality == expected
+        # The catalog was re-analysed from the generated data.
+        assert db.statistics.cardinality("a") == db.relation("a").cardinality
+
+    def test_database_from_statistics_full_scale_selectivities(self):
+        db = database_from_statistics(q1(), fig5_statistics(), seed=0, scale=1.0)
+        assert db.relation("d").cardinality == 3756
+        assert db.relation("d").distinct_count("X") == 18
+        assert db.relation("d").distinct_count("Z") == 7
+
+    def test_uniform_database(self):
+        query = build_query([("r", ["X", "Y"]), ("s", ["Y", "Z"])])
+        db = uniform_database(query, tuples_per_relation=50, domain_size=5, seed=2)
+        assert db.relation("r").cardinality == 50
+        assert db.relation("s").cardinality == 50
+        assert db.statistics.has_table("r")
+        assert max(db.relation("r").column("X")) < 5

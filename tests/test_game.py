@@ -1,0 +1,95 @@
+"""Tests for the robber-and-marshals game view (the [19] characterisation
+used in the proof of Theorem 2.3)."""
+
+import pytest
+
+from repro.decomposition.game import (
+    extract_strategy,
+    game_width,
+    is_monotone_strategy,
+    marshals_have_winning_strategy,
+)
+from repro.decomposition.kdecomp import hypertree_width, k_decomp
+from repro.exceptions import DecompositionError
+from repro.hypergraph.generators import (
+    clique_hypergraph,
+    cycle_hypergraph,
+    paper_q0_hypergraph,
+    path_hypergraph,
+    random_hypergraph,
+    star_hypergraph,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestStrategyExtraction:
+    def test_nf_decomposition_yields_strategy(self, q0_hypergraph):
+        hd = k_decomp(q0_hypergraph, 2)
+        strategy = extract_strategy(hd)
+        assert len(strategy) == hd.num_nodes()
+        root_entry = strategy[0]
+        assert root_entry[0] == hd.root
+        assert root_entry[2] == q0_hypergraph.vertices
+        # Marshals never occupy more than k edges.
+        assert all(len(edges) <= 2 for _, edges, _ in strategy)
+
+    def test_nf_decomposition_is_monotone(self, q0_hypergraph):
+        hd = k_decomp(q0_hypergraph, 2)
+        assert is_monotone_strategy(hd)
+
+    def test_cycle_decomposition_is_monotone(self):
+        hd = k_decomp(cycle_hypergraph(6), 2)
+        assert is_monotone_strategy(hd)
+
+    def test_non_nf_decomposition_rejected(self):
+        # A decomposition with a redundant child has no associated component.
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["A", "B", "C"]})
+        from repro.decomposition.hypertree import HypertreeDecomposition
+
+        hd = HypertreeDecomposition.build(
+            h,
+            structure={0: [1], 1: []},
+            lambdas={0: ["e2"], 1: ["e1"]},
+            chis={0: ["A", "B", "C"], 1: ["A", "B"]},
+        )
+        with pytest.raises(DecompositionError):
+            extract_strategy(hd)
+        assert not is_monotone_strategy(hd)
+
+
+class TestGameSearch:
+    def test_one_marshal_wins_exactly_on_acyclic(self):
+        assert marshals_have_winning_strategy(path_hypergraph(4), 1)
+        assert marshals_have_winning_strategy(star_hypergraph(4), 1)
+        assert not marshals_have_winning_strategy(cycle_hypergraph(4), 1)
+
+    def test_two_marshals_win_on_cycles(self):
+        for length in (3, 4, 6):
+            assert marshals_have_winning_strategy(cycle_hypergraph(length), 2)
+
+    def test_game_width_matches_hypertree_width_on_examples(self):
+        cases = [
+            path_hypergraph(4),
+            star_hypergraph(3),
+            cycle_hypergraph(5),
+            clique_hypergraph(4),
+            clique_hypergraph(5),
+            paper_q0_hypergraph(),
+        ]
+        for hypergraph in cases:
+            assert game_width(hypergraph) == hypertree_width(hypergraph)
+
+    def test_game_width_matches_on_random_hypergraphs(self):
+        for seed in range(6):
+            hypergraph = random_hypergraph(6, 5, rank=3, seed=seed)
+            if not hypergraph.is_connected():
+                continue
+            assert game_width(hypergraph) == hypertree_width(hypergraph), seed
+
+    def test_edgeless_hypergraph_rejected(self):
+        with pytest.raises(DecompositionError):
+            marshals_have_winning_strategy(Hypergraph({}), 1)
+
+    def test_game_width_cap(self):
+        with pytest.raises(DecompositionError):
+            game_width(clique_hypergraph(5), max_k=2)

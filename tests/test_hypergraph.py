@@ -1,0 +1,137 @@
+"""Unit tests for the core Hypergraph data structure."""
+
+import pytest
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"]})
+        assert h.vertices == {"A", "B", "C"}
+        assert h.edge_names == ("e1", "e2")
+        assert h.num_edges() == 2
+        assert h.num_vertices() == 3
+
+    def test_edge_vertices(self):
+        h = Hypergraph({"e1": ["A", "B", "A"]})
+        assert h.edge_vertices("e1") == frozenset({"A", "B"})
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph({"e1": []})
+
+    def test_unknown_edge_raises(self):
+        h = Hypergraph({"e1": ["A"]})
+        with pytest.raises(HypergraphError):
+            h.edge_vertices("nope")
+
+    def test_unknown_vertex_raises(self):
+        h = Hypergraph({"e1": ["A"]})
+        with pytest.raises(HypergraphError):
+            h.edges_of_vertex("Z")
+
+    def test_explicit_vertex_universe(self):
+        h = Hypergraph({"e1": ["A"]}, vertices=["A", "B"])
+        assert h.vertices == {"A", "B"}
+
+    def test_vertex_universe_must_cover_edges(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph({"e1": ["A", "B"]}, vertices=["A"])
+
+    def test_from_edge_list(self):
+        h = Hypergraph.from_edge_list([["A", "B"], ["B", "C"]])
+        assert set(h.edge_names) == {"e0", "e1"}
+
+    def test_edge_names_sorted(self):
+        h = Hypergraph({"z": ["A"], "a": ["A"], "m": ["A"]})
+        assert h.edge_names == ("a", "m", "z")
+
+
+class TestAccessors:
+    def test_edges_of_vertex(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"]})
+        assert h.edges_of_vertex("B") == {"e1", "e2"}
+        assert h.edges_of_vertex("A") == {"e1"}
+
+    def test_var_of_edge_set(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"], "e3": ["D"]})
+        assert h.var(["e1", "e2"]) == {"A", "B", "C"}
+        assert h.var([]) == frozenset()
+
+    def test_edges_touching(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"], "e3": ["D", "E"]})
+        assert h.edges_touching(["B"]) == {"e1", "e2"}
+        assert h.edges_touching(["D"]) == {"e3"}
+        assert h.edges_touching(["Z"]) == frozenset()
+
+    def test_vertices_of_edges_touching(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"]})
+        assert h.vertices_of_edges_touching(["A"]) == {"A", "B"}
+        assert h.vertices_of_edges_touching(["B"]) == {"A", "B", "C"}
+
+    def test_iteration_and_contains(self):
+        h = Hypergraph({"e1": ["A"], "e2": ["B"]})
+        assert list(h) == ["e1", "e2"]
+        assert "e1" in h
+        assert "missing" not in h
+        assert len(h) == 2
+
+
+class TestStructure:
+    def test_connected(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"]})
+        assert h.is_connected()
+
+    def test_disconnected(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["C", "D"]})
+        assert not h.is_connected()
+
+    def test_induced_subhypergraph(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"], "e3": ["C", "D"]})
+        sub = h.induced(["A", "B", "C"])
+        assert set(sub.edge_names) == {"e1", "e2"}
+        assert sub.vertices == {"A", "B", "C"}
+
+    def test_restrict_edges(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"]})
+        sub = h.restrict_edges(["e1"])
+        assert set(sub.edge_names) == {"e1"}
+        assert sub.vertices == {"A", "B"}
+
+    def test_remove_vertices(self):
+        h = Hypergraph({"e1": ["A", "B"], "e2": ["B"]})
+        reduced = h.remove_vertices(["B"])
+        assert set(reduced.edge_names) == {"e1"}
+        assert reduced.edge_vertices("e1") == {"A"}
+
+    def test_duplicate_free_drops_contained_edges(self):
+        h = Hypergraph({"big": ["A", "B", "C"], "small": ["A", "B"], "other": ["C", "D"]})
+        reduced = h.duplicate_free()
+        assert "small" not in reduced.edge_names
+        assert "big" in reduced.edge_names
+        assert "other" in reduced.edge_names
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        h1 = Hypergraph({"e1": ["A", "B"]})
+        h2 = Hypergraph({"e1": ["B", "A"]})
+        h3 = Hypergraph({"e1": ["A", "C"]})
+        assert h1 == h2
+        assert hash(h1) == hash(h2)
+        assert h1 != h3
+
+    def test_repr_and_describe(self):
+        h = Hypergraph({"e1": ["A", "B"]})
+        assert "e1" in h.describe()
+        assert "Hypergraph" in repr(h)
+
+
+class TestPaperExample:
+    def test_q0_hypergraph_shape(self, q0_hypergraph):
+        assert q0_hypergraph.num_edges() == 8
+        assert q0_hypergraph.num_vertices() == 10
+        assert q0_hypergraph.edge_vertices("s1") == {"A", "B", "D"}
+        assert q0_hypergraph.is_connected()

@@ -1,0 +1,172 @@
+"""Tests for the HypertreeDecomposition data structure and Definition 2.1."""
+
+import pytest
+
+from repro.decomposition.hypertree import DecompositionNode, HypertreeDecomposition
+from repro.exceptions import DecompositionError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle():
+    return Hypergraph({"e1": ["A", "B"], "e2": ["B", "C"], "e3": ["A", "C"]})
+
+
+def build(hypergraph, structure, lambdas, chis, root=0):
+    return HypertreeDecomposition.build(hypergraph, structure, lambdas, chis, root)
+
+
+@pytest.fixture
+def valid_triangle_decomposition(triangle):
+    # Root covers e1 and e2 (χ = A,B,C), child covers e3.
+    return build(
+        triangle,
+        structure={0: [1], 1: []},
+        lambdas={0: ["e1", "e2"], 1: ["e3"]},
+        chis={0: ["A", "B", "C"], 1: ["A", "C"]},
+    )
+
+
+class TestStructure:
+    def test_nodes_and_children(self, valid_triangle_decomposition):
+        hd = valid_triangle_decomposition
+        assert hd.num_nodes() == 2
+        assert hd.children(0) == (1,)
+        assert hd.parent(1) == 0
+        assert hd.parent(0) is None
+        assert hd.node_ids() == (0, 1)
+
+    def test_subtree_and_chi_subtree(self, valid_triangle_decomposition):
+        hd = valid_triangle_decomposition
+        assert set(hd.subtree_ids(0)) == {0, 1}
+        assert hd.chi_of_subtree(1) == {"A", "C"}
+        assert hd.chi_of_subtree(0) == {"A", "B", "C"}
+
+    def test_tree_edges_and_post_order(self, valid_triangle_decomposition):
+        hd = valid_triangle_decomposition
+        assert hd.tree_edges() == ((0, 1),)
+        assert hd.post_order() == (1, 0)
+
+    def test_width_and_histogram(self, valid_triangle_decomposition):
+        hd = valid_triangle_decomposition
+        assert hd.width == 2
+        assert hd.width_histogram() == {2: 1, 1: 1}
+
+    def test_describe_and_repr(self, valid_triangle_decomposition):
+        text = valid_triangle_decomposition.describe()
+        assert "width 2" in text
+        assert "HypertreeDecomposition" in repr(valid_triangle_decomposition)
+
+    def test_unknown_root_rejected(self, triangle):
+        with pytest.raises(DecompositionError):
+            build(triangle, {0: []}, {0: ["e1"]}, {0: ["A", "B"]}, root=42)
+
+    def test_unreachable_node_rejected(self, triangle):
+        with pytest.raises(DecompositionError):
+            build(
+                triangle,
+                structure={0: [], 1: []},
+                lambdas={0: ["e1"], 1: ["e2"]},
+                chis={0: ["A", "B"], 1: ["B", "C"]},
+            )
+
+    def test_node_reachable_twice_rejected(self, triangle):
+        with pytest.raises(DecompositionError):
+            build(
+                triangle,
+                structure={0: [1, 1], 1: []},
+                lambdas={0: ["e1"], 1: ["e2"]},
+                chis={0: ["A", "B"], 1: ["B", "C"]},
+            )
+
+
+class TestConditions:
+    def test_valid_decomposition(self, valid_triangle_decomposition):
+        assert valid_triangle_decomposition.is_valid()
+        valid_triangle_decomposition.validate()
+
+    def test_condition1_uncovered_edge(self, triangle):
+        hd = build(
+            triangle,
+            structure={0: []},
+            lambdas={0: ["e1", "e2"]},
+            chis={0: ["A", "B", "C"]},
+        )
+        # e3 = {A, C} IS inside χ(0), so this is actually valid; remove C to
+        # break coverage instead.
+        hd_bad = build(
+            triangle,
+            structure={0: []},
+            lambdas={0: ["e1"]},
+            chis={0: ["A", "B"]},
+        )
+        assert hd.covers_all_edges()
+        assert not hd_bad.covers_all_edges()
+        assert set(hd_bad.uncovered_edges()) == {"e2", "e3"}
+        with pytest.raises(DecompositionError, match="condition 1"):
+            hd_bad.validate()
+
+    def test_condition2_connectedness_violation(self, triangle):
+        # A occurs in nodes 0 and 2 but not in the middle node 1.
+        hd = build(
+            triangle,
+            structure={0: [1], 1: [2], 2: []},
+            lambdas={0: ["e1"], 1: ["e2"], 2: ["e3"]},
+            chis={0: ["A", "B"], 1: ["B", "C"], 2: ["A", "C"]},
+        )
+        assert not hd.satisfies_connectedness()
+        assert "A" in hd.connectedness_violations()
+        with pytest.raises(DecompositionError, match="condition 2"):
+            hd.validate()
+
+    def test_condition3_chi_not_covered_by_lambda(self, triangle):
+        hd = build(
+            triangle,
+            structure={0: [1], 1: []},
+            lambdas={0: ["e1", "e2"], 1: ["e2"]},
+            chis={0: ["A", "B", "C"], 1: ["A", "C"]},  # A not in var(e2)
+        )
+        assert not hd.satisfies_chi_covered_by_lambda()
+        with pytest.raises(DecompositionError, match="condition 3"):
+            hd.validate()
+
+    def test_condition4_descendant_violation(self, triangle):
+        # Root's λ mentions C (via e2) and C appears below, but C ∉ χ(root).
+        hd = build(
+            triangle,
+            structure={0: [1], 1: []},
+            lambdas={0: ["e1", "e2"], 1: ["e2", "e3"]},
+            chis={0: ["A", "B"], 1: ["A", "B", "C"]},
+        )
+        assert not hd.satisfies_descendant_condition()
+        with pytest.raises(DecompositionError, match="condition 4"):
+            hd.validate()
+
+
+class TestCompleteness:
+    def test_strong_covering(self, valid_triangle_decomposition):
+        hd = valid_triangle_decomposition
+        assert hd.strongly_covering_node("e1") == 0
+        assert hd.strongly_covering_node("e3") == 1
+        assert hd.is_complete()
+
+    def test_incomplete_decomposition(self, triangle):
+        # e3 is covered by χ(0) but not in any λ with its variables.
+        hd = build(
+            triangle,
+            structure={0: []},
+            lambdas={0: ["e1", "e2"]},
+            chis={0: ["A", "B", "C"]},
+        )
+        assert hd.is_valid()
+        assert hd.strongly_covering_node("e3") is None
+        assert not hd.is_complete()
+
+
+class TestDecompositionNode:
+    def test_node_width_and_str(self):
+        node = DecompositionNode(
+            node_id=3, lambda_edges=frozenset({"e1", "e2"}), chi=frozenset({"A"})
+        )
+        assert node.width == 2
+        assert "node 3" in str(node)

@@ -1,0 +1,189 @@
+"""Tests for atoms, conjunctive queries, parsing and the paper's queries."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.decomposition.kdecomp import hypertree_width
+from repro.query.atoms import Atom, is_variable, make_atom
+from repro.query.conjunctive import (
+    ConjunctiveQuery,
+    build_query,
+    fresh_variable_for,
+    is_fresh_variable,
+    parse_query,
+)
+from repro.query.examples import all_paper_queries, q0, q1, q2, q3
+
+
+class TestAtoms:
+    def test_is_variable(self):
+        assert is_variable("X")
+        assert is_variable("Xp")
+        assert is_variable("_anon")
+        assert not is_variable("x")
+        assert not is_variable("3")
+        assert not is_variable("")
+
+    def test_atom_variables_in_order_without_duplicates(self):
+        atom = make_atom("r", ["X", "Y", "X", "c", "Z"])
+        assert atom.variables == ("X", "Y", "Z")
+        assert atom.constants == ("c",)
+        assert atom.arity == 5
+
+    def test_variable_positions(self):
+        atom = make_atom("r", ["X", "Y", "X"])
+        assert atom.variable_positions("X") == (0, 2)
+
+    def test_rename(self):
+        atom = make_atom("r", ["X", "c", "Y"])
+        renamed = atom.rename({"X": "A"})
+        assert renamed.terms == ("A", "c", "Y")
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(QueryError):
+            Atom(name="r", predicate="r", terms=())
+
+    def test_str(self):
+        assert str(make_atom("r", ["X", "Y"])) == "r(X, Y)"
+
+
+class TestConjunctiveQuery:
+    def test_build_query_names_self_joins(self):
+        query = build_query([("r", ["X", "Y"]), ("r", ["Y", "Z"]), ("s", ["Z"])])
+        names = [a.name for a in query.atoms]
+        assert names == ["r#1", "r#2", "s"]
+
+    def test_variables(self):
+        query = build_query([("r", ["X", "Y"]), ("s", ["Y", "Z"])])
+        assert query.variables == {"X", "Y", "Z"}
+
+    def test_boolean_flag(self):
+        assert build_query([("r", ["X"])]).is_boolean
+        assert not build_query([("r", ["X"])], output_variables=["X"]).is_boolean
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            build_query([("r", ["X"])], output_variables=["Y"])
+
+    def test_duplicate_atom_names_rejected(self):
+        atom = make_atom("r", ["X"], name="a")
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(atoms=(atom, atom))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(atoms=())
+
+    def test_atom_lookup(self):
+        query = build_query([("r", ["X", "Y"]), ("s", ["Y"])])
+        assert query.atom_by_name("s").predicate == "s"
+        with pytest.raises(QueryError):
+            query.atom_by_name("missing")
+        assert [a.name for a in query.atoms_with_variable("Y")] == ["r", "s"]
+
+    def test_hypergraph_edges_match_atoms(self):
+        query = q0()
+        hypergraph = query.hypergraph()
+        assert set(hypergraph.edge_names) == {a.name for a in query.atoms}
+        assert hypergraph.edge_vertices("s5") == {"E", "F", "G"}
+
+    def test_rename_variables(self):
+        query = build_query([("r", ["X", "Y"])], output_variables=["X"])
+        renamed = query.rename_variables({"X": "A"})
+        assert renamed.output_variables == ("A",)
+        assert renamed.atoms[0].terms == ("A", "Y")
+
+
+class TestFreshVariables:
+    def test_fresh_variable_naming(self):
+        assert is_fresh_variable(fresh_variable_for("r"))
+        assert not is_fresh_variable("X")
+
+    def test_with_fresh_head_variables(self):
+        query = build_query([("r", ["X", "Y"]), ("s", ["Y", "Z"])])
+        fresh = query.with_fresh_head_variables()
+        assert len(fresh.atoms) == 2
+        for atom in fresh.atoms:
+            assert atom.arity == 3
+            assert is_fresh_variable(atom.terms[-1])
+        # Fresh variables are private to their atom.
+        fresh_vars = [a.terms[-1] for a in fresh.atoms]
+        assert len(set(fresh_vars)) == 2
+
+    def test_fresh_query_hypergraph_forces_strong_covering(self):
+        query = build_query([("r", ["X", "Y"]), ("s", ["Y", "Z"])])
+        hypergraph = query.with_fresh_head_variables().hypergraph()
+        # Each edge now contains a vertex unique to it.
+        for name in hypergraph.edge_names:
+            private = hypergraph.edge_vertices(name) - hypergraph.var(
+                [other for other in hypergraph.edge_names if other != name]
+            )
+            assert private
+
+
+class TestParser:
+    def test_parse_with_head(self):
+        query = parse_query("ans(X, Y) <- r(X, Z), s(Z, Y).")
+        assert query.output_variables == ("X", "Y")
+        assert len(query.atoms) == 2
+
+    def test_parse_boolean(self):
+        query = parse_query("ans <- r(X, Z), s(Z, Y)")
+        assert query.is_boolean
+
+    def test_parse_headless(self):
+        query = parse_query("r(X, Z), s(Z, Y)")
+        assert query.is_boolean
+        assert len(query.atoms) == 2
+
+    def test_parse_alternative_arrows_and_connectives(self):
+        q_a = parse_query("ans :- r(X, Y) & s(Y, Z)")
+        q_b = parse_query("ans ← r(X, Y) ∧ s(Y, Z)")
+        assert [a.predicate for a in q_a.atoms] == [a.predicate for a in q_b.atoms]
+
+    def test_parse_constants(self):
+        query = parse_query("ans <- r(X, 3)")
+        assert query.atoms[0].constants == ("3",)
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+        with pytest.raises(QueryError):
+            parse_query("ans <- ")
+        with pytest.raises(QueryError):
+            parse_query("nonsense text without atoms <- also nothing")
+
+
+class TestPaperQueries:
+    def test_q0_shape(self):
+        query = q0()
+        assert len(query.atoms) == 8
+        assert len(query.variables) == 10
+        assert query.is_boolean
+
+    def test_q1_shape(self):
+        query = q1()
+        assert len(query.atoms) == 9
+        # S, X, Xp, C, F, Y, Yp, Cp, Fp, Z, Zp, J
+        assert len(query.variables) == 12
+        assert query.is_boolean
+
+    def test_q2_shape_matches_paper(self):
+        query = q2()
+        assert len(query.atoms) == 8
+        assert len(query.variables) == 9
+        assert query.is_boolean
+
+    def test_q3_shape_matches_paper(self):
+        query = q3()
+        assert len(query.atoms) == 9
+        assert len(query.variables) == 12
+        assert len(query.output_variables) == 4
+
+    def test_paper_queries_have_width_2(self):
+        for name, query in all_paper_queries().items():
+            assert hypertree_width(query.hypergraph()) == 2, name
+
+    def test_str_representations(self):
+        assert "s1(A, B, D)" in str(q0())
+        assert "Q1" in q1().describe()

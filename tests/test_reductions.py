@@ -1,0 +1,145 @@
+"""Tests for the hardness reductions (Theorems 3.3 and 5.1)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.decomposition.join_tree import decomposition_to_join_tree
+from repro.decomposition.minimal import minimal_k_decomp
+from repro.hypergraph.acyclicity import is_acyclic
+from repro.query.conjunctive import build_query
+from repro.reductions.acyclic_bcq import BCQReduction, reduction_minimum_weight
+from repro.reductions.coloring import (
+    brute_force_3coloring,
+    coloring_hwf,
+    coloring_hypergraph,
+    coloring_join_tree,
+    is_legal_coloring,
+)
+
+
+PATH = (["a", "b", "c"], [("a", "b"), ("b", "c")])
+TRIANGLE = (["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+K4 = (
+    ["a", "b", "c", "d"],
+    [("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")],
+)
+
+
+class TestColoringReduction:
+    def test_hypergraph_is_acyclic(self):
+        for vertices, edges in (PATH, TRIANGLE, K4):
+            h = coloring_hypergraph(vertices, edges)
+            assert is_acyclic(h)
+            assert h.num_edges() == 1 + len(vertices) + len(edges)
+
+    def test_brute_force_solver(self):
+        assert brute_force_3coloring(*PATH) is not None
+        assert brute_force_3coloring(*TRIANGLE) is not None
+        assert brute_force_3coloring(*K4) is None
+
+    def test_is_legal_coloring(self):
+        assert is_legal_coloring(PATH[1], {"a": 0, "b": 1, "c": 0})
+        assert not is_legal_coloring(PATH[1], {"a": 0, "b": 0, "c": 1})
+        assert not is_legal_coloring(PATH[1], {"a": 0, "b": 5, "c": 1})
+
+    def test_encoding_join_tree_is_valid_width1_decomposition(self):
+        vertices, edges = TRIANGLE
+        colouring = brute_force_3coloring(vertices, edges)
+        hd = coloring_join_tree(vertices, edges, colouring)
+        assert hd.is_valid()
+        assert hd.width == 1
+        assert hd.is_complete()
+        # It really is a member of JT_H: singleton λ labels, one per edge.
+        join_tree = decomposition_to_join_tree(hd)
+        assert join_tree.satisfies_connectedness()
+
+    def test_legal_coloring_gets_weight_zero(self):
+        for vertices, edges in (PATH, TRIANGLE):
+            colouring = brute_force_3coloring(vertices, edges)
+            hwf = coloring_hwf(vertices, edges)
+            hd = coloring_join_tree(vertices, edges, colouring)
+            assert hwf.weigh(hd) == 0.0
+
+    def test_illegal_coloring_gets_weight_one(self):
+        vertices, edges = TRIANGLE
+        hwf = coloring_hwf(vertices, edges)
+        bad = {"a": 0, "b": 0, "c": 1}
+        hd = coloring_join_tree(vertices, edges, bad)
+        assert hwf.weigh(hd) == 1.0
+
+    def test_uncolorable_graph_never_reaches_zero(self):
+        # K4 is not 3-colourable: every assignment-shaped join tree weighs 1.
+        from itertools import product
+
+        vertices, edges = K4
+        hwf = coloring_hwf(vertices, edges)
+        weights = set()
+        for colours in product(range(3), repeat=len(vertices)):
+            assignment = dict(zip(vertices, colours))
+            hd = coloring_join_tree(vertices, edges, assignment)
+            weights.add(hwf.weigh(hd))
+        assert weights == {1.0}
+
+
+class TestBCQReduction:
+    @pytest.fixture
+    def query(self):
+        return build_query([("r", ["X", "Y"]), ("s", ["Y", "Z"])], name="bcq")
+
+    def _database(self, match: bool) -> Database:
+        s_rows = [(2, 5)] if match else [(9, 5)]
+        return Database(
+            relations={
+                "r": Relation("r", ["x", "y"], [(1, 2), (3, 4)]),
+                "s": Relation("s", ["y", "z"], s_rows),
+            }
+        )
+
+    def test_hypergraph_construction(self, query):
+        reduction = BCQReduction(query, self._database(True))
+        h = reduction.hypergraph
+        # One h_i edge per atom plus one h_ij edge per tuple: 2 + (2 + 1).
+        assert h.num_edges() == 5
+        assert is_acyclic(h)
+        assert len(reduction.tuple_rows) == 3
+
+    def test_minimum_weight_zero_iff_query_true(self, query):
+        assert reduction_minimum_weight(query, self._database(True), k=1) == 0.0
+        assert reduction_minimum_weight(query, self._database(False), k=1) > 0.0
+
+    def test_weight_zero_decomposition_decodes_to_satisfying_assignment(self, query):
+        database = self._database(True)
+        reduction = BCQReduction(query, database)
+        hd = minimal_k_decomp(reduction.hypergraph, 1, reduction.taf())
+        assignment = reduction.decode_assignment(hd)
+        assert assignment is not None
+        assert reduction.assignment_is_satisfying(assignment)
+
+    def test_non_boolean_query_rejected(self):
+        query = build_query([("r", ["X"])], output_variables=["X"])
+        database = Database(relations={"r": Relation("r", ["x"], [(1,)])})
+        with pytest.raises(Exception):
+            BCQReduction(query, database)
+
+    def test_larger_chain_query(self):
+        query = build_query(
+            [("r", ["X", "Y"]), ("s", ["Y", "Z"]), ("t", ["Z", "W"])], name="chain"
+        )
+        database = Database(
+            relations={
+                "r": Relation("r", ["x", "y"], [(1, 2)]),
+                "s": Relation("s", ["y", "z"], [(2, 3), (7, 8)]),
+                "t": Relation("t", ["z", "w"], [(3, 4)]),
+            }
+        )
+        assert reduction_minimum_weight(query, database, k=1) == 0.0
+        # Break the chain.
+        database_broken = Database(
+            relations={
+                "r": Relation("r", ["x", "y"], [(1, 2)]),
+                "s": Relation("s", ["y", "z"], [(2, 3)]),
+                "t": Relation("t", ["z", "w"], [(9, 4)]),
+            }
+        )
+        assert reduction_minimum_weight(query, database_broken, k=1) > 0.0
