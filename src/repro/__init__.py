@@ -18,6 +18,7 @@ Typical entry points::
     )
 """
 
+from repro.core import BitsetHypergraph, Vocabulary
 from repro.hypergraph import Hypergraph, build_join_tree, is_acyclic
 from repro.query import Atom, ConjunctiveQuery, build_query, parse_query, q0, q1, q2, q3
 from repro.decomposition import (
@@ -65,6 +66,8 @@ from repro.planner import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BitsetHypergraph",
+    "Vocabulary",
     "Hypergraph",
     "is_acyclic",
     "build_join_tree",

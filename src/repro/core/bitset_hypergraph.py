@@ -1,0 +1,207 @@
+"""A bitset view of a :class:`~repro.hypergraph.hypergraph.Hypergraph`.
+
+Vertices and edges are interned to dense integer ids (vertices in sorted
+name order, edges in sorted name order), so that
+
+* a vertex set is an ``int`` vertex mask,
+* an edge set is an ``int`` edge mask,
+* ``var(S)``, ``edges(C)`` and [V]-component computation are loops over set
+  bits with ``&``/``|`` combining, and
+* the lowest set bit of a vertex mask is its lexicographically smallest
+  vertex, which keeps the *component* ordering (sorted by smallest vertex)
+  identical to the historical frozenset implementation.  Whole-mask numeric
+  comparison is NOT name-lexicographic; orderings that must match the
+  historical one (e.g. tie-breaking in ``Select-hypertree``) translate back
+  to names first.
+
+Component computation is the single hottest operation of the candidates
+graph (it runs once per k-vertex, and ``Ψ`` of those exist), so
+:meth:`BitsetHypergraph.components` is memoised with an LRU keyed by the
+separator mask -- distinct k-vertices frequently share ``var(S)``.
+
+Instances are obtained via :meth:`Hypergraph.bitset`, which caches one view
+per hypergraph; translation dictionaries intern the frozensets produced for
+each distinct mask, so converting the same component back to names twice
+returns the *same* object and costs a dict lookup.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.vocabulary import Vocabulary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (Hypergraph → core)
+    from repro.hypergraph.hypergraph import Hypergraph
+
+#: Cache size for the per-separator component memo.  Ψ for the largest
+#: in-repo workloads is in the low tens of thousands; the memo is per
+#: hypergraph, so this comfortably covers every separator a planning run
+#: can produce without letting pathological sweeps grow without bound.
+_COMPONENT_CACHE_SIZE = 65536
+
+
+class BitsetHypergraph:
+    """Integer-mask mirror of an immutable hypergraph."""
+
+    __slots__ = (
+        "hypergraph",
+        "vertices",
+        "edges",
+        "edge_masks",
+        "vertex_edges",
+        "all_vertices",
+        "all_edges",
+        "components",
+        "_vertex_set_cache",
+        "_edge_set_cache",
+    )
+
+    def __init__(self, hypergraph: "Hypergraph") -> None:
+        self.hypergraph = hypergraph
+        self.vertices = Vocabulary(sorted(hypergraph.vertices))
+        self.edges = Vocabulary(hypergraph.edge_names)  # already sorted
+
+        vertex_index = self.vertices.index_of
+        edge_masks: List[int] = []
+        vertex_edges: List[int] = [0] * len(self.vertices)
+        for edge_id, name in enumerate(self.edges):
+            mask = 0
+            for vertex in hypergraph.edge_vertices(name):
+                mask |= 1 << vertex_index(vertex)
+            edge_masks.append(mask)
+            edge_bit = 1 << edge_id
+            remaining = mask
+            while remaining:
+                bit = remaining & -remaining
+                vertex_edges[bit.bit_length() - 1] |= edge_bit
+                remaining ^= bit
+        self.edge_masks: Tuple[int, ...] = tuple(edge_masks)
+        self.vertex_edges: Tuple[int, ...] = tuple(vertex_edges)
+        self.all_vertices: int = self.vertices.universe
+        self.all_edges: int = self.edges.universe
+
+        self.components = lru_cache(maxsize=_COMPONENT_CACHE_SIZE)(
+            self._components_uncached
+        )
+        self._vertex_set_cache: Dict[int, FrozenSet[str]] = {}
+        self._edge_set_cache: Dict[int, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Mask ↔ name translation (the string boundary)
+    # ------------------------------------------------------------------
+    def vertex_mask(self, names: Iterable[str], strict: bool = False) -> int:
+        """Mask of a vertex-name collection; unknown names are ignored by
+        default (separators historically tolerated foreign vertices)."""
+        return self.vertices.mask(names, strict=strict)
+
+    def edge_mask(self, names: Iterable[str]) -> int:
+        try:
+            return self.edges.mask(names)
+        except KeyError as exc:
+            from repro.exceptions import HypergraphError
+
+            raise HypergraphError(f"unknown edge {exc.args[0]!r}") from exc
+
+    def vertex_names(self, mask: int) -> FrozenSet[str]:
+        """The interned frozenset of vertex names for a mask."""
+        cached = self._vertex_set_cache.get(mask)
+        if cached is None:
+            cached = self.vertices.name_set(mask)
+            self._vertex_set_cache[mask] = cached
+        return cached
+
+    def edge_names(self, mask: int) -> FrozenSet[str]:
+        """The interned frozenset of edge names for a mask."""
+        cached = self._edge_set_cache.get(mask)
+        if cached is None:
+            cached = self.edges.name_set(mask)
+            self._edge_set_cache[mask] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Mask algebra
+    # ------------------------------------------------------------------
+    def var_of_edges(self, edge_mask: int) -> int:
+        """``var(S)`` as a vertex mask, for an edge mask ``S``."""
+        edge_masks = self.edge_masks
+        result = 0
+        while edge_mask:
+            bit = edge_mask & -edge_mask
+            result |= edge_masks[bit.bit_length() - 1]
+            edge_mask ^= bit
+        return result
+
+    def edges_touching(self, vertex_mask: int) -> int:
+        """``edges(C)`` as an edge mask: edges with a vertex in the mask."""
+        vertex_edges = self.vertex_edges
+        result = 0
+        while vertex_mask:
+            bit = vertex_mask & -vertex_mask
+            result |= vertex_edges[bit.bit_length() - 1]
+            vertex_mask ^= bit
+        return result
+
+    # ------------------------------------------------------------------
+    # [V]-components (edge-BFS)
+    # ------------------------------------------------------------------
+    def _components_uncached(self, separator: int) -> Tuple[int, ...]:
+        """All [separator]-components as vertex masks.
+
+        BFS over *edges*: grow each component by OR-ing in the
+        separator-reduced vertex masks of the not-yet-used edges touching
+        its frontier.  An edge can contribute to at most one component, so
+        the total work is linear in the number of (edge, incident vertex)
+        pairs.  Components come out ordered by their smallest vertex (the
+        lowest unseen bit seeds each BFS), matching the historical sort.
+        """
+        remaining = self.all_vertices & ~separator
+        if not remaining:
+            return ()
+        not_separator = remaining
+        edge_masks = self.edge_masks
+        vertex_edges = self.vertex_edges
+        reduced = [mask & not_separator for mask in edge_masks]
+
+        components: List[int] = []
+        used_edges = 0
+        unseen = remaining
+        while unseen:
+            start = unseen & -unseen
+            component = start
+            frontier = start
+            while frontier:
+                touching = 0
+                probe = frontier
+                while probe:
+                    bit = probe & -probe
+                    touching |= vertex_edges[bit.bit_length() - 1]
+                    probe ^= bit
+                touching &= ~used_edges
+                used_edges |= touching
+                grown = 0
+                while touching:
+                    bit = touching & -touching
+                    grown |= reduced[bit.bit_length() - 1]
+                    touching ^= bit
+                frontier = grown & ~component
+                component |= grown
+            components.append(component)
+            unseen &= ~component
+        return tuple(components)
+
+    def component_of(self, vertex_bit: int, separator: int) -> int:
+        """The [separator]-component containing the given single-bit vertex
+        mask; ``0`` when the vertex lies inside the separator."""
+        if vertex_bit & separator:
+            return 0
+        for component in self.components(separator):
+            if component & vertex_bit:
+                return component
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BitsetHypergraph(|V|={len(self.vertices)}, |E|={len(self.edges)})"
+        )

@@ -1,0 +1,96 @@
+"""String ↔ dense-integer interning.
+
+A :class:`Vocabulary` assigns consecutive integer ids (and hence bit
+positions) to a universe of names.  Ids are dense, so a set of names is a
+bitmask and an id-indexed list is a perfect-hash table.  Vocabularies are
+append-only; the decomposition core builds them once per hypergraph, in
+sorted name order, which makes mask comparisons agree with lexicographic
+name comparisons (the lowest set bit of a mask is its smallest name).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+
+class Vocabulary:
+    """An append-only interner mapping names to dense integer ids."""
+
+    __slots__ = ("_names", "_index")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        for name in names:
+            self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """The id of ``name``, assigning the next free id on first sight."""
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._names)
+            self._index[name] = index
+            self._names.append(name)
+        return index
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def bit(self, name: str) -> int:
+        """The single-bit mask of ``name`` (which must be interned)."""
+        return 1 << self._index[name]
+
+    @property
+    def universe(self) -> int:
+        """The mask with every interned name set."""
+        return (1 << len(self._names)) - 1
+
+    # ------------------------------------------------------------------
+    def mask(self, names: Iterable[str], strict: bool = True) -> int:
+        """The mask of a collection of names.
+
+        With ``strict=False`` unknown names are silently ignored (useful at
+        API boundaries that historically tolerated foreign vertices in
+        separators).
+        """
+        index = self._index
+        mask = 0
+        if strict:
+            for name in names:
+                mask |= 1 << index[name]
+        else:
+            for name in names:
+                i = index.get(name)
+                if i is not None:
+                    mask |= 1 << i
+        return mask
+
+    def names(self, mask: int) -> Tuple[str, ...]:
+        """The names of a mask, in id (= insertion) order."""
+        result: List[str] = []
+        names = self._names
+        while mask:
+            bit = mask & -mask
+            result.append(names[bit.bit_length() - 1])
+            mask ^= bit
+        return tuple(result)
+
+    def name_set(self, mask: int) -> FrozenSet[str]:
+        """The names of a mask as a fresh frozenset."""
+        return frozenset(self.names(mask))
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self._names)} names)"

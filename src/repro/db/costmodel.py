@@ -58,10 +58,12 @@ class CardinalityEstimator:
         for atom in query.atoms:
             self._profiles[atom.name] = self._profile(atom)
         # Estimation is called very heavily by the planner (once per candidate
-        # node and tree edge of the candidates graph), so memoise the two
-        # purely statistics-driven quantities.
+        # node and tree edge of the candidates graph), so memoise every
+        # purely statistics-driven quantity.
         self._join_cache: Dict[Tuple[str, ...], float] = {}
         self._projection_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
+        self._domain_cache: Dict[Tuple[str, Optional[Tuple[str, ...]]], float] = {}
+        self._node_cost_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
 
     # ------------------------------------------------------------------
     def _profile(self, atom: Atom) -> AtomProfile:
@@ -140,6 +142,10 @@ class CardinalityEstimator:
         """An upper bound on the number of distinct values ``variable`` can
         take in the join of the given atoms (the smallest distinct count over
         the atoms that contain it)."""
+        key = (variable, tuple(atom_names) if atom_names is not None else None)
+        cached = self._domain_cache.get(key)
+        if cached is not None:
+            return cached
         names = list(atom_names) if atom_names is not None else [
             a.name for a in self.query.atoms
         ]
@@ -148,7 +154,9 @@ class CardinalityEstimator:
             atom = self.query.atom_by_name(name)
             if variable in atom.variables:
                 counts.append(self.profile(name).selectivity(variable))
-        return min(counts) if counts else 1.0
+        result = min(counts) if counts else 1.0
+        self._domain_cache[key] = result
+        return result
 
     def projection_cardinality(
         self, atom_names: Sequence[str], variables: Iterable[str]
@@ -176,7 +184,18 @@ class CardinalityEstimator:
         Sum of (i) the input cardinalities, (ii) the estimated sizes of the
         intermediate results of a smallest-first left-deep join over the λ
         atoms, and (iii) the size of the projected output.
+
+        Memoised on ``(λ atoms, projection)``: distinct candidates of the
+        candidates graph frequently share both labels.
         """
+        # Materialise both iterables once: ``projection`` may be a one-shot
+        # iterator, and it is consumed again below.
+        atom_names = tuple(atom_names)
+        projection = tuple(sorted(projection))
+        key = (tuple(sorted(atom_names)), projection)
+        cached = self._node_cost_cache.get(key)
+        if cached is not None:
+            return cached
         names = sorted(atom_names, key=lambda n: self.profile(n).cardinality)
         if not names:
             return 0.0
@@ -184,6 +203,7 @@ class CardinalityEstimator:
         for prefix_length in range(2, len(names) + 1):
             cost += self.join_cardinality(names[:prefix_length])
         cost += self.projection_cardinality(names, projection)
+        self._node_cost_cache[key] = cost
         return cost
 
     def semijoin_cost(

@@ -27,6 +27,22 @@ differ in how they pick among a subproblem's surviving candidates.
 
 Node χ/λ labels follow the paper: for a candidate ``p = (S, C)``,
 ``λ(p) = S`` and ``χ(p) = var(edges(C)) ∩ var(S)``.
+
+**Representation.**  Construction and the algorithms run entirely on the
+bitset core (:mod:`repro.core`): a k-vertex is an *edge mask* ``int``, a
+component is a *vertex mask* ``int``, and a node's identity is its
+``(edge mask, vertex mask)`` pair.  Nodes are additionally interned to dense
+integer ids (``N_sub`` and ``N_sol`` separately), so the graph is stored as
+parallel arrays indexed by those ids -- ``cand_lambda[i]`` / ``cand_chi[i]``
+/ ``cand_subs[i]`` for candidate ``i``, ``sub_solvers[q]`` /
+``sub_dependents[q]`` for subproblem ``q`` -- and every inner
+candidate-filter loop is a single ``&`` on ints with no per-test
+``frozenset`` allocation and no hashing at all.
+
+The historical frozenset-of-names surface (``subproblems``, ``candidates``,
+``solvers``, ``candidates_for`` …) is preserved as a lazily built mirror
+translated once per distinct mask -- built on first access, so
+algorithm-only users never pay for it.
 """
 
 from __future__ import annotations
@@ -37,7 +53,6 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.decomposition.hypertree import DecompositionNode
 from repro.exceptions import DecompositionError
-from repro.hypergraph.components import components
 from repro.hypergraph.hypergraph import EdgeName, Hypergraph, Vertex
 
 KVertex = FrozenSet[EdgeName]
@@ -48,6 +63,10 @@ Subproblem = Tuple[KVertex, Component]
 #: A candidate node ``(S, C)`` of ``N_sol``.
 Candidate = Tuple[KVertex, Component]
 
+#: Mask-space node keys: ``(edge mask, vertex mask)`` pairs.
+MaskSubproblem = Tuple[int, int]
+MaskCandidate = Tuple[int, int]
+
 
 def k_vertices(hypergraph: Hypergraph, k: int) -> Tuple[KVertex, ...]:
     """All k-vertices: non-empty sets of at most ``k`` hyperedges.
@@ -55,14 +74,30 @@ def k_vertices(hypergraph: Hypergraph, k: int) -> Tuple[KVertex, ...]:
     The count of these is the quantity ``Ψ = Σ_{i=1..k} C(n, i)`` the paper
     contrasts with the crude ``n^k`` bound after Theorem 4.5.
     """
+    bitset_view = _require_positive_k(hypergraph, k)
+    edge_names = bitset_view.edge_names
+    return tuple(edge_names(mask) for mask in k_vertex_masks(hypergraph, k))
+
+
+def k_vertex_masks(hypergraph: Hypergraph, k: int) -> Tuple[int, ...]:
+    """All k-vertices as edge masks, in the canonical (size, lexicographic)
+    enumeration order of :func:`k_vertices`."""
+    bitset_view = _require_positive_k(hypergraph, k)
+    num_edges = len(bitset_view.edges)
+    result: List[int] = []
+    for size in range(1, min(k, num_edges) + 1):
+        for combo in combinations(range(num_edges), size):
+            mask = 0
+            for index in combo:
+                mask |= 1 << index
+            result.append(mask)
+    return tuple(result)
+
+
+def _require_positive_k(hypergraph: Hypergraph, k: int):
     if k < 1:
         raise DecompositionError("the width bound k must be at least 1")
-    names = hypergraph.edge_names
-    result: List[KVertex] = []
-    for size in range(1, min(k, len(names)) + 1):
-        for combo in combinations(names, size):
-            result.append(frozenset(combo))
-    return tuple(result)
+    return hypergraph.bitset()
 
 
 def count_k_vertices(num_edges: int, k: int) -> int:
@@ -95,8 +130,24 @@ class CandidatesGraph:
     """The bipartite candidates graph for a hypergraph and width bound ``k``.
 
     Construction performs the whole *Build the Candidates Graph* phase of
-    Fig. 2; the evaluation phase belongs to the algorithms that use the graph
-    (:mod:`repro.decomposition.minimal`).
+    Fig. 2 on integer masks; the evaluation phase belongs to the algorithms
+    that use the graph (:mod:`repro.decomposition.minimal`).
+
+    Dense-id arrays (the algorithms' surface; ``q`` ranges over subproblem
+    ids, ``i`` over candidate ids):
+
+    ``sub_keys[q]``
+        the ``(edge mask, vertex mask)`` identity of subproblem ``q``; the
+        root subproblem ``(∅, var(H))`` is always id 0.
+    ``sub_solvers[q]`` / ``sub_dependents[q]``
+        candidate-id tuples: ``incoming(q)`` / ``outcoming(q)``.
+    ``sub_order``
+        subproblem ids by increasing component size -- the Fig. 2 extraction
+        order (a subproblem is processed only after everything below it).
+    ``cand_keys[i]`` / ``cand_lambda[i]`` / ``cand_var[i]`` /
+    ``cand_chi[i]`` / ``cand_comp[i]`` / ``cand_subs[i]``
+        per-candidate identity, ``λ`` edge mask, ``var(λ)`` vertex mask,
+        ``χ`` vertex mask, component vertex mask, and subproblem-id tuple.
     """
 
     def __init__(self, hypergraph: Hypergraph, k: int) -> None:
@@ -104,151 +155,257 @@ class CandidatesGraph:
             raise DecompositionError("cannot decompose a hypergraph with no edges")
         self.hypergraph = hypergraph
         self.k = k
-        self.root_subproblem: Subproblem = (frozenset(), frozenset(hypergraph.vertices))
+        bitset = hypergraph.bitset()
+        self.bitset = bitset
+        all_vertices = bitset.all_vertices
+        self.root_subproblem: Subproblem = (
+            frozenset(),
+            bitset.vertex_names(all_vertices),
+        )
 
-        self._k_vertices: Tuple[KVertex, ...] = k_vertices(hypergraph, k)
-        self._var_of_kvertex: Dict[KVertex, FrozenSet[Vertex]] = {
-            kv: hypergraph.var(kv) for kv in self._k_vertices
-        }
-        self._components_of_kvertex: Dict[KVertex, Tuple[Component, ...]] = {
-            kv: components(hypergraph, self._var_of_kvertex[kv])
-            for kv in self._k_vertices
-        }
+        self._kv_masks: Tuple[int, ...] = k_vertex_masks(hypergraph, k)
+        components_of = bitset.components
+        var_of_edges = bitset.var_of_edges
+        var_of: Dict[int, int] = {}
 
         # --- N_sub -----------------------------------------------------
-        self.subproblems: List[Subproblem] = [self.root_subproblem]
-        seen_components: set = {self.root_subproblem[1]}
-        for kv in self._k_vertices:
-            for component in self._components_of_kvertex[kv]:
-                self.subproblems.append((kv, component))
-                seen_components.add(component)
+        # The root subproblem gets id 0; per k-vertex, one subproblem per
+        # [var(S)]-component.  ``kv_items`` carries, per k-vertex, its
+        # component/subproblem-id pairs for the candidate loop below.
+        sub_keys: List[MaskSubproblem] = [(0, all_vertices)]
+        kv_items: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+        # dict-as-ordered-set: deterministic iteration over distinct components
+        seen_components: Dict[int, None] = {all_vertices: None}
+        for kv in self._kv_masks:
+            variables = var_of_edges(kv)
+            var_of[kv] = variables
+            kv_subs: List[Tuple[int, int]] = []
+            for component in components_of(variables):
+                kv_subs.append((component, len(sub_keys)))
+                sub_keys.append((kv, component))
+                seen_components[component] = None
+            kv_items.append((kv, variables, kv_subs))
+        self.sub_keys: List[MaskSubproblem] = sub_keys
+        self._mvar_of = var_of
 
-        # Cache var(edges(C)) and edges(C) for every distinct component.
-        self._component_frontier: Dict[Component, FrozenSet[Vertex]] = {}
-        self._component_edges: Dict[Component, FrozenSet[EdgeName]] = {}
+        # Cache edges(C) and var(edges(C)) for every distinct component.
+        edges_touching = bitset.edges_touching
+        frontier_of: Dict[int, int] = {}
+        component_edges: Dict[int, int] = {}
+        component_rows: List[Tuple[int, int, int]] = []
         for component in seen_components:
-            edge_names = hypergraph.edges_touching(component)
-            self._component_edges[component] = edge_names
-            self._component_frontier[component] = hypergraph.var(edge_names)
+            edges = edges_touching(component)
+            component_edges[component] = edges
+            frontier = var_of_edges(edges)
+            frontier_of[component] = frontier
+            component_rows.append((component, frontier, edges_touching(frontier)))
+        self._mfrontier_of = frontier_of
+        self._mcomponent_edges = component_edges
 
         # --- N_sol -----------------------------------------------------
-        self.candidates: Dict[Candidate, CandidateInfo] = {}
-        for component in seen_components:
-            frontier = self._component_frontier[component]
-            for kv in self._k_vertices:
-                kv_vars = self._var_of_kvertex[kv]
+        # Pure mask algebra: membership, covering and subset tests are all
+        # single &/~ operations on ints; candidates are appended to parallel
+        # arrays, so the loop performs no hashing.
+        cand_keys: List[MaskCandidate] = []
+        cand_lambda: List[int] = []
+        cand_var: List[int] = []
+        cand_chi: List[int] = []
+        cand_comp: List[int] = []
+        cand_subs: List[Tuple[int, ...]] = []
+        by_component: Dict[int, List[int]] = {c: [] for c in seen_components}
+        for component, frontier, allowed_edges in component_rows:
+            component_cands = by_component[component]
+            for kv, kv_vars, kv_subs in kv_items:
                 if not kv_vars & component:
                     continue
-                if any(
-                    not (hypergraph.edge_vertices(h) & frontier) for h in kv
-                ):
+                if kv & ~allowed_edges:
                     continue
-                chi = frontier & kv_vars
-                subs = tuple(
-                    (kv, sub_component)
-                    for sub_component in self._components_of_kvertex[kv]
-                    if sub_component <= component
+                component_cands.append(len(cand_keys))
+                cand_keys.append((kv, component))
+                cand_lambda.append(kv)
+                cand_var.append(kv_vars)
+                cand_chi.append(frontier & kv_vars)
+                cand_comp.append(component)
+                cand_subs.append(
+                    tuple(
+                        sub_id
+                        for sub_component, sub_id in kv_subs
+                        if not sub_component & ~component
+                    )
                 )
-                key: Candidate = (kv, component)
-                self.candidates[key] = CandidateInfo(
-                    key=key,
-                    lambda_edges=kv,
-                    chi=chi,
-                    component=component,
-                    subproblems=subs,
-                )
+        self.cand_keys = cand_keys
+        self.cand_lambda = cand_lambda
+        self.cand_var = cand_var
+        self.cand_chi = cand_chi
+        self.cand_comp = cand_comp
+        self.cand_subs = cand_subs
+
+        # --- arcs: subproblem -> candidates that depend on it -------------
+        # (the reverse of ``cand_subs``; the evaluation phase walks this
+        # index, so build it once here).
+        dependents_lists: List[List[int]] = [[] for _ in sub_keys]
+        for cand_id, subs in enumerate(cand_subs):
+            for sub_id in subs:
+                dependents_lists[sub_id].append(cand_id)
+        self.sub_dependents: List[Tuple[int, ...]] = [
+            tuple(cands) for cands in dependents_lists
+        ]
 
         # --- arcs: candidate -> subproblems it can solve -----------------
         # Index candidates by their component so the scan is linear in the
         # number of (subproblem, same-component candidate) pairs.
-        by_component: Dict[Component, List[Candidate]] = {}
-        for key in self.candidates:
-            by_component.setdefault(key[1], []).append(key)
-
-        # --- arcs: subproblem -> candidates that depend on it -------------
-        # (the reverse of ``CandidateInfo.subproblems``; the evaluation phase
-        # walks this index, so build it once here).
-        self.dependents: Dict[Subproblem, List[Candidate]] = {}
-        for key, info in self.candidates.items():
-            for subproblem in info.subproblems:
-                self.dependents.setdefault(subproblem, []).append(key)
-
-        self.solvers: Dict[Subproblem, Tuple[Candidate, ...]] = {}
-        for subproblem in self.subproblems:
-            r_kvertex, component = subproblem
-            r_vars = (
-                self._var_of_kvertex[r_kvertex] if r_kvertex else frozenset()
+        sub_solvers: List[Tuple[int, ...]] = []
+        for r_mask, component in sub_keys:
+            boundary = frontier_of[component] & (var_of[r_mask] if r_mask else 0)
+            sub_solvers.append(
+                tuple(
+                    cand_id
+                    for cand_id in by_component[component]
+                    if not boundary & ~cand_var[cand_id]
+                )
             )
-            boundary = self._component_frontier[component] & r_vars
-            matching: List[Candidate] = []
-            for candidate_key in by_component.get(component, ()):
-                s_kvertex, _ = candidate_key
-                if boundary <= self._var_of_kvertex[s_kvertex]:
-                    matching.append(candidate_key)
-            self.solvers[subproblem] = tuple(matching)
+        self.sub_solvers = sub_solvers
+
+        # Processing order (increasing component size; ties broken by the
+        # canonical masks, which are deterministic per hypergraph).
+        self.sub_order: List[int] = sorted(
+            range(len(sub_keys)),
+            key=lambda sub_id: (
+                sub_keys[sub_id][1].bit_count(),
+                sub_keys[sub_id][1],
+                sub_keys[sub_id][0],
+            ),
+        )
+
+        # Lazily built frozenset-of-names mirror (see class docstring).
+        self._public: Optional[_PublicMirror] = None
 
     # ------------------------------------------------------------------
-    # Accessors used by the algorithms
+    # Dense-id accessors (the algorithms' hot path)
+    # ------------------------------------------------------------------
+    @property
+    def num_candidates(self) -> int:
+        return len(self.cand_keys)
+
+    @property
+    def num_subproblems(self) -> int:
+        return len(self.sub_keys)
+
+    #: The root subproblem ``(∅, var(H))`` always receives id 0.
+    ROOT_SUBPROBLEM_ID = 0
+
+    def node_view(self, cand_id: int, node_id: int) -> DecompositionNode:
+        """The string-labelled :class:`DecompositionNode` of a candidate id
+        (the translation boundary for TAFs and emitted decompositions)."""
+        bitset = self.bitset
+        return DecompositionNode(
+            node_id=node_id,
+            lambda_edges=bitset.edge_names(self.cand_lambda[cand_id]),
+            chi=bitset.vertex_names(self.cand_chi[cand_id]),
+            component=bitset.vertex_names(self.cand_comp[cand_id]),
+        )
+
+    # ------------------------------------------------------------------
+    # Mask ↔ name translation of node keys
+    # ------------------------------------------------------------------
+    def to_subproblem(self, subproblem: MaskSubproblem) -> Subproblem:
+        kv, component = subproblem
+        return (self.bitset.edge_names(kv), self.bitset.vertex_names(component))
+
+    #: Candidates and subproblems share the ``(edge set, vertex set)`` shape.
+    to_candidate = to_subproblem
+
+    def public_candidate(self, cand_id: int) -> Candidate:
+        return self.to_candidate(self.cand_keys[cand_id])
+
+    def public_subproblem(self, sub_id: int) -> Subproblem:
+        return self.to_subproblem(self.sub_keys[sub_id])
+
+    # ------------------------------------------------------------------
+    # Frozenset-of-names mirror (public compatibility surface)
+    # ------------------------------------------------------------------
+    def _mirror(self) -> "_PublicMirror":
+        if self._public is None:
+            self._public = _PublicMirror(self)
+        return self._public
+
+    @property
+    def subproblems(self) -> List[Subproblem]:
+        return self._mirror().subproblems
+
+    @property
+    def candidates(self) -> Dict[Candidate, CandidateInfo]:
+        return self._mirror().candidates
+
+    @property
+    def solvers(self) -> Dict[Subproblem, Tuple[Candidate, ...]]:
+        return self._mirror().solvers
+
+    @property
+    def dependents(self) -> Dict[Subproblem, List[Candidate]]:
+        return self._mirror().dependents
+
+    # ------------------------------------------------------------------
+    # Accessors used by tests and by presentation code
     # ------------------------------------------------------------------
     @property
     def num_k_vertices(self) -> int:
-        return len(self._k_vertices)
+        return len(self._kv_masks)
 
     def all_k_vertices(self) -> Tuple[KVertex, ...]:
-        return self._k_vertices
+        edge_names = self.bitset.edge_names
+        return tuple(edge_names(mask) for mask in self._kv_masks)
 
     def var_of(self, kvertex: KVertex) -> FrozenSet[Vertex]:
         if not kvertex:
             return frozenset()
-        return self._var_of_kvertex[kvertex]
+        bitset = self.bitset
+        return bitset.vertex_names(self._mvar_of[bitset.edge_mask(kvertex)])
 
     def component_frontier(self, component: Component) -> FrozenSet[Vertex]:
         """``var(edges(C))`` for a component that appears in the graph."""
-        return self._component_frontier[component]
+        bitset = self.bitset
+        return bitset.vertex_names(
+            self._mfrontier_of[bitset.vertex_mask(component, strict=True)]
+        )
 
     def component_edges(self, component: Component) -> FrozenSet[EdgeName]:
-        return self._component_edges[component]
+        bitset = self.bitset
+        return bitset.edge_names(
+            self._mcomponent_edges[bitset.vertex_mask(component, strict=True)]
+        )
 
     def candidate_info(self, key: Candidate) -> CandidateInfo:
-        return self.candidates[key]
+        return self._mirror().candidates[key]
 
     def candidates_for(self, subproblem: Subproblem) -> Tuple[Candidate, ...]:
         """``incoming(q)`` for a subproblem ``q`` (before any pruning)."""
-        return self.solvers[subproblem]
+        return self._mirror().solvers[subproblem]
 
     def subproblems_of(self, candidate: Candidate) -> Tuple[Subproblem, ...]:
         """``incoming(p)`` for a candidate ``p``: its child subproblems."""
-        return self.candidates[candidate].subproblems
+        return self._mirror().candidates[candidate].subproblems
 
     def dependents_of(self, subproblem: Subproblem) -> Tuple[Candidate, ...]:
         """``outcoming(q)`` for a subproblem ``q``: the candidates that have
         ``q`` among their subproblems."""
-        return tuple(self.dependents.get(subproblem, ()))
+        return tuple(self._mirror().dependents.get(subproblem, ()))
 
     def subproblems_sorted_for_processing(self) -> List[Subproblem]:
-        """Subproblems ordered by increasing component size.
-
-        Because every subproblem of a candidate for component ``C`` lives in
-        a strictly smaller component, this order guarantees that when a
-        subproblem is processed all candidates solving it already had their
-        own subproblems processed -- exactly the extraction condition
-        ``incoming(q) ⊆ weighted`` of Fig. 2.
-        """
-        return sorted(
-            self.subproblems,
-            key=lambda sub: (len(sub[1]), sorted(sub[1]), sorted(sub[0])),
-        )
+        """The processing order of :attr:`sub_order`, translated to the
+        frozenset surface."""
+        return [self.public_subproblem(sub_id) for sub_id in self.sub_order]
 
     # ------------------------------------------------------------------
     def size_report(self) -> Dict[str, int]:
         """Node/arc counts, matching the quantities in the Theorem 4.5
         complexity discussion."""
-        solver_arcs = sum(len(v) for v in self.solvers.values())
-        subproblem_arcs = sum(len(info.subproblems) for info in self.candidates.values())
+        solver_arcs = sum(len(v) for v in self.sub_solvers)
+        subproblem_arcs = sum(len(subs) for subs in self.cand_subs)
         return {
-            "k_vertices": len(self._k_vertices),
-            "subproblems": len(self.subproblems),
-            "candidates": len(self.candidates),
+            "k_vertices": len(self._kv_masks),
+            "subproblems": len(self.sub_keys),
+            "candidates": len(self.cand_keys),
             "solver_arcs": solver_arcs,
             "subproblem_arcs": subproblem_arcs,
         }
@@ -259,3 +416,43 @@ class CandidatesGraph:
             f"CandidatesGraph(k={self.k}, |N_sub|={report['subproblems']}, "
             f"|N_sol|={report['candidates']})"
         )
+
+
+class _PublicMirror:
+    """The frozenset-of-names view of a mask-space candidates graph.
+
+    Built once, on first access to any of the public collections; every
+    distinct mask is translated exactly once (the bitset view interns the
+    frozensets), so the mirror costs O(nodes + arcs) dict work and shares
+    all set objects with the node labels the algorithms emit.
+    """
+
+    __slots__ = ("subproblems", "candidates", "solvers", "dependents")
+
+    def __init__(self, graph: CandidatesGraph) -> None:
+        translate = graph.to_subproblem
+        public_subs: List[Subproblem] = [translate(key) for key in graph.sub_keys]
+        self.subproblems: List[Subproblem] = public_subs
+        edge_names = graph.bitset.edge_names
+        vertex_names = graph.bitset.vertex_names
+        public_cands: List[Candidate] = [translate(key) for key in graph.cand_keys]
+        self.candidates: Dict[Candidate, CandidateInfo] = {}
+        for cand_id, public_key in enumerate(public_cands):
+            self.candidates[public_key] = CandidateInfo(
+                key=public_key,
+                lambda_edges=edge_names(graph.cand_lambda[cand_id]),
+                chi=vertex_names(graph.cand_chi[cand_id]),
+                component=vertex_names(graph.cand_comp[cand_id]),
+                subproblems=tuple(
+                    public_subs[sub_id] for sub_id in graph.cand_subs[cand_id]
+                ),
+            )
+        self.solvers: Dict[Subproblem, Tuple[Candidate, ...]] = {
+            public_subs[sub_id]: tuple(public_cands[c] for c in solved_by)
+            for sub_id, solved_by in enumerate(graph.sub_solvers)
+        }
+        self.dependents: Dict[Subproblem, List[Candidate]] = {
+            public_subs[sub_id]: [public_cands[c] for c in dependents]
+            for sub_id, dependents in enumerate(graph.sub_dependents)
+            if dependents
+        }

@@ -10,7 +10,9 @@ the NF-restriction ablation need in order to check that
 * ``minimal-k-decomp``'s weight equals the true minimum over ``kNFD_H``, and
 * every enumerated decomposition really is a valid NF decomposition.
 
-The enumeration is exponential in general; ``limit`` caps the number of
+The bookkeeping (solvability, tree shapes) runs on the graph's dense integer
+ids; names are materialised only in the emitted decompositions.  The
+enumeration is exponential in general; ``limit`` caps the number of
 decompositions produced, and callers should only use this on small inputs.
 """
 
@@ -19,7 +21,7 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.decomposition.candidates import Candidate, CandidatesGraph, Subproblem
+from repro.decomposition.candidates import CandidatesGraph
 from repro.decomposition.hypertree import (
     DecompositionNode,
     HypertreeDecomposition,
@@ -28,26 +30,25 @@ from repro.decomposition.hypertree import (
 from repro.hypergraph.hypergraph import Hypergraph
 
 
-def _solvable_candidates(graph: CandidatesGraph) -> Dict[Subproblem, Tuple[Candidate, ...]]:
-    """For every subproblem, the candidates all of whose own subproblems are
-    solvable (i.e. the candidates that survive the evaluation phase,
-    independent of any weighting)."""
-    solvable_candidate: Dict[Candidate, bool] = {}
-    survivors: Dict[Subproblem, Tuple[Candidate, ...]] = {}
-    for subproblem in graph.subproblems_sorted_for_processing():
-        alive: List[Candidate] = []
-        for candidate in graph.candidates_for(subproblem):
-            if candidate not in solvable_candidate:
+def _solvable_candidates(graph: CandidatesGraph) -> List[Tuple[int, ...]]:
+    """For every subproblem id, the candidate ids all of whose own
+    subproblems are solvable (i.e. the candidates that survive the
+    evaluation phase, independent of any weighting)."""
+    solvable_candidate: List[Optional[bool]] = [None] * graph.num_candidates
+    survivors: List[Tuple[int, ...]] = [()] * graph.num_subproblems
+    for sub_id in graph.sub_order:
+        alive: List[int] = []
+        for cand_id in graph.sub_solvers[sub_id]:
+            solvable = solvable_candidate[cand_id]
+            if solvable is None:
                 # All of the candidate's subproblems have strictly smaller
                 # components, hence were processed already; a candidate is
                 # solvable iff each of those subproblems kept a survivor.
-                info = graph.candidate_info(candidate)
-                solvable_candidate[candidate] = all(
-                    survivors.get(sub, ()) for sub in info.subproblems
-                )
-            if solvable_candidate[candidate]:
-                alive.append(candidate)
-        survivors[subproblem] = tuple(alive)
+                solvable = all(survivors[sub] for sub in graph.cand_subs[cand_id])
+                solvable_candidate[cand_id] = solvable
+            if solvable:
+                alive.append(cand_id)
+        survivors[sub_id] = tuple(alive)
     return survivors
 
 
@@ -56,24 +57,23 @@ class _TreeShape:
 
     __slots__ = ("candidate", "children")
 
-    def __init__(self, candidate: Candidate, children: Tuple["_TreeShape", ...]) -> None:
+    def __init__(self, candidate: int, children: Tuple["_TreeShape", ...]) -> None:
         self.candidate = candidate
         self.children = children
 
 
 def _enumerate_shapes(
     graph: CandidatesGraph,
-    survivors: Dict[Subproblem, Tuple[Candidate, ...]],
-    subproblem: Subproblem,
+    survivors: List[Tuple[int, ...]],
+    sub_id: int,
     limit: Optional[int],
 ) -> Iterator[_TreeShape]:
-    """All decomposition subtrees solving ``subproblem`` (lazily)."""
+    """All decomposition subtrees solving the subproblem (lazily)."""
     produced = 0
-    for candidate in survivors.get(subproblem, ()):
-        info = graph.candidate_info(candidate)
+    for candidate in survivors[sub_id]:
         child_iterables = [
             lambda sub=sub: _enumerate_shapes(graph, survivors, sub, limit)
-            for sub in info.subproblems
+            for sub in graph.cand_subs[candidate]
         ]
         if not child_iterables:
             yield _TreeShape(candidate, ())
@@ -106,8 +106,7 @@ def _shape_to_decomposition(
     def build(current: _TreeShape) -> NodeId:
         node_id = counter[0]
         counter[0] += 1
-        info = graph.candidate_info(current.candidate)
-        nodes[node_id] = info.as_node(node_id)
+        nodes[node_id] = graph.node_view(current.candidate, node_id)
         children[node_id] = []
         for child_shape in current.children:
             children[node_id].append(build(child_shape))
@@ -135,7 +134,7 @@ def enumerate_nf_decompositions(
         graph = CandidatesGraph(hypergraph, k)
     survivors = _solvable_candidates(graph)
     produced = 0
-    for shape in _enumerate_shapes(graph, survivors, graph.root_subproblem, limit):
+    for shape in _enumerate_shapes(graph, survivors, graph.ROOT_SUBPROBLEM_ID, limit):
         yield _shape_to_decomposition(graph, shape)
         produced += 1
         if limit is not None and produced >= limit:

@@ -17,6 +17,12 @@ The implementation follows the paper closely:
 3. *select* a decomposition top-down (``Select-hypertree``), choosing a
    minimum-weight candidate for every subproblem.
 
+Both phases run on the graph's dense-id arrays -- weights live in a plain
+list indexed by candidate id, arcs are id tuples -- and only materialise
+string-labelled :class:`DecompositionNode` views at the TAF boundary (at
+most once per candidate, and not at all for TAFs that supply mask-space
+weight functions) and in the emitted decomposition.
+
 Ties during selection are broken by a pluggable :class:`TieBreaker`; with the
 ``"random"`` policy every minimal decomposition can be produced by some run,
 which is the completeness half of Theorem 4.4 and is exercised by the tests.
@@ -25,8 +31,7 @@ which is the completeness half of Theorem 4.4 and is exercised by the tests.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.decomposition.candidates import (
     Candidate,
@@ -59,41 +64,96 @@ class TieBreaker:
         self.policy = policy
         self._rng = random.Random(seed)
 
-    def choose(self, tied: Sequence[Candidate]) -> Candidate:
-        ordered = sorted(tied, key=_candidate_sort_key)
+    def choose(self, tied: Sequence[Candidate], key=None) -> Candidate:
+        """Pick one of ``tied``; ``key`` overrides the canonical ordering
+        (the selection phase passes a key that translates dense candidate
+        ids back to the historical (λ names, component names) order)."""
+        ordered = sorted(tied, key=key or _candidate_sort_key)
         if self.policy == "first" or len(ordered) == 1:
             return ordered[0]
         return self._rng.choice(ordered)
 
 
-def _candidate_sort_key(candidate: Candidate):
+def _candidate_sort_key(candidate):
+    if isinstance(candidate, int):
+        # Dense candidate ids follow the canonical construction order.
+        return candidate
     kvertex, component = candidate
     return (tuple(sorted(kvertex)), tuple(sorted(component)))
 
 
-@dataclass
 class EvaluationResult:
     """The outcome of the candidates-graph evaluation phase.
 
-    ``weights`` holds the final weight of every surviving candidate;
-    ``survivors`` maps each subproblem to the candidates that were not pruned;
-    ``root_candidates`` are the survivors of the special root subproblem.
+    The authoritative state is id-indexed: ``weight_by_id[i]`` is the final
+    weight of candidate ``i`` (meaningful only when the candidate survived),
+    ``removed[i]`` flags pruned candidates, and ``survivors_by_sub[q]``
+    holds the surviving candidate ids of subproblem ``q``.  The historical
+    frozenset-keyed views ``weights`` / ``survivors`` are translated lazily
+    on first access.
     """
 
-    graph: CandidatesGraph
-    weights: Dict[Candidate, Number]
-    survivors: Dict[Subproblem, Tuple[Candidate, ...]]
+    __slots__ = (
+        "graph",
+        "weight_by_id",
+        "removed",
+        "survivors_by_sub",
+        "_weights",
+        "_survivors",
+    )
+
+    def __init__(
+        self,
+        graph: CandidatesGraph,
+        weight_by_id: List[Number],
+        removed: bytearray,
+        survivors_by_sub: List[Tuple[int, ...]],
+    ) -> None:
+        self.graph = graph
+        self.weight_by_id = weight_by_id
+        self.removed = removed
+        self.survivors_by_sub = survivors_by_sub
+        self._weights: Optional[Dict[Candidate, Number]] = None
+        self._survivors: Optional[Dict[Subproblem, Tuple[Candidate, ...]]] = None
+
+    @property
+    def weights(self) -> Dict[Candidate, Number]:
+        if self._weights is None:
+            public = self.graph.public_candidate
+            self._weights = {
+                public(cand_id): weight
+                for cand_id, weight in enumerate(self.weight_by_id)
+                if not self.removed[cand_id]
+            }
+        return self._weights
+
+    @property
+    def survivors(self) -> Dict[Subproblem, Tuple[Candidate, ...]]:
+        if self._survivors is None:
+            graph = self.graph
+            public = graph.public_candidate
+            self._survivors = {
+                graph.public_subproblem(sub_id): tuple(public(c) for c in alive)
+                for sub_id, alive in enumerate(self.survivors_by_sub)
+            }
+        return self._survivors
+
+    @property
+    def root_survivor_ids(self) -> Tuple[int, ...]:
+        return self.survivors_by_sub[self.graph.ROOT_SUBPROBLEM_ID]
 
     @property
     def root_candidates(self) -> Tuple[Candidate, ...]:
-        return self.survivors.get(self.graph.root_subproblem, ())
+        public = self.graph.public_candidate
+        return tuple(public(c) for c in self.root_survivor_ids)
 
     def minimum_weight(self) -> Number:
         """The weight of the minimal decomposition (``∞`` if none exists)."""
-        candidates = self.root_candidates
+        candidates = self.root_survivor_ids
         if not candidates:
             return INFINITY
-        return min(self.weights[c] for c in candidates)
+        weights = self.weight_by_id
+        return min(weights[c] for c in candidates)
 
 
 def evaluate_candidates_graph(
@@ -105,44 +165,83 @@ def evaluate_candidates_graph(
     subproblem ``q`` folds ``min_{p ∈ incoming(q)} (weight(p) ⊕ e(p', p))``
     into every candidate ``p'`` that has ``q`` as a subproblem; an
     unsolvable subproblem removes those candidates instead.
+
+    The whole phase is array arithmetic over candidate ids; string-space
+    node views are materialised at most once per candidate, and only when
+    the TAF has no mask-space weight functions.
     """
     semiring = taf.semiring
+    combine = semiring.combine
+    num_candidates = graph.num_candidates
+    cand_lambda = graph.cand_lambda
+    cand_chi = graph.cand_chi
 
     # Node views are cached because the TAF may be expensive (cost estimation).
-    node_views: Dict[Candidate, DecompositionNode] = {}
+    node_views: List[Optional[DecompositionNode]] = [None] * num_candidates
 
-    def view(candidate: Candidate) -> DecompositionNode:
-        if candidate not in node_views:
-            info = graph.candidate_info(candidate)
-            node_views[candidate] = info.as_node(node_id=len(node_views))
-        return node_views[candidate]
+    def view(cand_id: int) -> DecompositionNode:
+        node = node_views[cand_id]
+        if node is None:
+            node = graph.node_view(cand_id, node_id=cand_id)
+            node_views[cand_id] = node
+        return node
 
-    weights: Dict[Candidate, Number] = {}
-    removed: set = set()
-    for candidate in graph.candidates:
-        weights[candidate] = taf.vertex_weight(view(candidate))
+    mask_vertex_weight = taf.mask_vertex_weight
+    if mask_vertex_weight is not None:
+        weights: List[Number] = [
+            mask_vertex_weight(cand_lambda[i], cand_chi[i])
+            for i in range(num_candidates)
+        ]
+    else:
+        vertex_weight = taf.vertex_weight
+        weights = [vertex_weight(view(i)) for i in range(num_candidates)]
 
+    # The separable path is gated on the *string* parts (the authoritative
+    # definition of the TAF); within it, mask parts are used when available
+    # so no node views need to be materialised.
     separable = taf.has_separable_edge
-    parent_parts: Dict[Candidate, Number] = {}
-    child_parts: Dict[Candidate, Number] = {}
     if separable:
-        for candidate in graph.candidates:
-            node = view(candidate)
-            parent_parts[candidate] = taf.edge_parent_part(node)
-            child_parts[candidate] = taf.edge_child_part(node)
+        if taf.has_mask_separable_edge:
+            mask_parent_part = taf.mask_edge_parent_part
+            mask_child_part = taf.mask_edge_child_part
+            parent_parts = [
+                mask_parent_part(cand_lambda[i], cand_chi[i])
+                for i in range(num_candidates)
+            ]
+            child_parts = (
+                parent_parts
+                if mask_child_part is mask_parent_part
+                else [
+                    mask_child_part(cand_lambda[i], cand_chi[i])
+                    for i in range(num_candidates)
+                ]
+            )
+        else:
+            edge_parent_part = taf.edge_parent_part
+            edge_child_part = taf.edge_child_part
+            parent_parts = [edge_parent_part(view(i)) for i in range(num_candidates)]
+            # A single shared part function (e.g. cost_H(Q)'s |E(p)|) is
+            # evaluated once per candidate, not twice.
+            child_parts = (
+                parent_parts
+                if edge_child_part is edge_parent_part
+                else [edge_child_part(view(i)) for i in range(num_candidates)]
+            )
 
-    survivors: Dict[Subproblem, Tuple[Candidate, ...]] = {}
+    removed = bytearray(num_candidates)
+    survivors_by_sub: List[Tuple[int, ...]] = [()] * graph.num_subproblems
+    sub_solvers = graph.sub_solvers
+    sub_dependents = graph.sub_dependents
+    mask_edge_weight = taf.mask_edge_weight
 
-    for subproblem in graph.subproblems_sorted_for_processing():
-        alive = tuple(
-            c for c in graph.candidates_for(subproblem) if c not in removed
-        )
-        survivors[subproblem] = alive
+    for sub_id in graph.sub_order:
+        alive = tuple(c for c in sub_solvers[sub_id] if not removed[c])
+        survivors_by_sub[sub_id] = alive
         if not alive:
             # No way to solve this subproblem: every candidate that depends on
             # it is removed from the graph.
-            for candidate in graph.dependents_of(subproblem):
-                removed.add(candidate)
+            for cand_id in sub_dependents[sub_id]:
+                removed[cand_id] = 1
             continue
         # Fold the best solver of ``subproblem`` into each candidate that has
         # it as a subproblem.
@@ -153,43 +252,66 @@ def evaluate_candidates_graph(
             # dependent.
             best_child = INFINITY
             for solver in alive:
-                value = semiring.combine(weights[solver], child_parts[solver])
+                value = combine(weights[solver], child_parts[solver])
                 if value < best_child:
                     best_child = value
-            for candidate in graph.dependents_of(subproblem):
-                if candidate in removed:
+            for cand_id in sub_dependents[sub_id]:
+                if removed[cand_id]:
                     continue
-                best = semiring.combine(parent_parts[candidate], best_child)
-                weights[candidate] = semiring.combine(weights[candidate], best)
+                weights[cand_id] = combine(
+                    weights[cand_id], combine(parent_parts[cand_id], best_child)
+                )
             continue
-        for candidate in graph.dependents_of(subproblem):
-            if candidate in removed:
+        if mask_edge_weight is not None:
+            for cand_id in sub_dependents[sub_id]:
+                if removed[cand_id]:
+                    continue
+                parent_lambda = cand_lambda[cand_id]
+                parent_chi = cand_chi[cand_id]
+                best = INFINITY
+                for solver in alive:
+                    value = combine(
+                        weights[solver],
+                        mask_edge_weight(
+                            parent_lambda,
+                            parent_chi,
+                            cand_lambda[solver],
+                            cand_chi[solver],
+                        ),
+                    )
+                    if value < best:
+                        best = value
+                weights[cand_id] = combine(weights[cand_id], best)
+            continue
+        edge_weight = taf.edge_weight
+        for cand_id in sub_dependents[sub_id]:
+            if removed[cand_id]:
                 continue
-            parent_view = view(candidate)
+            parent_view = view(cand_id)
             best = INFINITY
             for solver in alive:
-                value = semiring.combine(
-                    weights[solver], taf.edge_weight(parent_view, view(solver))
+                value = combine(
+                    weights[solver], edge_weight(parent_view, view(solver))
                 )
                 if value < best:
                     best = value
-            weights[candidate] = semiring.combine(weights[candidate], best)
+            weights[cand_id] = combine(weights[cand_id], best)
 
-    surviving_weights = {
-        candidate: weight
-        for candidate, weight in weights.items()
-        if candidate not in removed
-    }
-    # Also drop removed candidates from the survivor lists computed before
-    # their removal (a candidate can be pruned after one of its *other*
-    # subproblems was already processed only if it had not yet been counted,
-    # but we filter defensively so downstream code never sees pruned nodes).
-    filtered_survivors = {
-        subproblem: tuple(c for c in alive if c not in removed)
-        for subproblem, alive in survivors.items()
-    }
+    # Drop candidates removed after their subproblem's survivor list was
+    # already recorded (a candidate can be pruned late through one of its
+    # *other* subproblems; filter defensively so downstream code never sees
+    # pruned nodes).
+    survivors_by_sub = [
+        alive
+        if all(not removed[c] for c in alive)
+        else tuple(c for c in alive if not removed[c])
+        for alive in survivors_by_sub
+    ]
     return EvaluationResult(
-        graph=graph, weights=surviving_weights, survivors=filtered_survivors
+        graph=graph,
+        weight_by_id=weights,
+        removed=removed,
+        survivors_by_sub=survivors_by_sub,
     )
 
 
@@ -201,58 +323,93 @@ def _select_hypertree(
     """The *Select-hypertree* phase: extract one minimal decomposition."""
     graph = result.graph
     semiring = taf.semiring
-    weights = result.weights
+    weights = result.weight_by_id
 
-    root_candidates = result.root_candidates
-    if not root_candidates:
+    root_survivors = result.root_survivor_ids
+    if not root_survivors:
         raise NoDecompositionExistsError(graph.k)
 
-    best_root_weight = min(weights[c] for c in root_candidates)
-    tied_roots = [c for c in root_candidates if weights[c] == best_root_weight]
-    root_key = tie_breaker.choose(tied_roots)
+    # Tie-breaking uses the historical canonical order -- sorted λ names,
+    # then sorted component names -- so the "first" policy selects the same
+    # decomposition the frozenset implementation did (numeric mask order
+    # would differ).  Only tied candidates are ever translated.
+    edge_names = graph.bitset.edge_names
+    vertex_names = graph.bitset.vertex_names
+
+    def canonical_key(cand_id: int):
+        return (
+            tuple(sorted(edge_names(graph.cand_lambda[cand_id]))),
+            tuple(sorted(vertex_names(graph.cand_comp[cand_id]))),
+        )
+
+    best_root_weight = min(weights[c] for c in root_survivors)
+    tied_roots = [c for c in root_survivors if weights[c] == best_root_weight]
+    root_id_choice = tie_breaker.choose(tied_roots, key=canonical_key)
 
     nodes: Dict[NodeId, DecompositionNode] = {}
     children: Dict[NodeId, List[NodeId]] = {}
     next_id = 0
 
-    def materialise(candidate: Candidate) -> NodeId:
+    mask_edge_weight = taf.mask_edge_weight
+    cand_lambda = graph.cand_lambda
+    cand_chi = graph.cand_chi
+    if mask_edge_weight is not None:
+
+        def edge_score(parent: int, solver: int) -> Number:
+            return mask_edge_weight(
+                cand_lambda[parent],
+                cand_chi[parent],
+                cand_lambda[solver],
+                cand_chi[solver],
+            )
+
+    elif taf.has_mask_separable_edge:
+        mask_parent_part = taf.mask_edge_parent_part
+        mask_child_part = taf.mask_edge_child_part
+
+        def edge_score(parent: int, solver: int) -> Number:
+            return semiring.combine(
+                mask_parent_part(cand_lambda[parent], cand_chi[parent]),
+                mask_child_part(cand_lambda[solver], cand_chi[solver]),
+            )
+
+    else:
+
+        def edge_score(parent: int, solver: int) -> Number:
+            return taf.edge_weight(
+                graph.node_view(parent, -1), graph.node_view(solver, -1)
+            )
+
+    def materialise(candidate: int) -> NodeId:
         nonlocal next_id
         node_id = next_id
         next_id += 1
-        info = graph.candidate_info(candidate)
-        nodes[node_id] = info.as_node(node_id)
+        nodes[node_id] = graph.node_view(candidate, node_id)
         children[node_id] = []
-        parent_view = nodes[node_id]
-        for subproblem in info.subproblems:
-            alive = result.survivors.get(subproblem, ())
+        for subproblem in graph.cand_subs[candidate]:
+            alive = result.survivors_by_sub[subproblem]
             if not alive:
                 raise DecompositionError(
                     "internal error: selected candidate has an unsolvable subproblem"
                 )
             scored = [
                 (
-                    semiring.combine(
-                        weights[solver],
-                        taf.edge_weight(
-                            parent_view,
-                            graph.candidate_info(solver).as_node(-1),
-                        ),
-                    ),
+                    semiring.combine(weights[solver], edge_score(candidate, solver)),
                     solver,
                 )
                 for solver in alive
             ]
             best_value = min(score for score, _ in scored)
             tied = [solver for score, solver in scored if score == best_value]
-            chosen = tie_breaker.choose(tied)
+            chosen = tie_breaker.choose(tied, key=canonical_key)
             child_id = materialise(chosen)
             children[node_id].append(child_id)
         return node_id
 
-    root_id = materialise(root_key)
+    root_node = materialise(root_id_choice)
     return HypertreeDecomposition(
         hypergraph=graph.hypergraph,
-        root=root_id,
+        root=root_node,
         children=children,
         nodes=nodes,
     )
@@ -287,8 +444,7 @@ def minimal_k_decomp(
         If the hypergraph has no normal-form decomposition of width ``≤ k``,
         i.e. ``hw(H) > k`` (the algorithm's *failure* output).
     """
-    if graph is None:
-        graph = CandidatesGraph(hypergraph, k)
+    graph = _checked_graph(graph, hypergraph, k)
     result = evaluate_candidates_graph(graph, taf)
     return _select_hypertree(result, taf, tie_breaker or TieBreaker())
 
@@ -301,6 +457,24 @@ def minimum_weight(
 ) -> Number:
     """The weight of the minimal decomposition without materialising it
     (``∞`` when no width-``k`` NF decomposition exists)."""
-    if graph is None:
-        graph = CandidatesGraph(hypergraph, k)
+    graph = _checked_graph(graph, hypergraph, k)
     return evaluate_candidates_graph(graph, taf).minimum_weight()
+
+
+def _checked_graph(
+    graph: Optional[CandidatesGraph], hypergraph: Hypergraph, k: int
+) -> CandidatesGraph:
+    """Build the candidates graph, or validate a caller-supplied one.
+
+    A reused graph for the wrong hypergraph or bound would silently produce
+    a decomposition of the *graph's* hypergraph; fail loudly instead.
+    """
+    if graph is None:
+        return CandidatesGraph(hypergraph, k)
+    if graph.k != k or graph.hypergraph != hypergraph:
+        raise DecompositionError(
+            "the supplied candidates graph was built for a different "
+            f"hypergraph or width bound (graph: k={graph.k}, "
+            f"{graph.hypergraph!r}; requested: k={k}, {hypergraph!r})"
+        )
+    return graph

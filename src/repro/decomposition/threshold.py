@@ -12,15 +12,18 @@ We implement that deterministic simulation *top-down with memoisation*, i.e.
 structurally the same recursion as Fig. 4 with the guesses replaced by
 minimisation.  Because it is an independent traversal order from the
 bottom-up evaluation in :mod:`repro.decomposition.minimal`, the two are used
-to cross-check each other in the test suite.
+to cross-check each other in the test suite.  Like the bottom-up phase, the
+recursion runs on the candidates graph's dense integer ids, with the
+per-candidate memo an id-indexed list; string node views are only built for
+TAFs without mask-space weight functions.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, Optional
+from typing import List, Optional
 
-from repro.decomposition.candidates import Candidate, CandidatesGraph, Subproblem
+from repro.decomposition.candidates import CandidatesGraph
 from repro.decomposition.hypertree import DecompositionNode
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.weights.semiring import INFINITY, Number
@@ -33,50 +36,76 @@ class _ThresholdSolver:
     def __init__(self, graph: CandidatesGraph, taf: TreeAggregationFunction) -> None:
         self.graph = graph
         self.taf = taf
-        self._memo: Dict[Candidate, Number] = {}
-        self._views: Dict[Candidate, DecompositionNode] = {}
+        self._memo: List[Optional[Number]] = [None] * graph.num_candidates
+        self._views: List[Optional[DecompositionNode]] = [None] * graph.num_candidates
 
-    def view(self, candidate: Candidate) -> DecompositionNode:
-        if candidate not in self._views:
-            info = self.graph.candidate_info(candidate)
-            self._views[candidate] = info.as_node(node_id=len(self._views))
-        return self._views[candidate]
+        semiring = taf.semiring
+        mask_edge_weight = taf.mask_edge_weight
+        if mask_edge_weight is None and taf.has_mask_separable_edge:
+            parent_part = taf.mask_edge_parent_part
+            child_part = taf.mask_edge_child_part
 
-    def best_candidate_weight(self, candidate: Candidate) -> Number:
+            def mask_edge_weight(pl, pc, cl, cc):
+                return semiring.combine(parent_part(pl, pc), child_part(cl, cc))
+
+        self._mask_edge_weight = mask_edge_weight
+
+    def view(self, cand_id: int) -> DecompositionNode:
+        node = self._views[cand_id]
+        if node is None:
+            node = self.graph.node_view(cand_id, node_id=cand_id)
+            self._views[cand_id] = node
+        return node
+
+    def best_candidate_weight(self, cand_id: int) -> Number:
         """``v(p) ⊕ ⊕_q min_{p' solves q} (best(p') ⊕ e(p, p'))`` for the
         candidate ``p``; ``∞`` if some subproblem below it is unsolvable."""
-        if candidate in self._memo:
-            return self._memo[candidate]
+        memoised = self._memo[cand_id]
+        if memoised is not None:
+            return memoised
         # Recursion depth is bounded by the number of hypergraph vertices
         # (components shrink strictly), but mark in-progress entries to guard
         # against accidental cycles.
-        self._memo[candidate] = INFINITY
-        info = self.graph.candidate_info(candidate)
+        self._memo[cand_id] = INFINITY
+        graph = self.graph
         semiring = self.taf.semiring
-        total = self.taf.vertex_weight(self.view(candidate))
-        parent_view = self.view(candidate)
-        for subproblem in info.subproblems:
+        mask_vertex_weight = self.taf.mask_vertex_weight
+        if mask_vertex_weight is not None:
+            total = mask_vertex_weight(
+                graph.cand_lambda[cand_id], graph.cand_chi[cand_id]
+            )
+        else:
+            total = self.taf.vertex_weight(self.view(cand_id))
+        mask_edge_weight = self._mask_edge_weight
+        for subproblem in graph.cand_subs[cand_id]:
             best = INFINITY
-            for solver in self.graph.candidates_for(subproblem):
+            for solver in graph.sub_solvers[subproblem]:
                 solver_weight = self.best_candidate_weight(solver)
                 if solver_weight == INFINITY:
                     continue
-                value = semiring.combine(
-                    solver_weight, self.taf.edge_weight(parent_view, self.view(solver))
-                )
+                if mask_edge_weight is not None:
+                    edge = mask_edge_weight(
+                        graph.cand_lambda[cand_id],
+                        graph.cand_chi[cand_id],
+                        graph.cand_lambda[solver],
+                        graph.cand_chi[solver],
+                    )
+                else:
+                    edge = self.taf.edge_weight(self.view(cand_id), self.view(solver))
+                value = semiring.combine(solver_weight, edge)
                 if value < best:
                     best = value
             if best == INFINITY:
-                self._memo[candidate] = INFINITY
+                self._memo[cand_id] = INFINITY
                 return INFINITY
             total = semiring.combine(total, best)
-        self._memo[candidate] = total
+        self._memo[cand_id] = total
         return total
 
-    def best_subproblem_weight(self, subproblem: Subproblem) -> Number:
-        """Minimum over all candidates solving ``subproblem``."""
+    def best_subproblem_weight(self, sub_id: int) -> Number:
+        """Minimum over all candidates solving the subproblem."""
         best = INFINITY
-        for solver in self.graph.candidates_for(subproblem):
+        for solver in self.graph.sub_solvers[sub_id]:
             value = self.best_candidate_weight(solver)
             if value < best:
                 best = value
@@ -99,7 +128,7 @@ def minimum_weight_recursive(
     # shrinks strictly along any branch); leave generous headroom.
     sys.setrecursionlimit(max(old_limit, 10 * hypergraph.num_vertices() + 1000))
     try:
-        return solver.best_subproblem_weight(graph.root_subproblem)
+        return solver.best_subproblem_weight(graph.ROOT_SUBPROBLEM_ID)
     finally:
         sys.setrecursionlimit(old_limit)
 

@@ -12,14 +12,17 @@ variables ``V ⊆ var(H)``:
   ``var(H) - V``.
 
 Components drive both the normal form (Definition 2.2) and the candidates
-graph of minimal-k-decomp, so the functions here are written for clarity *and*
-speed: component computation is a single BFS over the hypergraph with the
-separator removed.
+graph of minimal-k-decomp, so this module is a thin string-boundary wrapper
+around the bitset core (:mod:`repro.core`): :func:`components` is a single
+edge-BFS over integer masks, memoised per separator mask inside
+:class:`~repro.core.bitset_hypergraph.BitsetHypergraph`, and the resulting
+component frozensets are interned, so asking for the same separator twice is
+a cache hit end to end.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.hypergraph.hypergraph import EdgeName, Hypergraph, Vertex
 
@@ -31,16 +34,35 @@ def separated_adjacency(
 
     Two vertices are adjacent iff they co-occur in some edge once the
     separator vertices have been removed from every edge.
+
+    .. note::
+       This materialises a dense O(|V|²)-entry map and exists only as a
+       compatibility shim for callers that genuinely need the whole
+       relation (and for the tests that pin down its semantics).  Nothing
+       on the component path uses it any more: :func:`components` and
+       :func:`find_path` run on the bitset core directly.
     """
-    sep = frozenset(separator)
-    adjacency: Dict[Vertex, set] = {
-        v: set() for v in hypergraph.vertices - sep
-    }
-    for name in hypergraph.edge_names:
-        remaining = hypergraph.edge_vertices(name) - sep
-        for v in remaining:
-            adjacency[v] |= remaining
-    return {v: frozenset(neigh - {v}) for v, neigh in adjacency.items()}
+    bitset = hypergraph.bitset()
+    sep = bitset.vertex_mask(separator)
+    edge_masks = bitset.edge_masks
+    vertex_edges = bitset.vertex_edges
+    adjacency: Dict[Vertex, FrozenSet[Vertex]] = {}
+    remaining = bitset.all_vertices & ~sep
+    probe = remaining
+    while probe:
+        bit = probe & -probe
+        probe ^= bit
+        edges = vertex_edges[bit.bit_length() - 1]
+        neighbours = 0
+        while edges:
+            edge_bit = edges & -edges
+            neighbours |= edge_masks[edge_bit.bit_length() - 1]
+            edges ^= edge_bit
+        neighbours &= remaining & ~bit
+        adjacency[bitset.vertices.name_of(bit.bit_length() - 1)] = (
+            bitset.vertex_names(neighbours)
+        )
+    return adjacency
 
 
 def is_adjacent(
@@ -68,29 +90,49 @@ def find_path(
     The path is returned as a list of vertices ``source = X0, ..., Xl = target``
     with consecutive vertices [separator]-adjacent.  A vertex is trivially
     connected to itself (a length-0 path) provided it is outside the
-    separator.
+    separator.  The BFS expands neighbourhoods lazily from the bitset view
+    instead of materialising the full adjacency map.
     """
-    sep = frozenset(separator)
-    if source in sep or target in sep:
+    bitset = hypergraph.bitset()
+    sep = bitset.vertex_mask(separator)
+    vocab = bitset.vertices
+    if source not in vocab or target not in vocab:
+        return None
+    source_bit = vocab.bit(source)
+    target_bit = vocab.bit(target)
+    if (source_bit | target_bit) & sep:
         return None
     if source == target:
         return [source]
-    adjacency = separated_adjacency(hypergraph, sep)
-    parents: Dict[Vertex, Vertex] = {source: source}
-    frontier = [source]
+
+    edge_masks = bitset.edge_masks
+    vertex_edges = bitset.vertex_edges
+    not_sep = bitset.all_vertices & ~sep
+    parents: Dict[int, int] = {source_bit: source_bit}
+    visited = source_bit
+    frontier = [source_bit]
     while frontier:
-        new_frontier: List[Vertex] = []
-        for v in frontier:
-            for u in adjacency.get(v, frozenset()):
-                if u not in parents:
-                    parents[u] = v
-                    if u == target:
-                        path = [u]
-                        while path[-1] != source:
-                            path.append(parents[path[-1]])
-                        path.reverse()
-                        return path
-                    new_frontier.append(u)
+        new_frontier: List[int] = []
+        for bit in frontier:
+            edges = vertex_edges[bit.bit_length() - 1]
+            neighbours = 0
+            while edges:
+                edge_bit = edges & -edges
+                neighbours |= edge_masks[edge_bit.bit_length() - 1]
+                edges ^= edge_bit
+            neighbours &= not_sep & ~visited
+            visited |= neighbours
+            while neighbours:
+                next_bit = neighbours & -neighbours
+                neighbours ^= next_bit
+                parents[next_bit] = bit
+                if next_bit == target_bit:
+                    path_bits = [next_bit]
+                    while path_bits[-1] != source_bit:
+                        path_bits.append(parents[path_bits[-1]])
+                    path_bits.reverse()
+                    return [vocab.name_of(b.bit_length() - 1) for b in path_bits]
+                new_frontier.append(next_bit)
         frontier = new_frontier
     return None
 
@@ -99,14 +141,19 @@ def is_connected_set(
     hypergraph: Hypergraph, vertex_set: Iterable[Vertex], separator: Iterable[Vertex]
 ) -> bool:
     """True iff ``vertex_set`` is [separator]-connected."""
-    wanted = frozenset(vertex_set)
-    sep = frozenset(separator)
-    if not wanted:
+    bitset = hypergraph.bitset()
+    names = frozenset(vertex_set)
+    if not names:
         return True
+    if any(name not in bitset.vertices for name in names):
+        return False  # an unknown vertex lies on no [separator]-path
+    wanted = bitset.vertex_mask(names, strict=True)
+    sep = bitset.vertex_mask(separator)
     if wanted & sep:
         return False
-    components_list = components(hypergraph, sep)
-    return any(wanted <= comp for comp in components_list)
+    return any(
+        not wanted & ~component for component in bitset.components(sep)
+    )
 
 
 def components(
@@ -119,41 +166,11 @@ def components(
     subsets of ``var(H) - separator``; by definition, the empty set is never a
     component.
     """
-    sep = frozenset(separator)
-    remaining = hypergraph.vertices - sep
-    if not remaining:
-        return tuple()
-
-    # Union-find style BFS: group vertices that share an edge with the
-    # separator removed.
-    unvisited = set(remaining)
-    comps: List[FrozenSet[Vertex]] = []
-    # Precompute the reduced edges once.
-    reduced_edges: List[FrozenSet[Vertex]] = []
-    vertex_to_reduced: Dict[Vertex, List[int]] = {v: [] for v in remaining}
-    for name in hypergraph.edge_names:
-        reduced = hypergraph.edge_vertices(name) - sep
-        if reduced:
-            idx = len(reduced_edges)
-            reduced_edges.append(reduced)
-            for v in reduced:
-                vertex_to_reduced[v].append(idx)
-
-    while unvisited:
-        start = unvisited.pop()
-        comp = {start}
-        frontier = [start]
-        while frontier:
-            v = frontier.pop()
-            for idx in vertex_to_reduced[v]:
-                for u in reduced_edges[idx]:
-                    if u not in comp:
-                        comp.add(u)
-                        frontier.append(u)
-        unvisited -= comp
-        comps.append(frozenset(comp))
-    comps.sort(key=lambda c: min(c))
-    return tuple(comps)
+    bitset = hypergraph.bitset()
+    sep = bitset.vertex_mask(separator)
+    return tuple(
+        bitset.vertex_names(component) for component in bitset.components(sep)
+    )
 
 
 def component_of(
@@ -161,10 +178,12 @@ def component_of(
 ) -> FrozenSet[Vertex]:
     """The [separator]-component containing ``vertex`` (which must lie outside
     the separator)."""
-    sep = frozenset(separator)
-    for comp in components(hypergraph, sep):
-        if vertex in comp:
-            return comp
+    bitset = hypergraph.bitset()
+    if vertex in bitset.vertices:
+        sep = bitset.vertex_mask(separator)
+        component = bitset.component_of(bitset.vertices.bit(vertex), sep)
+        if component:
+            return bitset.vertex_names(component)
     raise ValueError(f"vertex {vertex!r} lies inside the separator or is unknown")
 
 
@@ -190,7 +209,12 @@ def components_under_edge_set(
     Convenience wrapper used throughout the candidates-graph construction,
     where separators are always of the form ``var(S)`` for a k-vertex ``S``.
     """
-    return components(hypergraph, hypergraph.var(edge_names))
+    bitset = hypergraph.bitset()
+    separator = bitset.var_of_edges(bitset.edge_mask(edge_names))
+    return tuple(
+        bitset.vertex_names(component)
+        for component in bitset.components(separator)
+    )
 
 
 def sub_components(
@@ -203,5 +227,11 @@ def sub_components(
     This is the set ``C = {C' | C' is a [var(S)]-component and C' ⊆ C}`` used
     by minimal-k-decomp and threshold-k-decomp when expanding a subproblem.
     """
-    region = frozenset(inside)
-    return tuple(c for c in components(hypergraph, separator) if c <= region)
+    bitset = hypergraph.bitset()
+    sep = bitset.vertex_mask(separator)
+    region = bitset.vertex_mask(inside)
+    return tuple(
+        bitset.vertex_names(component)
+        for component in bitset.components(sep)
+        if not component & ~region
+    )

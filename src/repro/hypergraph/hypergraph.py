@@ -49,7 +49,7 @@ class Hypergraph:
     True
     """
 
-    __slots__ = ("_edges", "_vertices", "_vertex_to_edges", "_hash")
+    __slots__ = ("_edges", "_vertices", "_vertex_to_edges", "_hash", "_bitset")
 
     def __init__(
         self,
@@ -84,6 +84,7 @@ class Hypergraph:
             v: frozenset(names) for v, names in index.items()
         }
         self._hash: int | None = None
+        self._bitset = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -131,6 +132,23 @@ class Hypergraph:
 
     def __contains__(self, name: object) -> bool:
         return name in self._edges
+
+    # ------------------------------------------------------------------
+    # Bitset view
+    # ------------------------------------------------------------------
+    def bitset(self):
+        """The cached :class:`~repro.core.bitset_hypergraph.BitsetHypergraph`
+        view of this hypergraph.
+
+        The decomposition core runs its set algebra on the integer masks of
+        this view; strings only appear at the API boundary.  The view is
+        built lazily, once, and shares the hypergraph's immutability.
+        """
+        if self._bitset is None:
+            from repro.core.bitset_hypergraph import BitsetHypergraph
+
+            self._bitset = BitsetHypergraph(self)
+        return self._bitset
 
     # ------------------------------------------------------------------
     # Derived vertex sets

@@ -49,6 +49,9 @@ class PlanMeasurement:
     answer_cardinality: int
     width: Optional[int] = None
     budget_exceeded: bool = False
+    #: Name of the weighting function the planner minimised ("-" for the
+    #: quantitative-only baseline, which has none).
+    weighting: str = "-"
 
     @property
     def total_seconds(self) -> float:
@@ -57,6 +60,7 @@ class PlanMeasurement:
     def as_row(self) -> Dict[str, object]:
         return {
             "plan": self.label,
+            "weighting": self.weighting,
             "width": self.width if self.width is not None else "-",
             "planning_s": round(self.planning_seconds, 4),
             "evaluation_s": round(self.evaluation_seconds, 4),
@@ -112,7 +116,10 @@ def _measure_execution(plan, database: Database) -> ExecutionResult:
     return plan.execute(database)
 
 
-def _execute_and_measure(plan, database: Database, label: str, budget: Optional[int], width=None) -> PlanMeasurement:
+def _execute_and_measure(
+    plan, database: Database, label: str, budget: Optional[int], width=None,
+    weighting: str = "-",
+) -> PlanMeasurement:
     from repro.db.algebra import EvaluationBudgetExceeded
 
     started = time.perf_counter()
@@ -127,6 +134,7 @@ def _execute_and_measure(plan, database: Database, label: str, budget: Optional[
             evaluation_work=result.stats.total_work,
             answer_cardinality=result.cardinality,
             width=width,
+            weighting=weighting,
         )
     except EvaluationBudgetExceeded as exc:
         elapsed = time.perf_counter() - started
@@ -139,6 +147,7 @@ def _execute_and_measure(plan, database: Database, label: str, budget: Optional[
             answer_cardinality=-1,
             width=width,
             budget_exceeded=True,
+            weighting=weighting,
         )
 
 
@@ -160,7 +169,8 @@ def measure_structural(
     """Plan with cost-k-decomp for one ``k`` and execute."""
     plan: HypertreePlan = cost_k_decomp(query, database.statistics, k, completion=completion)
     return _execute_and_measure(
-        plan, database, f"cost-{k}-decomp", budget, width=plan.width
+        plan, database, f"cost-{k}-decomp", budget, width=plan.width,
+        weighting=plan.weighting,
     )
 
 

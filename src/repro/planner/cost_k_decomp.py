@@ -73,6 +73,7 @@ def cost_k_decomp(
     k: int,
     completion: str = "fresh",
     tie_breaker: Optional[TieBreaker] = None,
+    graph: Optional[CandidatesGraph] = None,
 ) -> HypertreePlan:
     """Compute the minimal-cost width-``k`` normal-form plan for ``query``.
 
@@ -92,6 +93,11 @@ def cost_k_decomp(
         decomposes the original hypergraph and completes afterwards;
         ``"none"`` returns the NF decomposition as-is (only useful for
         inspection, not for execution).
+    graph:
+        An already-built candidates graph for the *planned* hypergraph (the
+        completed query's hypergraph under ``completion="fresh"``), e.g.
+        when re-planning the same query against several catalogs.  Must
+        match the hypergraph being decomposed.
 
     Raises
     ------
@@ -107,7 +113,9 @@ def cost_k_decomp(
     taf = QueryCostTAF(planned_query, statistics)
 
     try:
-        decomposition = minimal_k_decomp(hypergraph, k, taf, tie_breaker=tie_breaker)
+        decomposition = minimal_k_decomp(
+            hypergraph, k, taf, tie_breaker=tie_breaker, graph=graph
+        )
     except NoDecompositionExistsError as exc:
         raise PlanningError(
             f"query {query.name!r} has no width-{k} normal-form decomposition "
@@ -136,6 +144,7 @@ def cost_k_decomp(
         node_estimates=node_estimates,
         planning_seconds=elapsed,
         planned_query=None,
+        weighting=taf.name,
     )
 
 

@@ -43,6 +43,8 @@ class HypertreePlan:
     #: The query actually decomposed (it differs from ``query`` when the
     #: fresh-variable completeness construction of Section 6 was used).
     planned_query: Optional[ConjunctiveQuery] = None
+    #: Name of the weighting function the planner minimised (for reports).
+    weighting: str = "cost_H(Q)"
 
     @property
     def width(self) -> int:

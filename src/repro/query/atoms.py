@@ -12,6 +12,7 @@ The hypergraph ``H(Q)`` of a query only sees the *variables* of each atom, so
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 from repro.exceptions import QueryError
@@ -46,10 +47,15 @@ class Atom:
     def arity(self) -> int:
         return len(self.terms)
 
-    @property
+    @cached_property
     def variables(self) -> Tuple[str, ...]:
         """The variables of the atom, in first-occurrence order, duplicates
-        removed (this is ``var(A)`` in the paper)."""
+        removed (this is ``var(A)`` in the paper).
+
+        Cached: the cost model asks for it once per candidate-graph node,
+        and the atom is immutable.  (``cached_property`` writes straight
+        into ``__dict__``, which a frozen dataclass permits.)
+        """
         seen = []
         for term in self.terms:
             if is_variable(term) and term not in seen:

@@ -27,10 +27,25 @@ class HypertreeWeightingFunction(Protocol):
 
 
 class CallableHWF:
-    """Wrap a plain callable ``HD -> float`` as an HWF."""
+    """Wrap a plain callable ``HD -> float`` as an HWF.
 
-    def __init__(self, function: Callable[[HypertreeDecomposition], float], name: str = "hwf") -> None:
+    When no explicit ``name`` is given, one is propagated from the wrapped
+    callable (its ``name`` attribute or ``__name__``), so comparison tables
+    print something meaningful instead of an object address.
+    """
+
+    def __init__(
+        self,
+        function: Callable[[HypertreeDecomposition], float],
+        name: str | None = None,
+    ) -> None:
         self._function = function
+        if name is None:
+            name = getattr(function, "name", None) or getattr(
+                function, "__name__", None
+            )
+            if not name or name == "<lambda>":
+                name = "hwf"
         self.name = name
 
     def weigh(self, decomposition: HypertreeDecomposition) -> float:
@@ -41,6 +56,9 @@ class CallableHWF:
 
     def __repr__(self) -> str:
         return f"CallableHWF({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
 
 
 class VertexAggregationFunction:

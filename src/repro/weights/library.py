@@ -42,6 +42,7 @@ def width_taf() -> TreeAggregationFunction:
         vertex_weight=vertex_weight,
         edge_weight=zero_edge_weight,
         name="width",
+        mask_vertex_weight=lambda lambda_mask, chi_mask: float(lambda_mask.bit_count()),
     )
 
 
@@ -62,6 +63,7 @@ def lexicographic_taf(hypergraph: Hypergraph) -> TreeAggregationFunction:
         vertex_weight=vertex_weight,
         edge_weight=zero_edge_weight,
         name="lexicographic-width",
+        mask_vertex_weight=lambda lambda_mask, chi_mask: base ** (lambda_mask.bit_count() - 1),
     )
 
 
@@ -86,6 +88,7 @@ def separator_taf() -> TreeAggregationFunction:
         vertex_weight=zero_vertex_weight,
         edge_weight=edge_weight,
         name="max-separator",
+        mask_edge_weight=lambda pl, pc, cl, cc: float((pc & cc).bit_count()),
     )
 
 
@@ -100,11 +103,18 @@ def lexicographic_separator_taf(hypergraph: Hypergraph) -> TreeAggregationFuncti
             return 0.0
         return base ** (len(separator) - 1)
 
+    def mask_edge_weight(parent_lambda, parent_chi, child_lambda, child_chi) -> float:
+        separator = parent_chi & child_chi
+        if not separator:
+            return 0.0
+        return base ** (separator.bit_count() - 1)
+
     return TreeAggregationFunction(
         semiring=SUM_MIN,
         vertex_weight=zero_vertex_weight,
         edge_weight=edge_weight,
         name="lexicographic-separator",
+        mask_edge_weight=mask_edge_weight,
     )
 
 
@@ -119,6 +129,7 @@ def node_count_taf() -> TreeAggregationFunction:
         vertex_weight=vertex_weight,
         edge_weight=zero_edge_weight,
         name="node-count",
+        mask_vertex_weight=lambda lambda_mask, chi_mask: 1.0,
     )
 
 
@@ -135,4 +146,5 @@ def largest_chi_taf() -> TreeAggregationFunction:
         vertex_weight=vertex_weight,
         edge_weight=zero_edge_weight,
         name="largest-chi",
+        mask_vertex_weight=lambda lambda_mask, chi_mask: float(chi_mask.bit_count()),
     )

@@ -45,6 +45,15 @@ class QueryCostTAF(TreeAggregationFunction):
         self.query = query
         self.statistics = statistics
         self.estimator = estimator or CardinalityEstimator(query, statistics)
+        # Per-(λ, χ) memos: the candidates graph evaluates the TAF once per
+        # candidate, and many candidates share their labels.  Keys are the
+        # label frozensets themselves (interned by the bitset core, with
+        # cached hashes), so a hit costs two dict lookups and no sorting.
+        self._cost_by_labels: dict = {}
+        self._estimate_by_labels: dict = {}
+        # Bind once so both parts are the *same* object and the evaluation
+        # phase computes each candidate's |E(p)| estimate a single time.
+        estimate_part = self.node_estimate
         super().__init__(
             semiring=SUM_MIN,
             vertex_weight=self._vertex_cost,
@@ -53,16 +62,21 @@ class QueryCostTAF(TreeAggregationFunction):
             smooth=False,
             # e*(p, p') = |E(p)| + |E(p')| is separable, which lets the
             # planner use the fast evaluation path.
-            edge_parent_part=self.node_estimate,
-            edge_child_part=self.node_estimate,
+            edge_parent_part=estimate_part,
+            edge_child_part=estimate_part,
         )
 
     # ------------------------------------------------------------------
     def _vertex_cost(self, node: DecompositionNode) -> float:
         """``v*(p)``: estimated cost of evaluating ``E(p)``."""
-        return self.estimator.node_expression_cost(
-            sorted(node.lambda_edges), sorted(node.chi)
-        )
+        key = (node.lambda_edges, node.chi)
+        cached = self._cost_by_labels.get(key)
+        if cached is None:
+            cached = self.estimator.node_expression_cost(
+                sorted(node.lambda_edges), sorted(node.chi)
+            )
+            self._cost_by_labels[key] = cached
+        return cached
 
     def _edge_cost(self, parent: DecompositionNode, child: DecompositionNode) -> float:
         """``e*(p, p')``: estimated cost of the semijoin ``E(p) ⋉ E(p')``."""
@@ -76,9 +90,14 @@ class QueryCostTAF(TreeAggregationFunction):
     # ------------------------------------------------------------------
     def node_estimate(self, node: DecompositionNode) -> float:
         """The estimated output cardinality of ``E(p)`` (used for reporting)."""
-        return self.estimator.projection_cardinality(
-            sorted(node.lambda_edges), sorted(node.chi)
-        )
+        key = (node.lambda_edges, node.chi)
+        cached = self._estimate_by_labels.get(key)
+        if cached is None:
+            cached = self.estimator.projection_cardinality(
+                sorted(node.lambda_edges), sorted(node.chi)
+            )
+            self._estimate_by_labels[key] = cached
+        return cached
 
 
 def query_cost_taf(

@@ -26,6 +26,12 @@ from repro.weights.semiring import SUM_MIN, Number, Semiring
 VertexWeight = Callable[[DecompositionNode], Number]
 EdgeWeight = Callable[[DecompositionNode, DecompositionNode], Number]
 
+#: Mask-space counterparts: receive a node's ``λ`` edge mask and ``χ``
+#: vertex mask (two ints) instead of a string-labelled node; the edge form
+#: receives ``(parent λ, parent χ, child λ, child χ)``.
+MaskVertexWeight = Callable[[int, int], Number]
+MaskEdgeWeight = Callable[[int, int, int, int], Number]
+
 
 def zero_vertex_weight(node: DecompositionNode) -> Number:
     """The constant-⊥ vertex weight (``⊥ = 0`` for the built-in semirings)."""
@@ -66,6 +72,16 @@ class TreeAggregationFunction:
         including ``cost_H(Q)``, whose ``e*(p, p')`` is the sum of the two
         nodes' estimated sizes -- are separable; the generic path is kept for
         arbitrary user-supplied edge weights.
+    mask_vertex_weight / mask_edge_weight / mask_edge_parent_part /
+    mask_edge_child_part:
+        Optional mask-space counterparts of the weight functions, receiving
+        a node's ``λ`` edge mask and ``χ`` vertex mask as plain ints (the
+        edge form receives parent λ/χ then child λ/χ) instead of
+        string-labelled nodes.  When supplied, the decomposition algorithms
+        never materialise :class:`DecompositionNode` views during
+        evaluation, which keeps the whole bottom-up phase on integer masks.
+        They must agree with their string counterparts; the structural TAFs
+        in :mod:`repro.weights.library` supply both.
     """
 
     def __init__(
@@ -77,6 +93,10 @@ class TreeAggregationFunction:
         smooth: bool = True,
         edge_parent_part: Optional[VertexWeight] = None,
         edge_child_part: Optional[VertexWeight] = None,
+        mask_vertex_weight: Optional[MaskVertexWeight] = None,
+        mask_edge_weight: Optional[MaskEdgeWeight] = None,
+        mask_edge_parent_part: Optional[MaskVertexWeight] = None,
+        mask_edge_child_part: Optional[MaskVertexWeight] = None,
     ) -> None:
         self.semiring = semiring
         self.vertex_weight = vertex_weight
@@ -85,6 +105,10 @@ class TreeAggregationFunction:
         self.smooth = smooth
         self.edge_parent_part = edge_parent_part
         self.edge_child_part = edge_child_part
+        self.mask_vertex_weight = mask_vertex_weight
+        self.mask_edge_weight = mask_edge_weight
+        self.mask_edge_parent_part = mask_edge_parent_part
+        self.mask_edge_child_part = mask_edge_child_part
         if (
             edge_weight is zero_edge_weight
             and edge_parent_part is None
@@ -94,11 +118,23 @@ class TreeAggregationFunction:
             neutral = semiring.neutral
             self.edge_parent_part = lambda node: neutral
             self.edge_child_part = lambda node: neutral
+            if mask_edge_parent_part is None and mask_edge_child_part is None:
+                neutral_part = lambda lambda_mask, chi_mask: neutral  # noqa: E731
+                self.mask_edge_parent_part = neutral_part
+                self.mask_edge_child_part = neutral_part
 
     @property
     def has_separable_edge(self) -> bool:
         """True when the separable form of the edge weight is available."""
         return self.edge_parent_part is not None and self.edge_child_part is not None
+
+    @property
+    def has_mask_separable_edge(self) -> bool:
+        """True when the separable edge weight has a mask-space form."""
+        return (
+            self.mask_edge_parent_part is not None
+            and self.mask_edge_child_part is not None
+        )
 
     # ------------------------------------------------------------------
     def node_contribution(
