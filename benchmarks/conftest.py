@@ -4,7 +4,7 @@ Every benchmark regenerates one of the paper's tables or figures (see the
 per-experiment index in DESIGN.md), asserts the *shape* the paper reports,
 and prints the regenerated rows so that running::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/bench_*.py --benchmark-only -s
 
 shows the tables next to pytest-benchmark's timing output.
 
@@ -91,13 +91,18 @@ def bench_core_log(request):
         if callspec is not None
         else {}
     )
-    _SESSION_ROWS.append(
-        {
-            "bench": request.node.nodeid,
-            "params": params,
-            "seconds": round(seconds, 6),
-        }
-    )
+    row = {
+        "bench": request.node.nodeid,
+        "params": params,
+        "seconds": round(seconds, 6),
+    }
+    # Benchmarks may attach structured measurements (e.g. the execution
+    # benches record evaluation work and seconds per engine) by setting
+    # ``request.node._bench_extra`` to a JSON-safe mapping.
+    extra = getattr(request.node, "_bench_extra", None)
+    if extra:
+        row["extra"] = {key: _json_safe(value) for key, value in extra.items()}
+    _SESSION_ROWS.append(row)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -1,7 +1,22 @@
-"""Relational database substrate: relations, statistics, algebra, Yannakakis,
-plan execution, synthetic data and the cost model."""
+"""Relational database substrate: relations (row and columnar), statistics,
+algebra, Yannakakis, plan IR + execution, synthetic data and the cost
+model."""
 
 from repro.db.relation import Relation, Row, Value
+from repro.db.dictionary import Dictionary
+
+try:  # The columnar engine needs numpy; the row engine covers its absence.
+    from repro.db.columnar import (
+        ColumnarRelation,
+        columnar_natural_join,
+        columnar_project,
+        columnar_select,
+        columnar_semijoin,
+    )
+except ImportError:  # pragma: no cover - exercised only without numpy
+    ColumnarRelation = None  # type: ignore[assignment]
+    columnar_natural_join = columnar_project = None  # type: ignore[assignment]
+    columnar_select = columnar_semijoin = None  # type: ignore[assignment]
 from repro.db.statistics import CatalogStatistics, TableStatistics, analyze_relation
 from repro.db.database import Database
 from repro.db.algebra import (
@@ -15,10 +30,20 @@ from repro.db.algebra import (
     semijoin,
 )
 from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean, semijoin_reduce
+from repro.db.plan_ir import (
+    JoinNode,
+    ProjectNode,
+    QueryPlanIR,
+    ScanNode,
+    YannakakisNode,
+    hypertree_plan_ir,
+    join_order_plan_ir,
+)
 from repro.db.executor import (
     ExecutionResult,
     build_tree_query,
     execute_hypertree_plan,
+    execute_plan,
     naive_join_evaluation,
 )
 from repro.db.costmodel import AtomProfile, CardinalityEstimator
@@ -33,6 +58,20 @@ __all__ = [
     "Relation",
     "Row",
     "Value",
+    "Dictionary",
+    "ColumnarRelation",
+    "columnar_natural_join",
+    "columnar_project",
+    "columnar_select",
+    "columnar_semijoin",
+    "QueryPlanIR",
+    "ScanNode",
+    "JoinNode",
+    "ProjectNode",
+    "YannakakisNode",
+    "hypertree_plan_ir",
+    "join_order_plan_ir",
+    "execute_plan",
     "CatalogStatistics",
     "TableStatistics",
     "analyze_relation",

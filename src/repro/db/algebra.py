@@ -17,8 +17,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+try:  # The columnar kernels need numpy; degrade to the row engine without it.
+    from repro.db.columnar import (
+        ColumnarRelation,
+        columnar_natural_join,
+        columnar_project,
+        columnar_select,
+        columnar_semijoin,
+    )
+except ImportError:  # pragma: no cover - exercised only without numpy
+    ColumnarRelation = None  # type: ignore[assignment]
 from repro.db.relation import Relation, Row
 from repro.exceptions import DatabaseError
+
+
+def _columnar_pair(left: Relation, right: Relation) -> bool:
+    """True when both operands are columnar over the *same* dictionary, so
+    the int-kernel fast path is applicable (ids are directly comparable)."""
+    return (
+        ColumnarRelation is not None
+        and isinstance(left, ColumnarRelation)
+        and isinstance(right, ColumnarRelation)
+        and left.dictionary is right.dictionary
+    )
 
 
 class EvaluationBudgetExceeded(DatabaseError):
@@ -106,12 +127,18 @@ def natural_join(
     """Hash-based natural join on all shared attributes.
 
     If the relations share no attribute the result is the Cartesian product,
-    as usual.
+    as usual.  Columnar operands over a shared dictionary take the
+    int-kernel fast path of :mod:`repro.db.columnar`.
     """
+    if _columnar_pair(left, right):
+        return columnar_natural_join(left, right, stats=stats, name=name)
     shared = _shared_attributes(left, right)
     right_extra = [a for a in right.attributes if a not in shared]
     out_attributes = left.attributes + tuple(right_extra)
     right_positions = [right.position(a) for a in right_extra]
+    reads = left.cardinality + right.cardinality
+    if stats is not None:
+        stats.check(reads)
 
     # Build on the smaller side for the usual hash-join asymmetry.
     build, probe, build_is_left = (
@@ -131,12 +158,15 @@ def natural_join(
             extra = tuple(right_row[p] for p in right_positions)
             rows.append(tuple(left_row) + extra)
         if stats is not None and len(rows) >= check_every:
-            stats.check(len(rows))
+            # Mid-operator check between probe batches; ``extra`` is what
+            # record() would add if the join stopped right here, so a
+            # runaway join aborts within one batch of the budget.
+            stats.check(reads + len(rows))
             check_every += 65536
 
     result = Relation(name or f"({left.name}⋈{right.name})", out_attributes, rows)
     if stats is not None:
-        stats.record("join", left.cardinality + right.cardinality, result.cardinality)
+        stats.record("join", reads, result.cardinality)
     return result
 
 
@@ -164,6 +194,10 @@ def semijoin(
 ) -> Relation:
     """``left ⋉ right``: the rows of ``left`` that join with some row of
     ``right`` (on the shared attributes)."""
+    if _columnar_pair(left, right):
+        return columnar_semijoin(left, right, stats=stats)
+    if stats is not None:
+        stats.check(left.cardinality + right.cardinality)
     shared = _shared_attributes(left, right)
     if not shared:
         # With no shared attribute the semijoin keeps everything iff the right
@@ -198,6 +232,10 @@ def project(
     SQL-style projection that keeps duplicates (used by the baseline plan's
     final output before the explicit answer comparison).
     """
+    if ColumnarRelation is not None and isinstance(relation, ColumnarRelation):
+        return columnar_project(
+            relation, attributes, stats=stats, name=name, distinct=distinct
+        )
     wanted = [a for a in attributes if a in relation.attributes]
     positions = [relation.position(a) for a in wanted]
     projected = (tuple(row[p] for p in positions) for row in relation.rows)
@@ -218,6 +256,8 @@ def select(
 ) -> Relation:
     """``σ_predicate(relation)`` where the predicate sees a dict
     ``attribute -> value``."""
+    if ColumnarRelation is not None and isinstance(relation, ColumnarRelation):
+        return columnar_select(relation, predicate, stats=stats)
     rows = []
     for row in relation.rows:
         binding = dict(zip(relation.attributes, row))

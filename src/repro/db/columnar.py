@@ -1,0 +1,554 @@
+"""Columnar relations: dictionary-encoded columns plus selection vectors.
+
+This is the data-plane twin of the bitset decomposition core
+(:mod:`repro.core`): every domain value is interned once into a shared
+:class:`~repro.db.dictionary.Dictionary`, a relation stores each attribute
+as a flat ``int64`` array of ids, and the hot relational operators run as
+vectorised kernels over those columns:
+
+* a **semijoin** never materialises tuples -- it produces a new relation
+  sharing the same column arrays with a fresh *selection vector* ("keep
+  these row indices", an ``np.isin`` membership mask), so both Yannakakis
+  passes are pure index filtering;
+* a **join** stable-sorts the smaller side's key column, range-probes it
+  with ``searchsorted``, expands the match ranges arithmetically and
+  gathers the output columns by fancy indexing -- the emitted cardinality
+  is known *before* anything is materialised, which is what lets the
+  evaluation budget stop a runaway join at the budget instead of far past
+  it;
+* **project(distinct)** deduplicates packed keys with ``np.unique`` into a
+  first-occurrence selection vector, and **select** decodes values only to
+  feed the user-supplied predicate.
+
+Multi-attribute keys are packed into a single ``int64``
+(``(id0 << w) | id1`` with ``w`` the dictionary's current id width) when
+they fit; wider keys fall back to an iterative combine that re-densifies
+through ``np.unique`` before every step that could overflow, and join
+kernels always derive both sides' keys from one shared packing so they can
+never alias.
+
+The string/value-at-the-boundary invariant of the decomposition core holds
+here too: ids never escape.  :attr:`ColumnarRelation.rows` and every other
+public :class:`~repro.db.relation.Relation` accessor decodes through the
+dictionary (a list index per id -- each distinct value is decoded exactly
+once, at interning time) and caches the materialised tuples, so the
+row-based surface the rest of the library sees is unchanged.
+
+The module requires numpy; :mod:`repro.db.database` degrades to the
+row-based engine when it is unavailable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.dictionary import Dictionary
+from repro.db.relation import Relation, Row, Value
+from repro.exceptions import DatabaseError
+
+#: Largest bit budget for a packed int64 key (signed, one bit of slack).
+_PACK_BITS = 62
+
+
+class ColumnarRelation(Relation):
+    """A relation stored as dictionary-encoded ``int64`` columns.
+
+    Parameters
+    ----------
+    name, attributes:
+        As for :class:`Relation`.
+    dictionary:
+        The shared value interner; all ids in ``columns`` index into it.
+    columns:
+        One flat array (or list) of int ids per attribute, all of the same
+        length (the *base* length).
+    selection:
+        Optional array of base row indices: the relation's logical rows, in
+        order.  ``None`` means "all base rows".  Treated as immutable by
+        every kernel.
+    base_length:
+        Length of the base columns; required when there are no columns
+        (zero-arity relations still have a cardinality).
+    """
+
+    __slots__ = (
+        "dictionary",
+        "_columns",
+        "_selection",
+        "_base_length",
+        "_positions",
+        "_decoded",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        dictionary: Dictionary,
+        columns: Sequence[Sequence[int]],
+        selection=None,
+        base_length: Optional[int] = None,
+    ) -> None:
+        attrs = tuple(str(a) for a in attributes)
+        if len(set(attrs)) != len(attrs):
+            raise DatabaseError(f"relation {name!r} has duplicate attributes: {attrs}")
+        cols = tuple(np.asarray(column, dtype=np.int64) for column in columns)
+        if len(cols) != len(attrs):
+            raise DatabaseError(
+                f"relation {name!r}: {len(cols)} columns for {len(attrs)} attributes"
+            )
+        if base_length is None:
+            if not cols:
+                raise DatabaseError(
+                    f"relation {name!r}: a column-less relation needs an explicit "
+                    "base_length"
+                )
+            base_length = len(cols[0])
+        for col in cols:
+            if col.ndim != 1 or len(col) != base_length:
+                raise DatabaseError(
+                    f"relation {name!r}: ragged columns ({len(col)} vs {base_length})"
+                )
+        self.name = name
+        self.attributes = attrs
+        self.dictionary = dictionary
+        self._columns = cols
+        self._selection = (
+            None if selection is None else np.asarray(selection, dtype=np.int64)
+        )
+        self._base_length = base_length
+        self._positions = {a: i for i, a in enumerate(attrs)}
+        self._decoded: Optional[Tuple[Row, ...]] = None
+        self._rows = None  # unused; the decoded cache lives in _decoded
+        self._index_cache = OrderedDict()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, dictionary: Dictionary, name: Optional[str] = None
+    ) -> "ColumnarRelation":
+        """Encode an arbitrary relation against ``dictionary`` (no-op when it
+        is already columnar over the same dictionary)."""
+        if (
+            isinstance(relation, cls)
+            and relation.dictionary is dictionary
+            and (name is None or name == relation.name)
+        ):
+            return relation
+        rows = relation.rows
+        count = len(rows)
+        columns = [
+            np.fromiter(
+                dictionary.encode_column(row[position] for row in rows),
+                dtype=np.int64,
+                count=count,
+            )
+            for position in range(len(relation.attributes))
+        ]
+        return cls(
+            name or relation.name,
+            relation.attributes,
+            dictionary,
+            columns,
+            base_length=count,
+        )
+
+    @classmethod
+    def from_value_columns(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        value_columns: Sequence[Sequence[Value]],
+        dictionary: Dictionary,
+    ) -> "ColumnarRelation":
+        """Build a relation directly from per-attribute value columns,
+        skipping row materialisation entirely (the generator's fast path)."""
+        columns = [
+            np.fromiter(
+                dictionary.encode_column(column), dtype=np.int64, count=len(column)
+            )
+            for column in value_columns
+        ]
+        return cls(name, attributes, dictionary, columns)
+
+    # -- row-boundary accessors -----------------------------------------
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """The decoded tuples, materialised once and cached."""
+        if self._decoded is None:
+            cols = self._columns
+            if not cols:
+                self._decoded = ((),) * self.cardinality
+            else:
+                values = self.dictionary.values
+                decoded_columns = [
+                    map(values.__getitem__, self._logical(col).tolist())
+                    for col in cols
+                ]
+                self._decoded = tuple(zip(*decoded_columns))
+        return self._decoded
+
+    @property
+    def cardinality(self) -> int:
+        selection = self._selection
+        return len(selection) if selection is not None else self._base_length
+
+    def column(self, attribute: str) -> Tuple[Value, ...]:
+        col = self._logical(self._columns[self.position(attribute)])
+        values = self.dictionary.values
+        return tuple(map(values.__getitem__, col.tolist()))
+
+    def distinct_count(self, attribute: str) -> int:
+        col = self._logical(self._columns[self.position(attribute)])
+        return int(np.unique(col).size)
+
+    def distinct_counts(self) -> Dict[str, int]:
+        """Distinct-value counts of every attribute, straight from the id
+        columns (the columnar ``ANALYZE TABLE``)."""
+        return {a: self.distinct_count(a) for a in self.attributes}
+
+    def distinct_cardinality(self) -> int:
+        return int(np.unique(_local_keys(self, self.attributes)).size)
+
+    def distinct(self, name: Optional[str] = None) -> "ColumnarRelation":
+        selection = _distinct_selection(self, self.attributes)
+        return ColumnarRelation(
+            name or self.name,
+            self.attributes,
+            self.dictionary,
+            self._columns,
+            selection,
+            self._base_length,
+        )
+
+    def rename(
+        self, mapping: Dict[str, str], name: Optional[str] = None
+    ) -> "ColumnarRelation":
+        new_attrs = [mapping.get(a, a) for a in self.attributes]
+        return ColumnarRelation(
+            name or self.name,
+            new_attrs,
+            self.dictionary,
+            self._columns,
+            self._selection,
+            self._base_length,
+        )
+
+    def with_rows(
+        self, rows: Iterable[Sequence[Value]], name: Optional[str] = None
+    ) -> "ColumnarRelation":
+        materialised = [tuple(row) for row in rows]
+        arity = len(self.attributes)
+        for row in materialised:
+            if len(row) != arity:
+                raise DatabaseError(
+                    f"relation {self.name!r}: row {row} has arity {len(row)}, "
+                    f"expected {arity}"
+                )
+        count = len(materialised)
+        columns = [
+            np.fromiter(
+                self.dictionary.encode_column(row[position] for row in materialised),
+                dtype=np.int64,
+                count=count,
+            )
+            for position in range(arity)
+        ]
+        return ColumnarRelation(
+            name or self.name,
+            self.attributes,
+            self.dictionary,
+            columns,
+            base_length=count,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarRelation({self.name!r}, attributes={self.attributes}, "
+            f"cardinality={self.cardinality})"
+        )
+
+    # -- id-space internals (used by the kernels below) ------------------
+    def _row_indices(self) -> np.ndarray:
+        """The logical rows as base indices."""
+        selection = self._selection
+        if selection is not None:
+            return selection
+        return np.arange(self._base_length, dtype=np.int64)
+
+    def _logical(self, column: np.ndarray) -> np.ndarray:
+        """A base column restricted to the logical rows."""
+        selection = self._selection
+        return column if selection is None else column[selection]
+
+    def _gathered(self, attrs: Sequence[str]) -> List[np.ndarray]:
+        """The id columns of ``attrs``, in logical row order."""
+        positions = self._positions
+        return [self._logical(self._columns[positions[a]]) for a in attrs]
+
+
+# ----------------------------------------------------------------------
+# Key construction.
+# ----------------------------------------------------------------------
+
+
+def _column_bits(columns: Sequence[np.ndarray]) -> int:
+    """Bits needed to represent every id appearing in ``columns``."""
+    bits = 0
+    for col in columns:
+        if col.size:
+            bits = max(bits, int(col.max()).bit_length())
+    return bits
+
+
+def _combine_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Fold id columns into one injective int64 key per row, re-densifying
+    through ``np.unique`` before any step that could overflow."""
+    keys = columns[0]
+    key_limit = int(keys.max()) + 1 if keys.size else 1
+    for col in columns[1:]:
+        col_limit = int(col.max()) + 1 if col.size else 1
+        if key_limit > (1 << _PACK_BITS) // col_limit:
+            _, keys = np.unique(keys, return_inverse=True)
+            key_limit = int(keys.max()) + 1 if keys.size else 1
+        keys = keys * col_limit + col
+        key_limit = key_limit * col_limit
+    return keys
+
+
+def _local_keys(relation: ColumnarRelation, attrs: Sequence[str]) -> np.ndarray:
+    """One int64 key per logical row over ``attrs`` (keys comparable only
+    within this relation)."""
+    cols = relation._gathered(attrs)
+    if not cols:
+        return np.zeros(relation.cardinality, dtype=np.int64)
+    if len(cols) == 1:
+        return cols[0]
+    # The pack width comes from the ids actually present, not the dictionary
+    # size, so a dictionary bloated by other relations (or fresh-variable
+    # surrogates) never pushes a narrow key off the shift fast path.
+    width = max(_column_bits([col]) for col in cols[1:])
+    if _column_bits([cols[0]]) + width * (len(cols) - 1) <= _PACK_BITS:
+        keys = cols[0]
+        for col in cols[1:]:
+            keys = (keys << width) | col
+        return keys
+    return _combine_columns(cols)
+
+
+def _distinct_selection(relation: ColumnarRelation, attrs: Sequence[str]) -> np.ndarray:
+    """The base indices of the first occurrence of every distinct ``attrs``
+    combination, in row order -- the shared dedup kernel behind
+    ``distinct()`` and project-distinct."""
+    keys = _local_keys(relation, attrs)
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return relation._row_indices()[first]
+
+
+def _joint_keys(
+    left: ColumnarRelation, right: ColumnarRelation, shared: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Int64 keys for the shared columns of two relations, built from one
+    packing so equal rows get equal keys on both sides."""
+    if not shared:
+        return (
+            np.zeros(left.cardinality, dtype=np.int64),
+            np.zeros(right.cardinality, dtype=np.int64),
+        )
+    left_cols = left._gathered(shared)
+    right_cols = right._gathered(shared)
+    if len(shared) == 1:
+        return left_cols[0], right_cols[0]
+    # One width for both sides, derived from the ids actually present (see
+    # _local_keys); equal rows then pack to equal keys on either side.
+    width = max(
+        _column_bits([lcol, rcol])
+        for lcol, rcol in zip(left_cols[1:], right_cols[1:])
+    )
+    lead = _column_bits([left_cols[0], right_cols[0]])
+    if lead + width * (len(shared) - 1) <= _PACK_BITS:
+        left_keys = left_cols[0]
+        right_keys = right_cols[0]
+        for lcol, rcol in zip(left_cols[1:], right_cols[1:]):
+            left_keys = (left_keys << width) | lcol
+            right_keys = (right_keys << width) | rcol
+        return left_keys, right_keys
+    # Too wide for a shift pack: combine over the concatenation so the
+    # data-dependent densify steps are shared by both sides.
+    split = left.cardinality
+    combined = _combine_columns(
+        [np.concatenate([lc, rc]) for lc, rc in zip(left_cols, right_cols)]
+    )
+    return combined[:split], combined[split:]
+
+
+# ----------------------------------------------------------------------
+# Kernels.  All record the same OperatorStats counts as the row-based
+# operators in repro.db.algebra (same operator label, same read and emitted
+# cardinalities), so "evaluation work" numbers are representation-blind.
+# ----------------------------------------------------------------------
+
+
+def columnar_natural_join(
+    left: ColumnarRelation,
+    right: ColumnarRelation,
+    stats=None,
+    name: Optional[str] = None,
+) -> ColumnarRelation:
+    """Sort-and-probe hash-equivalent join on int64 keys.
+
+    The smaller side is stable-sorted by key; ``searchsorted`` turns every
+    probe row into a [lo, hi) range of matches whose sizes are known before
+    any output is built, so the budget check fires *between the probe and
+    materialisation phases* with the exact would-be emit count -- a runaway
+    join stops at the budget, not past it.
+    """
+    positions = right._positions
+    shared = tuple(a for a in left.attributes if a in positions)
+    left_positions = left._positions
+    right_extra = [a for a in right.attributes if a not in left_positions]
+    out_attributes = left.attributes + tuple(right_extra)
+    reads = left.cardinality + right.cardinality
+    if stats is not None:
+        stats.check(reads)
+
+    left_keys, right_keys = _joint_keys(left, right, shared)
+    if left.cardinality <= right.cardinality:
+        build, build_keys, probe, probe_keys = left, left_keys, right, right_keys
+        build_is_left = True
+    else:
+        build, build_keys, probe, probe_keys = right, right_keys, left, left_keys
+        build_is_left = False
+
+    order = np.argsort(build_keys, kind="stable")
+    sorted_keys = build_keys[order]
+    lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+    hi = np.searchsorted(sorted_keys, probe_keys, side="right")
+    counts = hi - lo
+    emitted = int(counts.sum())
+    if stats is not None:
+        stats.check(reads + emitted)
+
+    probe_idx = np.repeat(probe._row_indices(), counts)
+    # Expand every [lo, hi) range: start offset per output row plus its
+    # position within the range.
+    starts = np.repeat(lo, counts)
+    within = np.arange(emitted, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    matched = order[starts + within]
+    build_selection = build._selection
+    build_idx = matched if build_selection is None else build_selection[matched]
+
+    left_idx, right_idx = (
+        (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
+    )
+    out_columns = [col[left_idx] for col in left._columns]
+    right_columns = right._columns
+    out_columns += [right_columns[positions[a]][right_idx] for a in right_extra]
+
+    result = ColumnarRelation(
+        name or f"({left.name}⋈{right.name})",
+        out_attributes,
+        left.dictionary,
+        out_columns,
+        base_length=emitted,
+    )
+    if stats is not None:
+        stats.record("join", reads, result.cardinality)
+    return result
+
+
+def columnar_semijoin(
+    left: ColumnarRelation, right: ColumnarRelation, stats=None
+) -> ColumnarRelation:
+    """``left ⋉ right`` as pure selection-vector filtering: an ``np.isin``
+    membership mask over the key column, no tuple ever materialised."""
+    shared = tuple(a for a in left.attributes if a in right._positions)
+    reads = left.cardinality + right.cardinality
+    if stats is not None:
+        stats.check(reads)
+    if not shared:
+        selection = (
+            left._selection
+            if right.cardinality
+            else np.empty(0, dtype=np.int64)
+        )
+    else:
+        left_keys, right_keys = _joint_keys(left, right, shared)
+        mask = np.isin(left_keys, right_keys)
+        selection = left._row_indices()[mask]
+    result = ColumnarRelation(
+        left.name,
+        left.attributes,
+        left.dictionary,
+        left._columns,
+        selection,
+        left._base_length,
+    )
+    if stats is not None:
+        stats.record("semijoin", reads, result.cardinality)
+    return result
+
+
+def columnar_project(
+    relation: ColumnarRelation,
+    attributes: Sequence[str],
+    stats=None,
+    name: Optional[str] = None,
+    distinct: bool = True,
+) -> ColumnarRelation:
+    """``Π_attributes`` as column subsetting; ``distinct`` deduplicates
+    packed keys into a first-occurrence selection vector."""
+    positions = relation._positions
+    wanted = [a for a in attributes if a in positions]
+    columns = tuple(relation._columns[positions[a]] for a in wanted)
+    if stats is not None:
+        stats.check(relation.cardinality)
+    if distinct:
+        selection = _distinct_selection(relation, wanted)
+    else:
+        selection = relation._selection
+    result = ColumnarRelation(
+        name or relation.name,
+        wanted,
+        relation.dictionary,
+        columns,
+        selection,
+        relation._base_length,
+    )
+    if stats is not None:
+        stats.record("project", relation.cardinality, result.cardinality)
+    return result
+
+
+def columnar_select(relation: ColumnarRelation, predicate, stats=None) -> ColumnarRelation:
+    """``σ_predicate``: decode per row only to feed the predicate, keep the
+    result as a selection vector over the same columns."""
+    values = relation.dictionary.values
+    attrs = relation.attributes
+    decoded = [
+        list(map(values.__getitem__, relation._logical(col).tolist()))
+        for col in relation._columns
+    ]
+    kept = [
+        bool(predicate(dict(zip(attrs, row_values))))
+        for row_values in zip(*decoded)
+    ] if decoded else [bool(predicate({})) for _ in range(relation.cardinality)]
+    mask = np.fromiter(kept, dtype=bool, count=len(kept))
+    selection = relation._row_indices()[mask]
+    result = ColumnarRelation(
+        relation.name,
+        attrs,
+        relation.dictionary,
+        relation._columns,
+        selection,
+        relation._base_length,
+    )
+    if stats is not None:
+        stats.record("select", relation.cardinality, result.cardinality)
+    return result

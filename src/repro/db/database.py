@@ -2,17 +2,31 @@
 
 A :class:`Database` maps predicate names to :class:`~repro.db.relation.Relation`
 objects and carries a :class:`~repro.db.statistics.CatalogStatistics` catalog.
+By default every stored relation is interned at load time into the columnar
+representation (:class:`~repro.db.columnar.ColumnarRelation`) against the
+database's shared value :class:`~repro.db.dictionary.Dictionary`, so the
+whole execution pipeline -- binding, joins, semijoins, Yannakakis -- runs on
+dense int columns; ``columnar=False`` keeps the row-based storage (the
+reference engine the equivalence tests and benchmarks compare against).
+
 The central operation for query evaluation is :meth:`Database.bind_atom`,
 which renames a relation's columns to the variables of a query atom (and
 applies the selections implied by constants and repeated variables), turning
 every body atom into a relation over query variables -- the form the
-relational-algebra operators and Yannakakis' algorithm work on.
+relational-algebra operators and Yannakakis' algorithm work on.  On columnar
+relations binding is (near) zero-copy: the bound relation shares the stored
+column arrays and carries at most a fresh selection vector.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
+try:  # Columnar storage needs numpy; fall back to row storage without it.
+    from repro.db.columnar import ColumnarRelation
+except ImportError:  # pragma: no cover - exercised only without numpy
+    ColumnarRelation = None  # type: ignore[assignment]
+from repro.db.dictionary import Dictionary
 from repro.db.relation import Relation
 from repro.db.statistics import CatalogStatistics, analyze_relation
 from repro.exceptions import DatabaseError
@@ -28,14 +42,25 @@ class Database:
         relations: Optional[Mapping[str, Relation]] = None,
         statistics: Optional[CatalogStatistics] = None,
         name: str = "db",
+        columnar: bool = True,
+        dictionary: Optional[Dictionary] = None,
     ) -> None:
         self.name = name
-        self._relations: Dict[str, Relation] = dict(relations or {})
+        self.columnar = columnar
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self._relations: Dict[str, Relation] = {
+            key: self._intern(relation) for key, relation in (relations or {}).items()
+        }
         self.statistics = statistics or CatalogStatistics()
 
     # ------------------------------------------------------------------
+    def _intern(self, relation: Relation) -> Relation:
+        if not self.columnar or ColumnarRelation is None:
+            return relation
+        return ColumnarRelation.from_relation(relation, self.dictionary)
+
     def add_relation(self, relation: Relation) -> None:
-        self._relations[relation.name] = relation
+        self._relations[relation.name] = self._intern(relation)
 
     def relation(self, predicate: str) -> Relation:
         try:
@@ -98,6 +123,16 @@ class Database:
                 out_attributes.append(term)
                 keep_positions.append(position)
 
+        if (
+            ColumnarRelation is not None
+            and isinstance(stored, ColumnarRelation)
+            and stored.dictionary is self.dictionary
+        ):
+            return self._bind_columnar(
+                atom, stored, real_terms, fresh_terms,
+                out_attributes, seen_positions, keep_positions,
+            )
+
         rows = []
         for row in stored.rows:
             ok = True
@@ -119,6 +154,78 @@ class Database:
                 for i, row in enumerate(rows)
             ]
         return Relation(atom.name, out_attributes, rows)
+
+    def _bind_columnar(
+        self,
+        atom: Atom,
+        stored: ColumnarRelation,
+        real_terms: List[str],
+        fresh_terms: List[str],
+        out_attributes: List[str],
+        seen_positions: Dict[str, int],
+        keep_positions: List[int],
+    ) -> ColumnarRelation:
+        """Columnar atom binding: share the stored column arrays, apply
+        constant/repeated-variable selections as a selection vector, and add
+        surrogate columns for fresh variables."""
+        import numpy as np
+
+        columns = stored._columns
+        # Selection conditions implied by the atom's terms.  A constant the
+        # dictionary has never seen matches no stored row at all.
+        constant_checks = []  # (column, id or None)
+        repeat_checks = []  # (first column, repeated column)
+        for position, term in enumerate(real_terms):
+            if not is_variable(term):
+                constant_checks.append(
+                    (columns[position], self.dictionary.id_of(_coerce_constant(term)))
+                )
+            elif seen_positions[term] != position:
+                repeat_checks.append((columns[seen_positions[term]], columns[position]))
+
+        selection = stored._selection
+        if constant_checks or repeat_checks:
+            if any(wanted is None for _, wanted in constant_checks):
+                selection = np.empty(0, dtype=np.int64)
+            else:
+                rows = stored._row_indices()
+                mask = None
+                for column, wanted in constant_checks:
+                    hits = column[rows] == wanted
+                    mask = hits if mask is None else (mask & hits)
+                for first, repeated in repeat_checks:
+                    hits = first[rows] == repeated[rows]
+                    mask = hits if mask is None else (mask & hits)
+                selection = rows[mask]
+
+        kept_columns = [columns[p] for p in keep_positions]
+        base_length = stored._base_length
+        if fresh_terms:
+            # Materialise the selection so the surrogate column aligns with
+            # the kept ones, then give every row a unique surrogate value
+            # (joinable only with itself), exactly as the row-based binding.
+            if selection is not None:
+                kept_columns = [column[selection] for column in kept_columns]
+            cardinality = len(selection) if selection is not None else base_length
+            fresh_ids = np.fromiter(
+                self.dictionary.encode_column(
+                    f"{atom.name}@{i}" for i in range(cardinality)
+                ),
+                dtype=np.int64,
+                count=cardinality,
+            )
+            kept_columns = kept_columns + [fresh_ids] * len(fresh_terms)
+            out_attributes = out_attributes + fresh_terms
+            selection = None
+            base_length = cardinality
+        return ColumnarRelation(
+            atom.name,
+            out_attributes,
+            self.dictionary,
+            kept_columns,
+            selection,
+            base_length,
+        )
 
     def bind_query(self, query: ConjunctiveQuery) -> Dict[str, Relation]:
         """Bind every atom of the query; keys are atom names."""

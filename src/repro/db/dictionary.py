@@ -1,0 +1,97 @@
+"""Value ↔ dense-integer interning for the columnar engine.
+
+A :class:`Dictionary` is the data-plane sibling of
+:class:`repro.core.vocabulary.Vocabulary`: it assigns consecutive integer
+ids to *domain values* (the objects stored in relation tuples) so that a
+column becomes a flat array of small ints and every equality test, hash
+probe and distinct count runs on machine integers instead of arbitrary
+Python objects.
+
+Interning uses ordinary ``dict`` equality, so two values that compare equal
+(``3 == 3.0``) share an id — exactly the equality the row-based operators
+used, which keeps the columnar kernels answer-identical.  Dictionaries are
+append-only: ids are never reused, so a decoded value is always the object
+that was interned first, and decoding is a single list index ("decode once
+per distinct id").
+
+One :class:`Dictionary` is shared by every relation of a
+:class:`repro.db.database.Database`, so columns of different relations are
+directly comparable: a join or semijoin between two relations of the same
+database never touches the values themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+class Dictionary:
+    """An append-only interner mapping hashable domain values to dense ids."""
+
+    __slots__ = ("_values", "_ids")
+
+    def __init__(self, values: Iterable[Any] = ()) -> None:
+        self._values: List[Any] = []
+        self._ids: Dict[Any, int] = {}
+        for value in values:
+            self.encode(value)
+
+    # ------------------------------------------------------------------
+    def encode(self, value: Any) -> int:
+        """The id of ``value``, assigning the next free id on first sight."""
+        ids = self._ids
+        index = ids.get(value)
+        if index is None:
+            index = len(self._values)
+            ids[value] = index
+            self._values.append(value)
+        return index
+
+    def encode_column(self, values: Iterable[Any]) -> List[int]:
+        """Encode a whole column of values (interning as needed)."""
+        ids = self._ids
+        out: List[int] = []
+        append = out.append
+        values_list = self._values
+        for value in values:
+            index = ids.get(value)
+            if index is None:
+                index = len(values_list)
+                ids[value] = index
+                values_list.append(value)
+            append(index)
+        return out
+
+    def id_of(self, value: Any) -> Optional[int]:
+        """The id of an already-interned value, or ``None`` (no interning).
+
+        Used for probe-side lookups (e.g. constants in query atoms): a value
+        the database has never stored cannot match any row.
+        """
+        return self._ids.get(value)
+
+    # ------------------------------------------------------------------
+    def decode(self, index: int) -> Any:
+        return self._values[index]
+
+    @property
+    def values(self) -> Sequence[Any]:
+        """The id-indexed value list (read-only by convention); indexing it
+        is the decode kernel the columnar accessors use."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._ids
+
+    @property
+    def key_width(self) -> int:
+        """Bits needed to represent any current id (an upper bound for key
+        packing; the kernels derive tighter widths from the ids actually
+        present in their columns)."""
+        return max(len(self._values), 1).bit_length()
+
+    def __repr__(self) -> str:
+        return f"Dictionary({len(self._values)} values)"

@@ -1,4 +1,4 @@
-"""Executing hypertree query plans.
+"""Executing query plans through the shared plan-node IR.
 
 A (complete) hypertree decomposition of a query is a query plan (Section 1.1
 and Section 6 of the paper): first evaluate, for every decomposition node
@@ -6,23 +6,41 @@ and Section 6 of the paper): first evaluate, for every decomposition node
 tree of relations is an acyclic *tree query* which Yannakakis' algorithm then
 answers in output-polynomial time.
 
-:func:`execute_hypertree_plan` carries out both phases against an in-memory
-:class:`~repro.db.database.Database` and reports the work performed, which is
-what the Fig. 8 experiments measure.
+Both plan shapes -- hypertree plans and the baseline's left-deep join
+orders -- are lowered to the IR of :mod:`repro.db.plan_ir` and interpreted
+by :func:`execute_plan`, so they run on the identical operator kernels
+(columnar whenever the database is columnar) and their work counters are
+directly comparable.  :func:`execute_hypertree_plan` and
+:func:`naive_join_evaluation` remain as the public entry points and report
+the work performed, which is what the Fig. 8 experiments measure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.db.algebra import OperatorStats, evaluate_node_expression
+from repro.db.algebra import (
+    OperatorStats,
+    evaluate_node_expression,
+    join_all,
+    project,
+)
 from repro.db.database import Database
+from repro.db.plan_ir import (
+    JoinNode,
+    ProjectNode,
+    QueryPlanIR,
+    ScanNode,
+    YannakakisNode,
+    hypertree_plan_ir,
+    join_order_plan_ir,
+)
 from repro.db.relation import Relation
 from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean
 from repro.decomposition.hypertree import HypertreeDecomposition
 from repro.exceptions import DatabaseError
-from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
+from repro.query.conjunctive import ConjunctiveQuery
 
 
 @dataclass
@@ -75,6 +93,72 @@ def build_tree_query(
     return TreeQuery(root=decomposition.root, children=children, relations=relations)
 
 
+def execute_plan(
+    plan: QueryPlanIR, database: Database, budget: Optional[int] = None
+) -> ExecutionResult:
+    """Interpret a plan-node IR tree against ``database``.
+
+    This is the single execution path for every plan shape: atoms are bound
+    once (memoised per atom name) and every operator goes through
+    :mod:`repro.db.algebra`, which dispatches to the columnar kernels when
+    the database is columnar.  ``budget`` caps the total evaluation work
+    (tuples read + emitted); exceeding it raises
+    :class:`repro.db.algebra.EvaluationBudgetExceeded`.
+    """
+    stats = OperatorStats(budget=budget)
+    atoms = {atom.name: atom for atom in plan.query.atoms}
+    bound: Dict[str, Relation] = {}
+
+    def scan(atom_name: str) -> Relation:
+        relation = bound.get(atom_name)
+        if relation is None:
+            relation = database.bind_atom(atoms[atom_name])
+            bound[atom_name] = relation
+        return relation
+
+    def run(node) -> Relation:
+        if isinstance(node, ScanNode):
+            return scan(node.atom_name)
+        if isinstance(node, JoinNode):
+            relations = [run(child) for child in node.inputs]
+            order = None
+            if node.smallest_first:
+                order = sorted(
+                    range(len(relations)), key=lambda i: relations[i].cardinality
+                )
+            return join_all(relations, stats=stats, order=order)
+        if isinstance(node, ProjectNode):
+            return project(
+                run(node.input),
+                list(node.attributes),
+                stats=stats,
+                name=node.name,
+                distinct=node.distinct,
+            )
+        raise DatabaseError(f"unknown plan node: {node!r}")
+
+    root = plan.root
+    if isinstance(root, YannakakisNode):
+        relations = {node_id: run(expr) for node_id, expr in root.expressions}
+        tree = TreeQuery(
+            root=root.root,
+            children={node_id: kids for node_id, kids in root.children},
+            relations=relations,
+        )
+        if root.boolean:
+            answer = evaluate_boolean(tree, stats=stats)
+            return ExecutionResult(relation=None, boolean=answer, stats=stats)
+        result = evaluate(tree, list(root.output_variables), stats=stats)
+        return ExecutionResult(relation=result, boolean=None, stats=stats)
+
+    result = run(root)
+    if plan.boolean:
+        return ExecutionResult(
+            relation=None, boolean=result.cardinality > 0, stats=stats
+        )
+    return ExecutionResult(relation=result, boolean=None, stats=stats)
+
+
 def execute_hypertree_plan(
     query: ConjunctiveQuery,
     database: Database,
@@ -97,13 +181,7 @@ def execute_hypertree_plan(
             "(repro.decomposition.complete_decomposition) or plan with the "
             "fresh-variable construction"
         )
-    stats = OperatorStats(budget=budget)
-    tree = build_tree_query(query, database, decomposition, stats=stats)
-    if query.is_boolean:
-        answer = evaluate_boolean(tree, stats=stats)
-        return ExecutionResult(relation=None, boolean=answer, stats=stats)
-    result = evaluate(tree, list(query.output_variables), stats=stats)
-    return ExecutionResult(relation=result, boolean=None, stats=stats)
+    return execute_plan(hypertree_plan_ir(query, decomposition), database, budget=budget)
 
 
 def naive_join_evaluation(
@@ -116,20 +194,4 @@ def naive_join_evaluation(
     order, with no structural awareness -- the "flat" evaluation a
     quantitative-only engine performs once its optimiser has fixed a join
     order.  Used as the execution backend of the baseline optimiser."""
-    from repro.db.algebra import join_all, project
-
-    stats = OperatorStats(budget=budget)
-    bound = database.bind_query(query)
-    names = list(order) if order is not None else sorted(bound)
-    unknown = [n for n in names if n not in bound]
-    if unknown:
-        raise DatabaseError(f"unknown atoms in join order: {unknown}")
-    if set(names) != set(bound):
-        raise DatabaseError("join order must mention every atom exactly once")
-    relations = [bound[n] for n in names]
-    joined = join_all(relations, stats=stats)
-    if query.is_boolean:
-        return ExecutionResult(relation=None, boolean=joined.cardinality > 0, stats=stats)
-    wanted = [v for v in query.output_variables if not is_fresh_variable(v)]
-    result = project(joined, wanted, stats=stats, name="answer")
-    return ExecutionResult(relation=result, boolean=None, stats=stats)
+    return execute_plan(join_order_plan_ir(query, order), database, budget=budget)

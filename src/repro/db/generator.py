@@ -23,6 +23,10 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+try:  # Columnar storage needs numpy; the generator then emits row relations.
+    from repro.db.columnar import ColumnarRelation
+except ImportError:  # pragma: no cover - exercised only without numpy
+    ColumnarRelation = None  # type: ignore[assignment]
 from repro.db.database import Database
 from repro.db.relation import Relation
 from repro.db.statistics import CatalogStatistics, TableStatistics
@@ -48,6 +52,44 @@ def generate_column(
     return values
 
 
+def _generate_columns(
+    name: str,
+    attributes: Sequence[str],
+    cardinality: int,
+    distinct_counts: Mapping[str, int],
+    seed: int,
+) -> List[List[int]]:
+    """The per-attribute value columns of one generated relation (the shared
+    random stream behind both relation representations)."""
+    rng = random.Random(f"{seed}:{name}")
+    columns: List[List[int]] = []
+    for attribute in attributes:
+        distinct = int(distinct_counts.get(attribute, cardinality))
+        columns.append(generate_column(cardinality, distinct, rng))
+    return columns
+
+
+def _add_generated(
+    database: Database,
+    name: str,
+    attributes: Sequence[str],
+    columns: Sequence[List[int]],
+) -> None:
+    """Store generated value columns in the database: interned straight into
+    its dictionary when the database is columnar, materialised as row tuples
+    otherwise (the single place where the two representations split)."""
+    if database.columnar and ColumnarRelation is not None:
+        database.add_relation(
+            ColumnarRelation.from_value_columns(
+                name, attributes, columns, database.dictionary
+            )
+        )
+    else:
+        length = len(columns[0]) if columns else 0
+        rows = [tuple(column[i] for column in columns) for i in range(length)]
+        database.add_relation(Relation(name, attributes, rows))
+
+
 def generate_relation(
     name: str,
     attributes: Sequence[str],
@@ -60,15 +102,8 @@ def generate_relation(
     Attributes missing from ``distinct_counts`` get a distinct count equal to
     the cardinality (i.e. a key-like column).
     """
-    rng = random.Random(f"{seed}:{name}")
-    columns: Dict[str, List[int]] = {}
-    for attribute in attributes:
-        distinct = int(distinct_counts.get(attribute, cardinality))
-        columns[attribute] = generate_column(cardinality, distinct, rng)
-    rows = [
-        tuple(columns[attribute][i] for attribute in attributes)
-        for i in range(cardinality)
-    ]
+    columns = _generate_columns(name, attributes, cardinality, distinct_counts, seed)
+    rows = [tuple(column[i] for column in columns) for i in range(cardinality)]
     # Relations use bag semantics, so the cardinality is exactly as requested
     # even when the attribute domains are small (as in Fig. 5, where e.g.
     # relation d has 3756 tuples over an 18 x 7 value space).
@@ -81,6 +116,7 @@ def database_from_statistics(
     seed: int = 0,
     scale: float = 1.0,
     name: str = "synthetic",
+    columnar: bool = True,
 ) -> Database:
     """Generate a database realising a declared statistics profile for the
     relations used by ``query``.
@@ -91,8 +127,13 @@ def database_from_statistics(
     square root of the cardinality ratio, clamped to the new cardinality --
     shrinking a relation shrinks its value sets too, but more slowly, which
     keeps joins selective.
+
+    ``columnar`` selects the engine: the generated columns are interned
+    straight into the database dictionary without ever materialising rows
+    (the default), or kept as row tuples for the reference engine.  Both
+    paths draw from the same random stream, so the data is identical.
     """
-    database = Database(name=name)
+    database = Database(name=name, columnar=columnar)
     for atom in query.atoms:
         if database.has_relation(atom.predicate):
             continue
@@ -106,10 +147,10 @@ def database_from_statistics(
         # Column names follow the atom's terms so that measured statistics and
         # the Fig. 5-style declarations use the same keys.
         attributes = list(atom.terms)
-        relation = generate_relation(
-            atom.predicate, attributes, cardinality, distinct_counts, seed=seed
+        columns = _generate_columns(
+            atom.predicate, attributes, cardinality, distinct_counts, seed
         )
-        database.add_relation(relation)
+        _add_generated(database, atom.predicate, attributes, columns)
     database.analyze()
     return database
 
@@ -120,6 +161,7 @@ def uniform_database(
     domain_size: int = 30,
     seed: int = 0,
     name: str = "uniform",
+    columnar: bool = True,
 ) -> Database:
     """A database with the same cardinality for every relation and a common
     value domain -- the "1500 data tuples" setting of the Fig. 8 experiments.
@@ -128,15 +170,17 @@ def uniform_database(
     blow up more, larger domains make them more selective.
     """
     rng = random.Random(seed)
-    database = Database(name=name)
+    database = Database(name=name, columnar=columnar)
     for atom in query.atoms:
         if database.has_relation(atom.predicate):
             continue
         attributes = list(atom.terms)
-        rows = [
-            tuple(rng.randrange(domain_size) for _ in attributes)
-            for _ in range(tuples_per_relation)
-        ]
-        database.add_relation(Relation(atom.predicate, attributes, rows))
+        # Row-major draws (one tuple at a time) keep the random stream -- and
+        # therefore the data -- identical across both representations.
+        columns: List[List[int]] = [[] for _ in attributes]
+        for _ in range(tuples_per_relation):
+            for column in columns:
+                column.append(rng.randrange(domain_size))
+        _add_generated(database, atom.predicate, attributes, columns)
     database.analyze()
     return database

@@ -1,0 +1,165 @@
+"""A shared plan-node IR for both plan shapes.
+
+The paper compares two plan families -- the baseline's left-deep join
+orders and cost-k-decomp's hypertree plans -- and the comparison is only
+fair if both execute on the *identical* kernels.  This module gives them a
+common intermediate representation: a small tree of plan nodes that
+:func:`repro.db.executor.execute_plan` interprets against a database,
+routing every operator through :mod:`repro.db.algebra` (and hence through
+the columnar kernels whenever the database is columnar).
+
+Nodes
+-----
+* :class:`ScanNode` -- bind one query atom (memoised per atom, as
+  ``bind_query`` did);
+* :class:`JoinNode` -- natural-join the inputs left-to-right;
+  ``smallest_first`` re-orders them by runtime cardinality first (the
+  per-node expression discipline of ``E(p)``);
+* :class:`ProjectNode` -- ``Π`` with optional duplicate elimination;
+* :class:`YannakakisNode` -- evaluate per-node expressions, assemble the
+  acyclic tree query and run Yannakakis' algorithm over it.
+
+The builders :func:`join_order_plan_ir` and :func:`hypertree_plan_ir`
+reproduce, operator for operator, the exact sequences the historical
+``naive_join_evaluation`` / ``execute_hypertree_plan`` performed, so
+``OperatorStats`` work counts are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.exceptions import DatabaseError
+from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
+
+PlanNode = Union["ScanNode", "JoinNode", "ProjectNode", "YannakakisNode"]
+
+
+@dataclass(frozen=True)
+class ScanNode:
+    """Bind one query atom (by atom name) against the database."""
+
+    atom_name: str
+
+
+@dataclass(frozen=True)
+class JoinNode:
+    """Natural join of the inputs, folded left-to-right.
+
+    With ``smallest_first`` the evaluated inputs are joined in ascending
+    order of runtime cardinality (stable, so ties keep the input order) --
+    the default order for the handful of relations in a λ label.
+    """
+
+    inputs: Tuple[PlanNode, ...]
+    smallest_first: bool = False
+
+
+@dataclass(frozen=True)
+class ProjectNode:
+    """``Π_attributes`` over the input plan."""
+
+    input: PlanNode
+    attributes: Tuple[str, ...]
+    distinct: bool = True
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class YannakakisNode:
+    """Evaluate one plan per decomposition node, then run Yannakakis.
+
+    ``children`` and ``expressions`` are (id, value) tuples rather than
+    dicts so the node stays hashable; their order is the evaluation order.
+    For a Boolean query only the bottom-up semijoin pass runs.
+    """
+
+    root: object
+    children: Tuple[Tuple[object, Tuple[object, ...]], ...]
+    expressions: Tuple[Tuple[object, PlanNode], ...]
+    output_variables: Tuple[str, ...] = ()
+    boolean: bool = False
+
+
+@dataclass
+class QueryPlanIR:
+    """An executable plan: a node tree plus the query it answers."""
+
+    query: ConjunctiveQuery
+    root: PlanNode
+    boolean: bool = False
+
+    def execute(self, database, budget: Optional[int] = None):
+        """Interpret the plan against ``database`` (see
+        :func:`repro.db.executor.execute_plan`)."""
+        from repro.db.executor import execute_plan
+
+        return execute_plan(self, database, budget=budget)
+
+
+# ----------------------------------------------------------------------
+# Builders.
+# ----------------------------------------------------------------------
+
+
+def join_order_plan_ir(
+    query: ConjunctiveQuery, order: Optional[Sequence[str]] = None
+) -> QueryPlanIR:
+    """The left-deep plan: join all bound atoms in ``order`` (textual order
+    by default), then project onto the non-fresh output variables."""
+    atom_names = {atom.name for atom in query.atoms}
+    names = list(order) if order is not None else sorted(atom_names)
+    unknown = [n for n in names if n not in atom_names]
+    if unknown:
+        raise DatabaseError(f"unknown atoms in join order: {unknown}")
+    if set(names) != atom_names:
+        raise DatabaseError("join order must mention every atom exactly once")
+    joined = JoinNode(tuple(ScanNode(n) for n in names))
+    if query.is_boolean:
+        return QueryPlanIR(query=query, root=joined, boolean=True)
+    wanted = tuple(v for v in query.output_variables if not is_fresh_variable(v))
+    return QueryPlanIR(
+        query=query,
+        root=ProjectNode(joined, wanted, distinct=True, name="answer"),
+        boolean=False,
+    )
+
+
+def hypertree_plan_ir(query: ConjunctiveQuery, decomposition) -> QueryPlanIR:
+    """The structural plan: ``E(p) = Π_{χ(p)} ⋈_{h ∈ λ(p)} rel(h)`` per
+    decomposition node, then Yannakakis over the resulting tree query."""
+    atom_names = {atom.name for atom in query.atoms}
+    expressions = []
+    for node in decomposition.nodes():
+        scans = []
+        for edge_name in sorted(node.lambda_edges):
+            if edge_name not in atom_names:
+                raise DatabaseError(
+                    f"decomposition uses edge {edge_name!r} which is not an atom "
+                    f"of query {query.name!r}"
+                )
+            scans.append(ScanNode(edge_name))
+        expressions.append(
+            (
+                node.node_id,
+                ProjectNode(
+                    JoinNode(tuple(scans), smallest_first=True),
+                    tuple(sorted(node.chi)),
+                    distinct=True,
+                ),
+            )
+        )
+    children = tuple(
+        (node_id, tuple(decomposition.children(node_id)))
+        for node_id in decomposition.node_ids()
+    )
+    boolean = query.is_boolean
+    root = YannakakisNode(
+        root=decomposition.root,
+        children=children,
+        expressions=tuple(expressions),
+        output_variables=() if boolean else tuple(query.output_variables),
+        boolean=boolean,
+    )
+    return QueryPlanIR(query=query, root=root, boolean=boolean)

@@ -25,13 +25,20 @@ shared variable names).
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import DatabaseError
 
 Value = object
 Row = Tuple[Value, ...]
+
+#: How many hash indexes a relation keeps alive at once.  Long comparison
+#: sweeps (many plans over the same database) index the same relations on
+#: many different key sets; an unbounded cache would accumulate every one of
+#: them for the lifetime of the relation.  Eight covers every access pattern
+#: a single plan produces (build side of each join the relation feeds).
+INDEX_CACHE_LIMIT = 8
 
 
 class Relation:
@@ -71,7 +78,9 @@ class Relation:
                 )
             materialised.append(row_tuple)
         self._rows: Tuple[Row, ...] = tuple(materialised)
-        self._index_cache: Dict[Tuple[str, ...], Dict[Row, List[Row]]] = {}
+        self._index_cache: "OrderedDict[Tuple[str, ...], Dict[Row, List[Row]]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -89,16 +98,16 @@ class Relation:
 
     def distinct_cardinality(self) -> int:
         """Number of distinct rows."""
-        return len(set(self._rows))
+        return len(set(self.rows))
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self.cardinality
 
     def __iter__(self):
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __bool__(self) -> bool:
-        return bool(self._rows)
+        return self.cardinality > 0
 
     # ------------------------------------------------------------------
     def position(self, attribute: str) -> int:
@@ -113,37 +122,44 @@ class Relation:
     def column(self, attribute: str) -> Tuple[Value, ...]:
         """All values of one column (with duplicates, in row order)."""
         pos = self.position(attribute)
-        return tuple(row[pos] for row in self._rows)
+        return tuple(row[pos] for row in self.rows)
 
     def distinct_count(self, attribute: str) -> int:
         """The number of distinct values of an attribute -- the paper's
         *selectivity* of the attribute (Fig. 5)."""
         pos = self.position(attribute)
-        return len({row[pos] for row in self._rows})
+        return len({row[pos] for row in self.rows})
 
     def index_on(self, attributes: Sequence[str]) -> Dict[Row, List[Row]]:
-        """A hash index keyed by the given attributes (cached)."""
+        """A hash index keyed by the given attributes (LRU-cached, at most
+        :data:`INDEX_CACHE_LIMIT` indexes per relation)."""
         key_attrs = tuple(attributes)
-        if key_attrs not in self._index_cache:
+        cache = self._index_cache
+        index = cache.get(key_attrs)
+        if index is None:
             positions = [self.position(a) for a in key_attrs]
-            index: Dict[Row, List[Row]] = {}
-            for row in self._rows:
+            index = {}
+            for row in self.rows:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, []).append(row)
-            self._index_cache[key_attrs] = index
-        return self._index_cache[key_attrs]
+            cache[key_attrs] = index
+            if len(cache) > INDEX_CACHE_LIMIT:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key_attrs)
+        return index
 
     # ------------------------------------------------------------------
     def distinct(self, name: str | None = None) -> "Relation":
         """The relation with duplicate rows removed (explicit ``DISTINCT``)."""
-        seen = dict.fromkeys(self._rows)
+        seen = dict.fromkeys(self.rows)
         return Relation(name or self.name, self.attributes, seen.keys())
 
     def rename(self, mapping: Dict[str, str], name: str | None = None) -> "Relation":
         """A copy with attributes renamed (e.g. relation attributes -> query
         variables when binding an atom)."""
         new_attrs = [mapping.get(a, a) for a in self.attributes]
-        return Relation(name or self.name, new_attrs, self._rows)
+        return Relation(name or self.name, new_attrs, self.rows)
 
     def with_rows(self, rows: Iterable[Sequence[Value]], name: str | None = None) -> "Relation":
         """A relation with the same schema but different rows."""
@@ -155,17 +171,17 @@ class Relation:
         rows."""
         if not isinstance(other, Relation):
             return NotImplemented
-        return self.attributes == other.attributes and Counter(self._rows) == Counter(
-            other._rows
+        return self.attributes == other.attributes and Counter(self.rows) == Counter(
+            other.rows
         )
 
     def __hash__(self) -> int:
-        return hash((self.attributes, frozenset(Counter(self._rows).items())))
+        return hash((self.attributes, frozenset(Counter(self.rows).items())))
 
     def same_tuples(self, other: "Relation") -> bool:
         """Set equality of the rows regardless of multiplicities (useful when
         comparing answers of plans that deduplicate at different points)."""
-        return self.attributes == other.attributes and set(self._rows) == set(other._rows)
+        return self.attributes == other.attributes and set(self.rows) == set(other.rows)
 
     def __repr__(self) -> str:
         return (
@@ -175,4 +191,4 @@ class Relation:
 
     def head(self, limit: int = 5) -> List[Row]:
         """A few rows, for debugging and examples."""
-        return sorted(set(self._rows))[:limit]
+        return sorted(set(self.rows))[:limit]

@@ -21,6 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
+try:  # Columnar analysis needs numpy; the row path covers its absence.
+    from repro.db.columnar import ColumnarRelation
+except ImportError:  # pragma: no cover - exercised only without numpy
+    ColumnarRelation = None  # type: ignore[assignment]
 from repro.db.relation import Relation
 from repro.exceptions import DatabaseError
 
@@ -60,14 +64,24 @@ class TableStatistics:
 
 def analyze_relation(relation: Relation) -> TableStatistics:
     """Measure statistics from an actual relation (the ``ANALYZE TABLE``
-    equivalent)."""
+    equivalent).
+
+    Columnar relations are analysed directly on their id columns: a distinct
+    count is the size of a set of ints, no value is ever decoded.  The
+    numbers feed the planner's cost model either way, so both engines plan
+    from identical statistics.
+    """
+    if ColumnarRelation is not None and isinstance(relation, ColumnarRelation):
+        distinct_counts = relation.distinct_counts()
+    else:
+        distinct_counts = {
+            attribute: relation.distinct_count(attribute)
+            for attribute in relation.attributes
+        }
     return TableStatistics(
         relation_name=relation.name,
         cardinality=relation.cardinality,
-        distinct_counts={
-            attribute: relation.distinct_count(attribute)
-            for attribute in relation.attributes
-        },
+        distinct_counts=distinct_counts,
     )
 
 

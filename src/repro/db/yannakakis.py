@@ -137,29 +137,36 @@ def evaluate(
         for child in reduced.children.get(node, ()):
             parent[child] = node
 
-    def attributes_above(node) -> set:
-        """Attributes appearing outside the subtree rooted at ``node``."""
-        inside = set()
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            inside.add(current)
-            stack.extend(reduced.children.get(current, ()))
-        outside_attrs: set = set()
-        for other, relation in relations.items():
-            if other not in inside:
-                outside_attrs.update(relation.attributes)
-        return outside_attrs
+    # ``above[v]``: attributes appearing outside the subtree rooted at ``v``
+    # (of the *unfolded* node relations).  One bottom-up pass collects the
+    # per-subtree attribute sets, one top-down pass combines each node's
+    # ``above`` with its own attributes and every sibling subtree.
+    subtree_attrs: Dict[object, set] = {}
+    for node in reduced.post_order():
+        attrs = set(relations[node].attributes)
+        for child in reduced.children.get(node, ()):
+            attrs |= subtree_attrs[child]
+        subtree_attrs[node] = attrs
+    above: Dict[object, set] = {reduced.root: set()}
+    for node in reduced.node_ids():
+        kids = reduced.children.get(node, ())
+        base = above[node] | set(relations[node].attributes)
+        for child in kids:
+            outside = set(base)
+            for sibling in kids:
+                if sibling != child:
+                    outside |= subtree_attrs[sibling]
+            above[child] = outside
 
     folded = dict(relations)
     for node in reduced.post_order():
         if node == reduced.root:
             continue
-        above = attributes_above(node)
+        node_above = above[node]
         keep = [
             a
             for a in folded[node].attributes
-            if a in above or a in wanted
+            if a in node_above or a in wanted
         ]
         contribution = project(folded[node], keep, stats=stats)
         up = parent[node]

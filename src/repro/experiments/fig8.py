@@ -30,10 +30,24 @@ def fig8a_experiment(
     k_values: Sequence[int] = (2, 3, 4, 5),
     seed: int = 3,
     budget: Optional[int] = 6_000_000,
+    columnar: bool = True,
 ) -> ExperimentResult:
-    """Fig. 8(A): Q1, sweep of the width bound ``k``."""
+    """Fig. 8(A): Q1, sweep of the width bound ``k``.
+
+    ``columnar`` selects the execution engine (the row-based reference with
+    ``False``).  For plans that complete, the work counters are
+    engine-independent and only the seconds move; a budget-aborted plan
+    reports the work-so-far lower bound, which depends on where the engine
+    stopped (the columnar join aborts with the exact would-be total, the
+    row join one probe batch past the budget).
+    """
     query = q1()
-    database = fig8_database(query, tuples_per_relation=tuples_per_relation, seed=seed)
+    database = fig8_database(
+        query,
+        tuples_per_relation=tuples_per_relation,
+        seed=seed,
+        columnar=columnar,
+    )
     report = compare_planners(
         query, database, k_values=k_values, completion="fresh", budget=budget
     )
@@ -91,6 +105,7 @@ def fig8b_experiment(
     k: int = 3,
     seed: int = 11,
     budget: Optional[int] = 6_000_000,
+    columnar: bool = True,
 ) -> ExperimentResult:
     """Fig. 8(B): absolute evaluation measurements for Q2 and Q3 at ``k``."""
     result = ExperimentResult(
@@ -106,6 +121,7 @@ def fig8b_experiment(
             tuples_per_relation=tuples_per_relation,
             selectivity=selectivity,
             seed=seed,
+            columnar=columnar,
         )
         report = compare_planners(
             query, database, k_values=(k,), completion="fresh", budget=budget

@@ -122,9 +122,12 @@ def _execute_and_measure(
 ) -> PlanMeasurement:
     from repro.db.algebra import EvaluationBudgetExceeded
 
+    # Both plan shapes lower to the shared plan-node IR and execute on the
+    # identical kernels, which is what makes the work counters comparable.
+    plan_ir = plan.to_ir()
     started = time.perf_counter()
     try:
-        result = plan.execute(database, budget=budget)
+        result = plan_ir.execute(database, budget=budget)
         elapsed = time.perf_counter() - started
         return PlanMeasurement(
             label=label,

@@ -20,11 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.db.database import Database
-from repro.db.executor import (
-    ExecutionResult,
-    execute_hypertree_plan,
-    naive_join_evaluation,
-)
+from repro.db.executor import ExecutionResult
+from repro.db.plan_ir import QueryPlanIR, hypertree_plan_ir, join_order_plan_ir
 from repro.decomposition.hypertree import HypertreeDecomposition, NodeId
 from repro.query.conjunctive import ConjunctiveQuery
 
@@ -50,8 +47,9 @@ class HypertreePlan:
     def width(self) -> int:
         return self.decomposition.width
 
-    def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
-        """Run the plan: per-node joins, then Yannakakis over the tree."""
+    def to_ir(self) -> QueryPlanIR:
+        """Lower the plan to the shared plan-node IR (the same node tree and
+        kernels the baseline plan executes on)."""
         query = self.planned_query or self.query
         # Output variables must come from the original query (fresh variables
         # are internal); rebuild the executed query with the original head.
@@ -60,9 +58,11 @@ class HypertreePlan:
             output_variables=self.query.output_variables,
             name=query.name,
         )
-        return execute_hypertree_plan(
-            executed, database, self.decomposition, require_complete=False, budget=budget
-        )
+        return hypertree_plan_ir(executed, self.decomposition)
+
+    def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
+        """Run the plan: per-node joins, then Yannakakis over the tree."""
+        return self.to_ir().execute(database, budget=budget)
 
     def describe(self) -> str:
         lines = [
@@ -93,12 +93,14 @@ class JoinOrderPlan:
     estimated_cost: float
     planning_seconds: float = 0.0
 
+    def to_ir(self) -> QueryPlanIR:
+        """Lower the plan to the shared plan-node IR."""
+        return join_order_plan_ir(self.query, self.order)
+
     def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
         """Join the atoms left-to-right in the chosen order (no structural
         awareness: no semijoin reduction, no early projection)."""
-        return naive_join_evaluation(
-            self.query, database, order=self.order, budget=budget
-        )
+        return self.to_ir().execute(database, budget=budget)
 
     def describe(self) -> str:
         chain = " ⋈ ".join(self.order)

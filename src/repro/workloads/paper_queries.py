@@ -63,15 +63,18 @@ def fig5_statistics() -> CatalogStatistics:
     return CatalogStatistics.from_declared(FIG5_CARDINALITIES, FIG5_SELECTIVITIES)
 
 
-def fig5_database(seed: int = 0, scale: float = 0.05) -> Database:
+def fig5_database(seed: int = 0, scale: float = 0.05, columnar: bool = True) -> Database:
     """A synthetic database realising the Fig. 5 profile.
 
     ``scale`` scales the cardinalities (default 5% so the full evaluation
     comparison runs in seconds in pure Python); the attribute selectivities
     are scaled gently (square root of the cardinality ratio) by the
-    generator.
+    generator.  ``columnar`` picks the storage engine (the row engine is the
+    reference the benchmarks compare against).
     """
-    return database_from_statistics(q1(), fig5_statistics(), seed=seed, scale=scale)
+    return database_from_statistics(
+        q1(), fig5_statistics(), seed=seed, scale=scale, columnar=columnar
+    )
 
 
 def _uniform_profile(
@@ -116,6 +119,7 @@ def fig8_database(
     tuples_per_relation: int = 1500,
     selectivity: int = 15,
     seed: int = 0,
+    columnar: bool = True,
 ) -> Database:
     """A database for the Fig. 8 timing comparison.
 
@@ -124,19 +128,28 @@ def fig8_database(
     magnitude slower per tuple than a C engine, so the experiments default to
     smaller cardinalities via ``tuples_per_relation`` while keeping the same
     density regime (cardinality much larger than the attribute domains).
+    ``columnar=False`` materialises the same data in the row-based reference
+    engine (identical random stream, identical tuples).
     """
     query = query or q1()
     stats = fig8_statistics(query, tuples_per_relation, selectivity)
-    return database_from_statistics(query, stats, seed=seed, scale=1.0)
+    return database_from_statistics(
+        query, stats, seed=seed, scale=1.0, columnar=columnar
+    )
 
 
-def paper_workload(seed: int = 0, tuples_per_relation: int = 1500) -> Dict[str, Dict[str, object]]:
+def paper_workload(
+    seed: int = 0, tuples_per_relation: int = 1500, columnar: bool = True
+) -> Dict[str, Dict[str, object]]:
     """The full Fig. 8 workload: for each of Q1, Q2, Q3 the query and its
     database, keyed by query name."""
     result: Dict[str, Dict[str, object]] = {}
     for query in (q1(), q2(), q3()):
         database = fig8_database(
-            query, tuples_per_relation=tuples_per_relation, seed=seed
+            query,
+            tuples_per_relation=tuples_per_relation,
+            seed=seed,
+            columnar=columnar,
         )
         result[query.name] = {"query": query, "database": database}
     return result

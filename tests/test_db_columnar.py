@@ -1,0 +1,332 @@
+"""Equivalence tests pinning the columnar kernels to the row-based engine.
+
+Every columnar operator -- join, semijoin, project (distinct and not),
+select, both Yannakakis passes and full plan execution -- must produce the
+same bag of tuples *and* the same ``OperatorStats`` counters as the seed
+row-based reference on the same data, including duplicate-heavy bags and
+empty relations.  Hypothesis drives randomised relations through both
+engines side by side.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.algebra import (
+    EvaluationBudgetExceeded,
+    OperatorStats,
+    natural_join,
+    project,
+    select,
+    semijoin,
+)
+from repro.db.columnar import ColumnarRelation
+from repro.db.database import Database
+from repro.db.dictionary import Dictionary
+from repro.db.executor import execute_hypertree_plan, naive_join_evaluation
+from repro.db.generator import uniform_database
+from repro.db.relation import Relation
+from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean, semijoin_reduce
+from repro.decomposition.kdecomp import optimal_decomposition
+from repro.decomposition.normal_form import complete_decomposition
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import cycle_query
+
+# Small value domains make duplicates and join partners frequent; mixing in
+# strings exercises the dictionary's value-agnostic interning.
+VALUES = st.sampled_from([0, 1, 2, 3, 4, "a", "b", "c"])
+
+
+def relation_strategy(attributes, min_size=0, max_size=25):
+    arity = len(attributes)
+    return st.lists(
+        st.tuples(*([VALUES] * arity)), min_size=min_size, max_size=max_size
+    ).map(lambda rows: ("R", tuple(attributes), rows))
+
+
+def both_engines(spec, dictionary):
+    """The same data as a row relation and a columnar relation."""
+    name, attributes, rows = spec
+    row_relation = Relation(name, attributes, rows)
+    columnar = ColumnarRelation.from_relation(row_relation, dictionary)
+    return row_relation, columnar
+
+
+def assert_same_bag(row_result, columnar_result):
+    assert isinstance(columnar_result, ColumnarRelation)
+    assert columnar_result.attributes == row_result.attributes
+    assert row_result == columnar_result  # bag equality via Relation.__eq__
+
+
+def assert_same_stats(row_stats, columnar_stats):
+    assert row_stats.snapshot() == columnar_stats.snapshot()
+    assert row_stats.operations == columnar_stats.operations
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y"]),
+        right=relation_strategy(["y", "z"]),
+    )
+    def test_join_matches_rows(self, left, right):
+        dictionary = Dictionary()
+        lr, lc = both_engines(left, dictionary)
+        rr, rc = both_engines(right, dictionary)
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        assert_same_bag(
+            natural_join(lr, rr, stats=row_stats),
+            natural_join(lc, rc, stats=col_stats),
+        )
+        assert_same_stats(row_stats, col_stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y"]),
+        right=relation_strategy(["z", "w"]),
+    )
+    def test_cartesian_join_matches_rows(self, left, right):
+        dictionary = Dictionary()
+        lr, lc = both_engines(left, dictionary)
+        rr, rc = both_engines(right, dictionary)
+        assert_same_bag(natural_join(lr, rr), natural_join(lc, rc))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y", "z"]),
+        right=relation_strategy(["y", "z", "w"]),
+    )
+    def test_multi_attribute_join_matches_rows(self, left, right):
+        dictionary = Dictionary()
+        lr, lc = both_engines(left, dictionary)
+        rr, rc = both_engines(right, dictionary)
+        assert_same_bag(natural_join(lr, rr), natural_join(lc, rc))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y"]),
+        right=relation_strategy(["y", "z"]),
+    )
+    def test_semijoin_matches_rows(self, left, right):
+        dictionary = Dictionary()
+        lr, lc = both_engines(left, dictionary)
+        rr, rc = both_engines(right, dictionary)
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        assert_same_bag(
+            semijoin(lr, rr, stats=row_stats), semijoin(lc, rc, stats=col_stats)
+        )
+        assert_same_stats(row_stats, col_stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=relation_strategy(["x"]),
+        right=relation_strategy(["y"]),
+    )
+    def test_disjoint_semijoin_matches_rows(self, left, right):
+        dictionary = Dictionary()
+        lr, lc = both_engines(left, dictionary)
+        rr, rc = both_engines(right, dictionary)
+        assert_same_bag(semijoin(lr, rr), semijoin(lc, rc))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        relation=relation_strategy(["x", "y", "z"]),
+        distinct=st.booleans(),
+        keep=st.lists(
+            st.sampled_from(["x", "y", "z", "missing"]),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    def test_project_matches_rows(self, relation, distinct, keep):
+        dictionary = Dictionary()
+        rr, rc = both_engines(relation, dictionary)
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        assert_same_bag(
+            project(rr, keep, stats=row_stats, distinct=distinct),
+            project(rc, keep, stats=col_stats, distinct=distinct),
+        )
+        assert_same_stats(row_stats, col_stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(relation=relation_strategy(["x", "y"]))
+    def test_select_matches_rows(self, relation):
+        dictionary = Dictionary()
+        rr, rc = both_engines(relation, dictionary)
+        predicate = lambda row: row["x"] == row["y"] or row["x"] in (0, "a")
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        assert_same_bag(
+            select(rr, predicate, stats=row_stats),
+            select(rc, predicate, stats=col_stats),
+        )
+        assert_same_stats(row_stats, col_stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(relation=relation_strategy(["x", "y"]))
+    def test_accessors_match_rows(self, relation):
+        dictionary = Dictionary()
+        rr, rc = both_engines(relation, dictionary)
+        assert rc.rows == rr.rows
+        assert rc.cardinality == rr.cardinality
+        assert rc.distinct_cardinality() == rr.distinct_cardinality()
+        for attribute in rr.attributes:
+            assert rc.column(attribute) == rr.column(attribute)
+            assert rc.distinct_count(attribute) == rr.distinct_count(attribute)
+        assert rc.distinct() == rr.distinct()
+
+
+def _path_trees(r_rows, s_rows, t_rows):
+    """The same three-node tree query over both engines."""
+    specs = [
+        ("r", ("x", "y"), r_rows),
+        ("s", ("y", "z"), s_rows),
+        ("t", ("z", "w"), t_rows),
+    ]
+    dictionary = Dictionary()
+    rows_rel, col_rel = {}, {}
+    for spec in specs:
+        rr, rc = both_engines(spec, dictionary)
+        rows_rel[spec[0]] = Relation(spec[0], spec[1], spec[2])
+        col_rel[spec[0]] = ColumnarRelation.from_relation(
+            rows_rel[spec[0]], dictionary, name=spec[0]
+        )
+    children = {"s": ("r", "t"), "r": (), "t": ()}
+    return (
+        TreeQuery(root="s", children=dict(children), relations=rows_rel),
+        TreeQuery(root="s", children=dict(children), relations=col_rel),
+    )
+
+
+ROWS_XY = st.lists(st.tuples(VALUES, VALUES), min_size=0, max_size=20)
+
+
+class TestYannakakisEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(r=ROWS_XY, s=ROWS_XY, t=ROWS_XY)
+    def test_semijoin_reduce_matches_rows(self, r, s, t):
+        row_tree, col_tree = _path_trees(r, s, t)
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        reduced_rows = semijoin_reduce(row_tree, stats=row_stats, full=True)
+        reduced_cols = semijoin_reduce(col_tree, stats=col_stats, full=True)
+        for node in ("r", "s", "t"):
+            assert reduced_rows.relations[node] == reduced_cols.relations[node]
+        assert_same_stats(row_stats, col_stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(r=ROWS_XY, s=ROWS_XY, t=ROWS_XY)
+    def test_boolean_pass_matches_rows(self, r, s, t):
+        row_tree, col_tree = _path_trees(r, s, t)
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        assert evaluate_boolean(row_tree, stats=row_stats) == evaluate_boolean(
+            col_tree, stats=col_stats
+        )
+        assert_same_stats(row_stats, col_stats)
+
+    @settings(max_examples=40, deadline=None)
+    @given(r=ROWS_XY, s=ROWS_XY, t=ROWS_XY)
+    def test_full_evaluation_matches_rows(self, r, s, t):
+        row_tree, col_tree = _path_trees(r, s, t)
+        row_stats, col_stats = OperatorStats(), OperatorStats()
+        answer_rows = evaluate(row_tree, ["x", "w"], stats=row_stats)
+        answer_cols = evaluate(col_tree, ["x", "w"], stats=col_stats)
+        assert answer_rows == answer_cols
+        assert_same_stats(row_stats, col_stats)
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_plans_match_across_engines(self, seed):
+        query = cycle_query(5)
+        row_db = uniform_database(
+            query, tuples_per_relation=40, domain_size=4, seed=seed, columnar=False
+        )
+        col_db = uniform_database(
+            query, tuples_per_relation=40, domain_size=4, seed=seed, columnar=True
+        )
+        decomposition = complete_decomposition(
+            optimal_decomposition(query.hypergraph())
+        )
+        row_plan = execute_hypertree_plan(query, row_db, decomposition)
+        col_plan = execute_hypertree_plan(query, col_db, decomposition)
+        assert row_plan.boolean == col_plan.boolean
+        assert row_plan.stats.snapshot() == col_plan.stats.snapshot()
+        row_naive = naive_join_evaluation(query, row_db)
+        col_naive = naive_join_evaluation(query, col_db)
+        assert row_naive.boolean == col_naive.boolean
+        assert row_naive.stats.snapshot() == col_naive.stats.snapshot()
+
+    def test_non_boolean_answers_match_across_engines(self):
+        query = build_query(
+            [("r0", ["X0", "X1"]), ("r1", ["X1", "X2"]), ("r2", ["X2", "X0"])],
+            output_variables=["X0", "X2"],
+            name="triangle_out",
+        )
+        row_db = uniform_database(
+            query, tuples_per_relation=30, domain_size=4, seed=5, columnar=False
+        )
+        col_db = uniform_database(
+            query, tuples_per_relation=30, domain_size=4, seed=5, columnar=True
+        )
+        decomposition = complete_decomposition(
+            optimal_decomposition(query.hypergraph())
+        )
+        row_result = execute_hypertree_plan(query, row_db, decomposition)
+        col_result = execute_hypertree_plan(query, col_db, decomposition)
+        assert row_result.relation == col_result.relation
+        assert row_result.stats.snapshot() == col_result.stats.snapshot()
+
+    def test_bound_atoms_match_across_engines(self):
+        rows = [(1, 1), (1, 2), (2, 2), (2, 2), (3, 1)]
+        row_db = Database(
+            relations={"r": Relation("r", ["a", "b"], rows)}, columnar=False
+        )
+        col_db = Database(relations={"r": Relation("r", ["a", "b"], rows)})
+        query = build_query([("r", ["X", "X"])], name="diag")
+        assert row_db.bind_atom(query.atoms[0]) == col_db.bind_atom(query.atoms[0])
+        constant = build_query([("r", ["X", "2"])], name="const")
+        assert row_db.bind_atom(constant.atoms[0]) == col_db.bind_atom(
+            constant.atoms[0]
+        )
+
+    def test_unknown_constant_binds_empty(self):
+        col_db = Database(relations={"r": Relation("r", ["a", "b"], [(1, 2)])})
+        query = build_query([("r", ["X", "99"])], name="missing")
+        bound = col_db.bind_atom(query.atoms[0])
+        assert bound.cardinality == 0
+
+
+class TestColumnarBudget:
+    def test_join_stops_at_budget_not_past_it(self):
+        # A blow-up join: 300x300 rows over a 2-value domain joins to ~45k
+        # pairs.  The vectorised kernel knows the emit count before
+        # materialising, so it must stop at the budget, not overshoot.
+        dictionary = Dictionary()
+        rows = [(i % 2, i) for i in range(300)]
+        left = ColumnarRelation.from_relation(
+            Relation("l", ["k", "a"], rows), dictionary
+        )
+        right = ColumnarRelation.from_relation(
+            Relation("r", ["k", "b"], rows), dictionary
+        )
+        stats = OperatorStats(budget=10_000)
+        with pytest.raises(EvaluationBudgetExceeded) as excinfo:
+            natural_join(left, right, stats=stats)
+        # Nothing was recorded (the join aborted before materialising) and
+        # the reported work is the pre-computed would-be total.
+        assert stats.total_work == 0
+        assert excinfo.value.work_so_far > 10_000
+
+    def test_row_join_checks_mid_probe(self):
+        # The row kernel checks between probe batches; with a tiny budget it
+        # aborts before finishing instead of recording a huge result.
+        rows = [(i % 2, i) for i in range(600)]
+        left = Relation("l", ["k", "a"], rows)
+        right = Relation("r", ["k", "b"], rows)
+        stats = OperatorStats(budget=1_000)
+        with pytest.raises(EvaluationBudgetExceeded):
+            natural_join(left, right, stats=stats)
+        assert stats.tuples_emitted == 0  # aborted mid-operator, not recorded
