@@ -1,0 +1,89 @@
+"""Print a delta table over ``BENCH_core.json``.
+
+For every benchmark (bench nodeid + params), compares its newest recorded
+row against the most recent row from an *earlier* run session (sessions
+are identified by the ``run`` tag the bench conftest stamps), so a CI job
+that runs the benchmarks right after checkout shows, in its log, exactly
+how the current commit moved each number relative to the committed
+trajectory::
+
+    python benchmarks/bench_delta.py
+
+Exit status is always 0 -- the table is for eyeballs (CI perf gating on
+shared runners would be noise); regressions are made *visible*, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BENCH_LOG_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def load_rows(path: Path = BENCH_LOG_PATH):
+    try:
+        rows = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    return rows if isinstance(rows, list) else []
+
+
+def run_key(row) -> tuple:
+    run = row.get("run") or {}
+    return (run.get("timestamp", "?"), run.get("commit", "?"))
+
+
+def bench_key(row) -> str:
+    params = row.get("params") or {}
+    if not params:
+        return row.get("bench", "?")
+    inner = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    return f"{row.get('bench', '?')}{{{inner}}}"
+
+
+def delta_table(rows) -> str:
+    if not rows:
+        return "BENCH_core.json is empty or missing -- nothing to compare."
+    history: dict = {}
+    for row in rows:
+        seconds = row.get("seconds")
+        if isinstance(seconds, (int, float)):
+            history.setdefault(bench_key(row), []).append((run_key(row), seconds))
+    lines = [
+        f"{'benchmark':<76} {'previous':>12} {'latest':>12} {'delta':>8}  previous run"
+    ]
+    for name in sorted(history):
+        entries = history[name]
+        latest_run, latest = entries[-1]
+        previous = next(
+            (
+                (run, seconds)
+                for run, seconds in reversed(entries)
+                if run != latest_run
+            ),
+            None,
+        )
+        if previous is None:
+            lines.append(f"{name:<76} {'-':>12} {latest:>12.3f} {'-':>8}  (new)")
+            continue
+        (previous_ts, _), previous_seconds = previous
+        change = (latest - previous_seconds) / previous_seconds * 100.0
+        lines.append(
+            f"{name:<76} {previous_seconds:>12.3f} {latest:>12.3f} "
+            f"{change:+7.1f}%  {previous_ts[:19]}"
+        )
+    lines.append(
+        "(negative delta = faster than the previous recorded run; '(new)' = "
+        "first measurement of this benchmark)"
+    )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    print(delta_table(load_rows()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,13 +20,23 @@ exactly once per distinct mask (the translated frozensets are interned too).
 
 from repro.core.bitset import bit_count, bit_indices, iter_bits, mask_of_bits
 from repro.core.bitset_hypergraph import BitsetHypergraph
+from repro.core.maskmatrix import (
+    MaskMatrix,
+    ScalarMaskMatrix,
+    mask_matrix,
+    nonzero_indices,
+)
 from repro.core.vocabulary import Vocabulary
 
 __all__ = [
     "BitsetHypergraph",
+    "MaskMatrix",
+    "ScalarMaskMatrix",
     "Vocabulary",
     "bit_count",
     "bit_indices",
     "iter_bits",
+    "mask_matrix",
     "mask_of_bits",
+    "nonzero_indices",
 ]

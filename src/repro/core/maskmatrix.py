@@ -1,0 +1,226 @@
+"""Batched bitmask algebra: N arbitrary-width masks as an N×W uint64 matrix.
+
+The decomposition search plane (candidates-graph construction, the
+evaluation fold) runs three set tests per inner loop -- *does the row
+intersect S*, *is the row a subset of S*, *does the row cover S* -- over the
+``Ψ = Σ_{i≤k} C(n,i)`` k-vertices and their components.  The scalar core
+(:mod:`repro.core.bitset_hypergraph`) performs them one ``&`` at a time on
+Python big-ints; a :class:`MaskMatrix` stores the same masks as an ``N×W``
+``uint64`` numpy array (``W = ceil(num_bits/64)`` words per row, a flat 1-D
+array in the common ``W == 1`` case) so each test becomes one broadcasted
+array expression over all N rows at once.
+
+All query methods return numpy boolean vectors; combine them with ``&`` and
+turn them into index vectors with ``numpy.flatnonzero``.  An optional
+``rows`` index array restricts a test to a subset of rows (a fancy-indexing
+gather), which is how per-component candidate slices are tested without
+rebuilding matrices.
+
+:class:`ScalarMaskMatrix` implements the identical interface on plain
+Python ints (boolean *lists* instead of arrays) and is what
+:func:`mask_matrix` returns when numpy is unavailable -- the same
+dependency-degradation contract as ``columnar=False`` in :mod:`repro.db`.
+The scalar decomposition algorithms do not route through it (their
+historical loops *are* the oracle); it exists so MaskMatrix consumers stay
+runnable, and testable, without numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+try:  # pragma: no cover - numpy is present in the supported environments
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+#: Bits per matrix word.
+WORD_BITS = 64
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def _word_count(num_bits: int) -> int:
+    return max(1, (num_bits + WORD_BITS - 1) // WORD_BITS)
+
+
+def _split_words(mask: int, width: int) -> Tuple[int, ...]:
+    """The ``width`` little-endian 64-bit words of ``mask``."""
+    return tuple((mask >> (WORD_BITS * w)) & _WORD_MASK for w in range(width))
+
+
+class MaskMatrix:
+    """N bitmasks of up to ``num_bits`` bits, stored row-wise as uint64 words.
+
+    Rows keep their construction order; ``mask_at(i)`` and ``tolist()``
+    reconstruct the original Python ints exactly.
+    """
+
+    __slots__ = ("num_bits", "width", "_words")
+
+    def __init__(self, masks: Iterable[int], num_bits: int) -> None:
+        if np is None:  # pragma: no cover - guarded by mask_matrix()
+            raise RuntimeError("MaskMatrix requires numpy; use ScalarMaskMatrix")
+        self.num_bits = num_bits
+        self.width = _word_count(num_bits)
+        mask_list = masks if isinstance(masks, list) else list(masks)
+        if self.width == 1:
+            self._words = np.fromiter(
+                mask_list, dtype=np.uint64, count=len(mask_list)
+            )
+        else:
+            words = np.empty((len(mask_list), self.width), dtype=np.uint64)
+            for row, mask in enumerate(mask_list):
+                words[row, :] = _split_words(mask, self.width)
+            self._words = words
+
+    def __len__(self) -> int:
+        return int(self._words.shape[0])
+
+    # ------------------------------------------------------------------
+    def _rows(self, rows):
+        return self._words if rows is None else self._words[rows]
+
+    def intersects(self, mask: int, rows=None):
+        """Boolean vector: ``row & mask != 0`` per row."""
+        words = self._rows(rows)
+        if self.width == 1:
+            return (words & np.uint64(mask & _WORD_MASK)) != 0
+        out = np.zeros(words.shape[0], dtype=bool)
+        for w, word in enumerate(_split_words(mask, self.width)):
+            if word:
+                out |= (words[:, w] & np.uint64(word)) != 0
+        return out
+
+    def subset_of(self, mask: int, rows=None):
+        """Boolean vector: ``row ⊆ mask`` (``row & ~mask == 0``) per row."""
+        words = self._rows(rows)
+        if self.width == 1:
+            forbidden = np.uint64(~mask & _WORD_MASK)
+            return (words & forbidden) == 0
+        out = np.ones(words.shape[0], dtype=bool)
+        for w, word in enumerate(_split_words(mask, self.width)):
+            forbidden = ~word & _WORD_MASK
+            if forbidden:
+                out &= (words[:, w] & np.uint64(forbidden)) == 0
+        return out
+
+    def covers(self, mask: int, rows=None):
+        """Boolean vector: ``row ⊇ mask`` (``mask & ~row == 0``) per row."""
+        words = self._rows(rows)
+        if self.width == 1:
+            wanted = np.uint64(mask & _WORD_MASK)
+            return (words & wanted) == wanted
+        out = np.ones(words.shape[0], dtype=bool)
+        for w, word in enumerate(_split_words(mask, self.width)):
+            if word:
+                wanted = np.uint64(word)
+                out &= (words[:, w] & wanted) == wanted
+        return out
+
+    def intersections(self, mask: int, rows=None):
+        """``row & mask`` per row, as Python ints (used for χ = frontier ∩
+        var(λ) in one gather instead of one ``&`` per candidate)."""
+        words = self._rows(rows)
+        if self.width == 1:
+            return (words & np.uint64(mask & _WORD_MASK)).tolist()
+        pieces = [
+            (words[:, w] & np.uint64(word)).tolist()
+            for w, word in enumerate(_split_words(mask, self.width))
+        ]
+        return [
+            sum(piece[row] << (WORD_BITS * w) for w, piece in enumerate(pieces))
+            for row in range(words.shape[0])
+        ]
+
+    # ------------------------------------------------------------------
+    def mask_at(self, row: int) -> int:
+        if self.width == 1:
+            return int(self._words[row])
+        return sum(
+            int(self._words[row, w]) << (WORD_BITS * w) for w in range(self.width)
+        )
+
+    def tolist(self, rows=None) -> List[int]:
+        """Rows as Python ints (gathered by ``rows`` when given)."""
+        words = self._rows(rows)
+        if self.width == 1:
+            return words.tolist()
+        columns = [words[:, w].tolist() for w in range(self.width)]
+        return [
+            sum(column[row] << (WORD_BITS * w) for w, column in enumerate(columns))
+            for row in range(words.shape[0])
+        ]
+
+    def __repr__(self) -> str:
+        return f"MaskMatrix({len(self)} rows × {self.width} words)"
+
+
+class ScalarMaskMatrix:
+    """The numpy-free twin of :class:`MaskMatrix`.
+
+    Same construction and query surface; boolean results are Python lists
+    (so ``flatnonzero``-style consumers must use
+    :func:`nonzero_indices`, which handles both).
+    """
+
+    __slots__ = ("num_bits", "width", "_masks")
+
+    def __init__(self, masks: Iterable[int], num_bits: int) -> None:
+        self.num_bits = num_bits
+        self.width = _word_count(num_bits)
+        self._masks: List[int] = list(masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def _rows(self, rows) -> List[int]:
+        masks = self._masks
+        return masks if rows is None else [masks[r] for r in rows]
+
+    def intersects(self, mask: int, rows=None) -> List[bool]:
+        return [bool(m & mask) for m in self._rows(rows)]
+
+    def subset_of(self, mask: int, rows=None) -> List[bool]:
+        return [not (m & ~mask) for m in self._rows(rows)]
+
+    def covers(self, mask: int, rows=None) -> List[bool]:
+        return [not (mask & ~m) for m in self._rows(rows)]
+
+    def intersections(self, mask: int, rows=None) -> List[int]:
+        return [m & mask for m in self._rows(rows)]
+
+    def mask_at(self, row: int) -> int:
+        return self._masks[row]
+
+    def tolist(self, rows=None) -> List[int]:
+        return list(self._rows(rows))
+
+    def __repr__(self) -> str:
+        return f"ScalarMaskMatrix({len(self)} rows × {self.width} words)"
+
+
+AnyMaskMatrix = Union[MaskMatrix, ScalarMaskMatrix]
+
+
+def mask_matrix(
+    masks: Iterable[int], num_bits: int, vectorized: Optional[bool] = None
+) -> AnyMaskMatrix:
+    """Build the numpy matrix when available (or demanded), else the scalar
+    twin.  ``vectorized=True`` without numpy raises ImportError -- callers
+    that want silent degradation pass ``None``."""
+    if vectorized is None:
+        vectorized = np is not None
+    if not vectorized:
+        return ScalarMaskMatrix(masks, num_bits)
+    if np is None:
+        raise ImportError("numpy is required for a vectorized MaskMatrix")
+    return MaskMatrix(masks, num_bits)
+
+
+def nonzero_indices(flags) -> List[int]:
+    """Indices of the true entries of a boolean vector from either matrix
+    flavour (numpy array or Python list)."""
+    if np is not None and isinstance(flags, np.ndarray):
+        return np.flatnonzero(flags).tolist()
+    return [i for i, flag in enumerate(flags) if flag]

@@ -123,15 +123,23 @@ def natural_join(
     right: Relation,
     stats: Optional[OperatorStats] = None,
     name: Optional[str] = None,
+    keep=None,
 ) -> Relation:
     """Hash-based natural join on all shared attributes.
 
     If the relations share no attribute the result is the Cartesian product,
     as usual.  Columnar operands over a shared dictionary take the
     int-kernel fast path of :mod:`repro.db.columnar`.
+
+    ``keep`` is the kernel-level projection pushdown (see
+    :func:`repro.db.columnar.columnar_natural_join`): the columnar kernel
+    gathers only those output columns.  The row-based reference engine
+    ignores it -- its materialisation is per-tuple anyway -- which is safe
+    because ``keep`` never changes join semantics, cardinalities or stats,
+    only which columns the columnar result carries.
     """
     if _columnar_pair(left, right):
-        return columnar_natural_join(left, right, stats=stats, name=name)
+        return columnar_natural_join(left, right, stats=stats, name=name, keep=keep)
     shared = _shared_attributes(left, right)
     right_extra = [a for a in right.attributes if a not in shared]
     out_attributes = left.attributes + tuple(right_extra)
@@ -174,16 +182,39 @@ def join_all(
     relations: Sequence[Relation],
     stats: Optional[OperatorStats] = None,
     order: Optional[Sequence[int]] = None,
+    needed: Optional[Iterable[str]] = None,
 ) -> Relation:
-    """Join a list of relations left-to-right (optionally in a given order)."""
+    """Join a list of relations left-to-right (optionally in a given order).
+
+    ``needed`` names the attributes the caller still requires *after* the
+    whole join (e.g. a downstream χ projection).  Each intermediate join
+    then keeps only ``needed`` plus every attribute of a not-yet-joined
+    relation -- attributes a later join still matches on are never dropped,
+    so the join results (and all stats) are unchanged; only the columnar
+    kernels skip materialising columns the final projection would discard.
+    """
     if not relations:
         raise DatabaseError("cannot join an empty list of relations")
     sequence = list(relations) if order is None else [relations[i] for i in order]
     result = sequence[0]
     if stats is not None and len(sequence) == 1:
         stats.record("scan", result.cardinality, result.cardinality)
-    for relation in sequence[1:]:
-        result = natural_join(result, relation, stats=stats)
+    if needed is None:
+        for relation in sequence[1:]:
+            result = natural_join(result, relation, stats=stats)
+        return result
+    # suffix_attrs[i]: attributes of sequence[i+1:], i.e. what later joins
+    # may still match on after step i.
+    suffix_attrs: List[frozenset] = [frozenset()] * len(sequence)
+    running: frozenset = frozenset()
+    for index in range(len(sequence) - 1, -1, -1):
+        suffix_attrs[index] = running
+        running = running | frozenset(sequence[index].attributes)
+    needed_set = frozenset(needed)
+    for index, relation in enumerate(sequence[1:], start=1):
+        result = natural_join(
+            result, relation, stats=stats, keep=needed_set | suffix_attrs[index]
+        )
     return result
 
 
@@ -287,8 +318,9 @@ def evaluate_node_expression(
 
     Relations are joined smallest-first (a reasonable default order for the
     handful of relations in a λ label) and the result is projected onto
-    ``projection``.
+    ``projection`` -- which is pushed into the join kernels, so columns the
+    projection drops are never gathered (work counters unchanged).
     """
     ordered = sorted(range(len(relations)), key=lambda i: relations[i].cardinality)
-    joined = join_all(relations, stats=stats, order=ordered)
+    joined = join_all(relations, stats=stats, order=ordered, needed=projection)
     return project(joined, projection, stats=stats)

@@ -398,6 +398,7 @@ def columnar_natural_join(
     right: ColumnarRelation,
     stats=None,
     name: Optional[str] = None,
+    keep=None,
 ) -> ColumnarRelation:
     """Sort-and-probe hash-equivalent join on int64 keys.
 
@@ -406,12 +407,26 @@ def columnar_natural_join(
     any output is built, so the budget check fires *between the probe and
     materialisation phases* with the exact would-be emit count -- a runaway
     join stops at the budget, not past it.
+
+    ``keep`` (an attribute collection) is the kernel-level projection
+    pushdown: only the listed output columns are gathered, skipping the
+    fancy-indexing for columns a downstream projection would immediately
+    drop.  The join semantics, the emitted cardinality and hence every
+    ``OperatorStats`` count are unaffected -- callers must keep every
+    attribute that later operators (joins on shared variables, the final
+    projection) still need.
     """
     positions = right._positions
     shared = tuple(a for a in left.attributes if a in positions)
     left_positions = left._positions
     right_extra = [a for a in right.attributes if a not in left_positions]
-    out_attributes = left.attributes + tuple(right_extra)
+    if keep is None:
+        out_left = left.attributes
+        out_right = right_extra
+    else:
+        out_left = tuple(a for a in left.attributes if a in keep)
+        out_right = [a for a in right_extra if a in keep]
+    out_attributes = out_left + tuple(out_right)
     reads = left.cardinality + right.cardinality
     if stats is not None:
         stats.check(reads)
@@ -447,9 +462,10 @@ def columnar_natural_join(
     left_idx, right_idx = (
         (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
     )
-    out_columns = [col[left_idx] for col in left._columns]
+    left_columns = left._columns
+    out_columns = [left_columns[left_positions[a]][left_idx] for a in out_left]
     right_columns = right._columns
-    out_columns += [right_columns[positions[a]][right_idx] for a in right_extra]
+    out_columns += [right_columns[positions[a]][right_idx] for a in out_right]
 
     result = ColumnarRelation(
         name or f"({left.name}⋈{right.name})",

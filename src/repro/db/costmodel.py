@@ -64,6 +64,11 @@ class CardinalityEstimator:
         self._projection_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
         self._domain_cache: Dict[Tuple[str, Optional[Tuple[str, ...]]], float] = {}
         self._node_cost_cache: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
+        #: The χ-independent part of ``v*`` (input scans + prefix joins) per
+        #: λ set: distinct λ sets are far fewer than distinct (λ, χ) pairs,
+        #: so the candidates-graph evaluation re-pays only the projection
+        #: term per pair.
+        self._lambda_cost_cache: Dict[Tuple[str, ...], float] = {}
 
     # ------------------------------------------------------------------
     def _profile(self, atom: Atom) -> AtomProfile:
@@ -168,9 +173,12 @@ class CardinalityEstimator:
         if cached is not None:
             return cached
         join_size = self.join_cardinality(atom_names)
+        # One tuple for every domain_size cache key (tuple() of a tuple is
+        # a no-op, so the per-variable key build is a dict get away).
+        atoms = tuple(atom_names)
         cap = 1.0
         for variable in variables:
-            cap *= self.domain_size(variable, atom_names)
+            cap *= self.domain_size(variable, atoms)
         result = max(min(join_size, cap), 1.0)
         self._projection_cache[key] = result
         return result
@@ -192,17 +200,21 @@ class CardinalityEstimator:
         # iterator, and it is consumed again below.
         atom_names = tuple(atom_names)
         projection = tuple(sorted(projection))
-        key = (tuple(sorted(atom_names)), projection)
+        sorted_names = tuple(sorted(atom_names))
+        key = (sorted_names, projection)
         cached = self._node_cost_cache.get(key)
         if cached is not None:
             return cached
-        names = sorted(atom_names, key=lambda n: self.profile(n).cardinality)
-        if not names:
+        if not atom_names:
             return 0.0
-        cost = sum(self.profile(n).cardinality for n in names)
-        for prefix_length in range(2, len(names) + 1):
-            cost += self.join_cardinality(names[:prefix_length])
-        cost += self.projection_cardinality(names, projection)
+        base = self._lambda_cost_cache.get(sorted_names)
+        if base is None:
+            names = sorted(atom_names, key=lambda n: self.profile(n).cardinality)
+            base = sum(self.profile(n).cardinality for n in names)
+            for prefix_length in range(2, len(names) + 1):
+                base += self.join_cardinality(names[:prefix_length])
+            self._lambda_cost_cache[sorted_names] = base
+        cost = base + self.projection_cardinality(sorted_names, projection)
         self._node_cost_cache[key] = cost
         return cost
 

@@ -116,7 +116,7 @@ def execute_plan(
             bound[atom_name] = relation
         return relation
 
-    def run(node) -> Relation:
+    def run(node, needed=None) -> Relation:
         if isinstance(node, ScanNode):
             return scan(node.atom_name)
         if isinstance(node, JoinNode):
@@ -126,10 +126,13 @@ def execute_plan(
                 order = sorted(
                     range(len(relations)), key=lambda i: relations[i].cardinality
                 )
-            return join_all(relations, stats=stats, order=order)
+            return join_all(relations, stats=stats, order=order, needed=needed)
         if isinstance(node, ProjectNode):
+            # Kernel-level projection pushdown: the join below gathers only
+            # the columns this projection (or a later join key) still needs;
+            # cardinalities and OperatorStats are unchanged.
             return project(
-                run(node.input),
+                run(node.input, needed=frozenset(node.attributes)),
                 list(node.attributes),
                 stats=stats,
                 name=node.name,
@@ -151,7 +154,9 @@ def execute_plan(
         result = evaluate(tree, list(root.output_variables), stats=stats)
         return ExecutionResult(relation=result, boolean=None, stats=stats)
 
-    result = run(root)
+    # A Boolean plan only needs the root cardinality, so the top-level join
+    # may drop every column that no longer feeds a join key.
+    result = run(root, needed=frozenset() if plan.boolean else None)
     if plan.boolean:
         return ExecutionResult(
             relation=None, boolean=result.cardinality > 0, stats=stats

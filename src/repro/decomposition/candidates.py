@@ -35,9 +35,32 @@ component is a *vertex mask* ``int``, and a node's identity is its
 integer ids (``N_sub`` and ``N_sol`` separately), so the graph is stored as
 parallel arrays indexed by those ids -- ``cand_lambda[i]`` / ``cand_chi[i]``
 / ``cand_subs[i]`` for candidate ``i``, ``sub_solvers[q]`` /
-``sub_dependents[q]`` for subproblem ``q`` -- and every inner
-candidate-filter loop is a single ``&`` on ints with no per-test
-``frozenset`` allocation and no hashing at all.
+``sub_dependents[q]`` for subproblem ``q``.
+
+**Two construction engines.**  The three hot filters of the build phase --
+candidate admission (``var(S) ∩ C ≠ 0`` ∧ ``S ⊆ edges(var(edges(C)))``),
+subproblem containment (``C'' ⊆ C``) and the solver-arc covering test
+(``boundary ⊆ var(S)``) -- run either as the historical scalar big-int
+loops, or as whole-array :class:`~repro.core.maskmatrix.MaskMatrix` kernels
+(one broadcasted test per component / subproblem instead of a Python-level
+Ψ-length loop).  ``vectorized=None`` picks the matrix engine when numpy is
+available and the graph is big enough to amortise the array overhead; both
+engines produce **byte-identical** graphs (same node and arc ids, in the
+same canonical order), which the property tests pin, so the scalar engine
+doubles as the equivalence oracle and the numpy-free fallback -- the same
+contract as ``columnar=False`` in :mod:`repro.db`.
+
+**k-incremental construction.**  The canonical k-vertex enumeration is by
+size then lexicographic rank, so the k-vertices of bound ``k`` are a prefix
+of those of ``k' > k`` -- and with them the per-k-vertex subproblem blocks,
+the interned components and their frontiers.  :meth:`CandidatesGraph.extend_to`
+exploits this: it builds the bound-``k'`` graph from a bound-``k`` one by
+re-using every admission/containment/covering decision that involves only
+prefix k-vertices and old components, testing just the new k-vertices (and
+the components they expose).  The result is again byte-identical to a fresh
+construction at ``k'``.  :class:`CandidatesGraphFamily` wraps this into a
+per-``k`` cache for sweeps (the Fig. 8(A) ``k = 2..5`` sweep,
+``hypertree_width``'s increasing search, repeated planner calls).
 
 The historical frozenset-of-names surface (``subproblems``, ``candidates``,
 ``solvers``, ``candidates_for`` …) is preserved as a lazily built mirror
@@ -48,9 +71,15 @@ algorithm-only users never pay for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
+from itertools import combinations, repeat
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+try:  # The matrix engine needs numpy; the scalar engine is the fallback.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.core.maskmatrix import MaskMatrix
 from repro.decomposition.hypertree import DecompositionNode
 from repro.exceptions import DecompositionError
 from repro.hypergraph.hypergraph import EdgeName, Hypergraph, Vertex
@@ -67,6 +96,10 @@ Candidate = Tuple[KVertex, Component]
 MaskSubproblem = Tuple[int, int]
 MaskCandidate = Tuple[int, int]
 
+#: Below this many k-vertices the per-component numpy dispatch overhead
+#: outweighs the loop it replaces, so ``vectorized=None`` stays scalar.
+_VECTORIZE_MIN_K_VERTICES = 64
+
 
 def k_vertices(hypergraph: Hypergraph, k: int) -> Tuple[KVertex, ...]:
     """All k-vertices: non-empty sets of at most ``k`` hyperedges.
@@ -81,7 +114,12 @@ def k_vertices(hypergraph: Hypergraph, k: int) -> Tuple[KVertex, ...]:
 
 def k_vertex_masks(hypergraph: Hypergraph, k: int) -> Tuple[int, ...]:
     """All k-vertices as edge masks, in the canonical (size, lexicographic)
-    enumeration order of :func:`k_vertices`."""
+    enumeration order of :func:`k_vertices`.
+
+    The order is *nested in k*: the masks for bound ``k`` are a prefix of
+    the masks for any bound ``k' > k``, which is what makes the candidates
+    graph incrementally extensible across a k-sweep.
+    """
     bitset_view = _require_positive_k(hypergraph, k)
     num_edges = len(bitset_view.edges)
     result: List[int] = []
@@ -133,6 +171,17 @@ class CandidatesGraph:
     Fig. 2 on integer masks; the evaluation phase belongs to the algorithms
     that use the graph (:mod:`repro.decomposition.minimal`).
 
+    Parameters
+    ----------
+    hypergraph, k:
+        The hypergraph and the width bound.
+    vectorized:
+        ``True`` forces the :class:`~repro.core.maskmatrix.MaskMatrix`
+        construction kernels (requires numpy), ``False`` the scalar big-int
+        loops; ``None`` (default) picks the matrix engine when numpy is
+        available and ``Ψ`` is large enough to amortise it.  Both engines
+        build byte-identical graphs.
+
     Dense-id arrays (the algorithms' surface; ``q`` ranges over subproblem
     ids, ``i`` over candidate ids):
 
@@ -150,7 +199,13 @@ class CandidatesGraph:
         ``χ`` vertex mask, component vertex mask, and subproblem-id tuple.
     """
 
-    def __init__(self, hypergraph: Hypergraph, k: int) -> None:
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        vectorized: Optional[bool] = None,
+        _base: Optional["CandidatesGraph"] = None,
+    ) -> None:
         if hypergraph.num_edges() == 0:
             raise DecompositionError("cannot decompose a hypergraph with no edges")
         self.hypergraph = hypergraph
@@ -162,112 +217,41 @@ class CandidatesGraph:
             frozenset(),
             bitset.vertex_names(all_vertices),
         )
+        self.vectorized = _resolve_vectorized(
+            vectorized, hypergraph.num_edges(), k
+        )
 
-        self._kv_masks: Tuple[int, ...] = k_vertex_masks(hypergraph, k)
-        components_of = bitset.components
-        var_of_edges = bitset.var_of_edges
-        var_of: Dict[int, int] = {}
-
-        # --- N_sub -----------------------------------------------------
-        # The root subproblem gets id 0; per k-vertex, one subproblem per
-        # [var(S)]-component.  ``kv_items`` carries, per k-vertex, its
-        # component/subproblem-id pairs for the candidate loop below.
-        sub_keys: List[MaskSubproblem] = [(0, all_vertices)]
-        kv_items: List[Tuple[int, int, List[Tuple[int, int]]]] = []
-        # dict-as-ordered-set: deterministic iteration over distinct components
-        seen_components: Dict[int, None] = {all_vertices: None}
-        for kv in self._kv_masks:
-            variables = var_of_edges(kv)
-            var_of[kv] = variables
-            kv_subs: List[Tuple[int, int]] = []
-            for component in components_of(variables):
-                kv_subs.append((component, len(sub_keys)))
-                sub_keys.append((kv, component))
-                seen_components[component] = None
-            kv_items.append((kv, variables, kv_subs))
-        self.sub_keys: List[MaskSubproblem] = sub_keys
-        self._mvar_of = var_of
-
-        # Cache edges(C) and var(edges(C)) for every distinct component.
-        edges_touching = bitset.edges_touching
-        frontier_of: Dict[int, int] = {}
-        component_edges: Dict[int, int] = {}
-        component_rows: List[Tuple[int, int, int]] = []
-        for component in seen_components:
-            edges = edges_touching(component)
-            component_edges[component] = edges
-            frontier = var_of_edges(edges)
-            frontier_of[component] = frontier
-            component_rows.append((component, frontier, edges_touching(frontier)))
-        self._mfrontier_of = frontier_of
-        self._mcomponent_edges = component_edges
-
-        # --- N_sol -----------------------------------------------------
-        # Pure mask algebra: membership, covering and subset tests are all
-        # single &/~ operations on ints; candidates are appended to parallel
-        # arrays, so the loop performs no hashing.
-        cand_keys: List[MaskCandidate] = []
-        cand_lambda: List[int] = []
-        cand_var: List[int] = []
-        cand_chi: List[int] = []
-        cand_comp: List[int] = []
-        cand_subs: List[Tuple[int, ...]] = []
-        by_component: Dict[int, List[int]] = {c: [] for c in seen_components}
-        for component, frontier, allowed_edges in component_rows:
-            component_cands = by_component[component]
-            for kv, kv_vars, kv_subs in kv_items:
-                if not kv_vars & component:
-                    continue
-                if kv & ~allowed_edges:
-                    continue
-                component_cands.append(len(cand_keys))
-                cand_keys.append((kv, component))
-                cand_lambda.append(kv)
-                cand_var.append(kv_vars)
-                cand_chi.append(frontier & kv_vars)
-                cand_comp.append(component)
-                cand_subs.append(
-                    tuple(
-                        sub_id
-                        for sub_component, sub_id in kv_subs
-                        if not sub_component & ~component
-                    )
-                )
-        self.cand_keys = cand_keys
-        self.cand_lambda = cand_lambda
-        self.cand_var = cand_var
-        self.cand_chi = cand_chi
-        self.cand_comp = cand_comp
-        self.cand_subs = cand_subs
+        #: Flattened subproblem arcs as (sub id array, cand id array) piece
+        #: pairs, filled by the vectorised engine (and concatenated into
+        #: ``_arc_subs`` / ``_arc_cands`` for reuse by extensions); ``None``
+        #: on the scalar engine.
+        self._arc_pieces: Optional[List[Tuple[object, object]]] = None
+        self._arc_subs = None
+        self._arc_cands = None
+        if _base is None:
+            self._build_fresh()
+        else:
+            self._build_extended(_base)
 
         # --- arcs: subproblem -> candidates that depend on it -------------
         # (the reverse of ``cand_subs``; the evaluation phase walks this
-        # index, so build it once here).
-        dependents_lists: List[List[int]] = [[] for _ in sub_keys]
-        for cand_id, subs in enumerate(cand_subs):
-            for sub_id in subs:
-                dependents_lists[sub_id].append(cand_id)
-        self.sub_dependents: List[Tuple[int, ...]] = [
-            tuple(cands) for cands in dependents_lists
-        ]
-
-        # --- arcs: candidate -> subproblems it can solve -----------------
-        # Index candidates by their component so the scan is linear in the
-        # number of (subproblem, same-component candidate) pairs.
-        sub_solvers: List[Tuple[int, ...]] = []
-        for r_mask, component in sub_keys:
-            boundary = frontier_of[component] & (var_of[r_mask] if r_mask else 0)
-            sub_solvers.append(
-                tuple(
-                    cand_id
-                    for cand_id in by_component[component]
-                    if not boundary & ~cand_var[cand_id]
-                )
-            )
-        self.sub_solvers = sub_solvers
+        # index, so build it once here).  The vectorised engine groups its
+        # flattened arc arrays with one lexsort; the scalar engine walks
+        # ``cand_subs``.
+        if self._arc_pieces is not None:
+            self.sub_dependents = self._dependents_from_arcs()
+        else:
+            dependents_lists: List[List[int]] = [[] for _ in self.sub_keys]
+            for cand_id, subs in enumerate(self.cand_subs):
+                for sub_id in subs:
+                    dependents_lists[sub_id].append(cand_id)
+            self.sub_dependents: List[Tuple[int, ...]] = [
+                tuple(cands) for cands in dependents_lists
+            ]
 
         # Processing order (increasing component size; ties broken by the
         # canonical masks, which are deterministic per hypergraph).
+        sub_keys = self.sub_keys
         self.sub_order: List[int] = sorted(
             range(len(sub_keys)),
             key=lambda sub_id: (
@@ -279,13 +263,601 @@ class CandidatesGraph:
 
         # Lazily built frozenset-of-names mirror (see class docstring).
         self._public: Optional[_PublicMirror] = None
+        # Lazily built per-subproblem numpy id arrays (the vectorised
+        # evaluation fold of repro.decomposition.minimal).
+        self._solver_arrays = None
+        self._dependent_arrays = None
+        # Lazily built candidate views derived from the k-vertex index (no
+        # algorithm consumes these; they serve the mirror and tests).
+        self._cand_keys: Optional[List[MaskCandidate]] = None
+        self._cand_var: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction: N_sub enumeration shared by both entry paths
+    # ------------------------------------------------------------------
+    def _enumerate_subproblems(self, kv_indices: Iterable[int]) -> None:
+        """Append the subproblem block of every k-vertex in ``kv_indices``
+        to the (already initialised) ``sub_keys`` / bookkeeping arrays."""
+        bitset = self.bitset
+        components_of = bitset.components
+        var_of_edges = bitset.var_of_edges
+        kv_masks = self._kv_masks
+        kv_vars = self._kv_vars
+        var_of = self._mvar_of
+        sub_keys = self.sub_keys
+        kv_sub_bounds = self._kv_sub_bounds
+        seen_components = self._seen_components
+        for index in kv_indices:
+            kv = kv_masks[index]
+            variables = var_of_edges(kv)
+            kv_vars.append(variables)
+            var_of[kv] = variables
+            for component in components_of(variables):
+                sub_keys.append((kv, component))
+                seen_components[component] = None
+            kv_sub_bounds.append(len(sub_keys))
+
+    def _complete_component_rows(self) -> None:
+        """Cache ``edges(C)``, ``var(edges(C))`` and the allowed-edge mask
+        for every distinct component not yet profiled, in interning order."""
+        bitset = self.bitset
+        edges_touching = bitset.edges_touching
+        var_of_edges = bitset.var_of_edges
+        frontier_of = self._mfrontier_of
+        component_edges = self._mcomponent_edges
+        component_rows = self._component_rows
+        for component in self._seen_components:
+            if component in frontier_of:
+                continue
+            edges = edges_touching(component)
+            component_edges[component] = edges
+            frontier = var_of_edges(edges)
+            frontier_of[component] = frontier
+            component_rows.append((component, frontier, edges_touching(frontier)))
+
+    # ------------------------------------------------------------------
+    # Construction from scratch
+    # ------------------------------------------------------------------
+    def _build_fresh(self) -> None:
+        self._kv_masks: Tuple[int, ...] = k_vertex_masks(self.hypergraph, self.k)
+
+        # --- N_sub -----------------------------------------------------
+        # The root subproblem gets id 0; per k-vertex, one subproblem per
+        # [var(S)]-component.  Subproblem ids are assigned in k-vertex order,
+        # so k-vertex ``i`` owns the contiguous id block
+        # ``range(bounds[i], bounds[i+1])``.
+        all_vertices = self.bitset.all_vertices
+        self._kv_vars: List[int] = []
+        self._mvar_of: Dict[int, int] = {}
+        self.sub_keys: List[MaskSubproblem] = [(0, all_vertices)]
+        self._kv_sub_bounds: List[int] = [1]
+        # dict-as-ordered-set: deterministic iteration over distinct components
+        self._seen_components: Dict[int, None] = {all_vertices: None}
+        self._enumerate_subproblems(range(len(self._kv_masks)))
+
+        self._mfrontier_of: Dict[int, int] = {}
+        self._mcomponent_edges: Dict[int, int] = {}
+        self._component_rows: List[Tuple[int, int, int]] = []
+        self._complete_component_rows()
+
+        # --- N_sol + arcs ----------------------------------------------
+        self.cand_lambda: List[int] = []
+        self.cand_chi: List[int] = []
+        self.cand_comp: List[int] = []
+        self.cand_subs: List[Tuple[int, ...]] = []
+        self._cand_kv_index: List[int] = []
+        self._by_component: Dict[int, List[int]] = {
+            c: [] for c in self._seen_components
+        }
+        admit = self._candidate_admitter()
+        for row in self._component_rows:
+            admit(row, 0)
+        self._seal_kv_index()
+        if self.vectorized:
+            self._build_solver_arcs_vectorized()
+        else:
+            self._build_solver_arcs_scalar()
+
+    # ------------------------------------------------------------------
+    # Candidate admission (both engines append to the parallel arrays in
+    # identical order: components in interning order, k-vertices in
+    # canonical order within each component)
+    # ------------------------------------------------------------------
+    def _append_component_block(self, component: int, start: int, count: int) -> None:
+        """Record ``count`` new candidate ids for ``component``.
+
+        Candidates are appended component-block by component-block, so a
+        component's ids always form one contiguous run; the vectorised
+        engine therefore keeps ``_by_component`` values as ``range`` objects
+        (O(1) instead of materialising millions of list entries).  The
+        scalar engine appends ids one by one and keeps plain lists.
+        """
+        ids = self._by_component[component]
+        if isinstance(ids, range):
+            # Continuation of this component's run (extension: the copied
+            # block immediately followed by the newly admitted block).
+            self._by_component[component] = range(ids.start, start + count)
+        elif ids:
+            ids.extend(range(start, start + count))
+        else:
+            self._by_component[component] = range(start, start + count)
+
+    def _candidate_admitter(self):
+        """A per-construction admission function ``admit(row, kv_start)``.
+
+        Appends, for one component row, every candidate whose k-vertex index
+        is ``≥ kv_start``, in canonical k-vertex order.  The factory shape
+        lets the vectorised engine build its mask matrices exactly once per
+        construction (fresh builds call ``admit`` for every component,
+        incremental extension interleaves it with block copies)."""
+        if self.vectorized:
+            return self._vectorized_admitter()
+        return self._scalar_admitter()
+
+    def _scalar_admitter(self):
+        """Pure mask algebra: membership, covering and subset tests are all
+        single ``&``/``~`` operations on ints; candidates are appended to the
+        parallel arrays, so the loop performs no hashing."""
+        kv_masks = self._kv_masks
+        kv_vars = self._kv_vars
+        bounds = self._kv_sub_bounds
+        sub_keys = self.sub_keys
+        cand_lambda = self.cand_lambda
+        kv_index = self._cand_kv_index
+        num_kvs = len(kv_masks)
+
+        def admit(row: Tuple[int, int, int], kv_start: int) -> None:
+            component, frontier, allowed_edges = row
+            component_cands = self._by_component[component]
+            for index in range(kv_start, num_kvs):
+                variables = kv_vars[index]
+                if not variables & component:
+                    continue
+                if kv_masks[index] & ~allowed_edges:
+                    continue
+                component_cands.append(len(cand_lambda))
+                cand_lambda.append(kv_masks[index])
+                kv_index.append(index)
+                self.cand_chi.append(frontier & variables)
+                self.cand_comp.append(component)
+                self.cand_subs.append(
+                    tuple(
+                        sub_id
+                        for sub_id in range(bounds[index], bounds[index + 1])
+                        if not sub_keys[sub_id][1] & ~component
+                    )
+                )
+
+        return admit
+
+    def _vectorized_admitter(self):
+        """The admission loop as whole-array kernels: per component, one
+        broadcasted intersection + subset test over every k-vertex at once
+        and one containment test over every subproblem at once (folded into
+        per-k-vertex id slices by ``searchsorted`` over the contiguous
+        subproblem blocks); admitted rows are materialised by C-level
+        gathers, so the only Python-level loop left runs over the admitted
+        candidates that actually have subproblems."""
+        vertex_bits = len(self.bitset.vertices)
+        edge_bits = len(self.bitset.edges)
+        kv_var_matrix = MaskMatrix(self._kv_vars, vertex_bits)
+        kv_edge_matrix = MaskMatrix(list(self._kv_masks), edge_bits)
+        sub_comp_matrix = MaskMatrix(
+            [component for _, component in self.sub_keys], vertex_bits
+        )
+        self._kv_var_matrix = kv_var_matrix
+        bounds = np.asarray(self._kv_sub_bounds, dtype=np.int64)
+        cand_lambda = self.cand_lambda
+        cand_subs = self.cand_subs
+        kv_index_pieces = self._cand_kv_index
+        arc_pieces = self._arc_pieces = (
+            [] if self._arc_pieces is None else self._arc_pieces
+        )
+
+        def admit(row: Tuple[int, int, int], kv_start: int) -> None:
+            component, frontier, allowed_edges = row
+            admitted_flags = kv_var_matrix.intersects(component)
+            admitted_flags &= kv_edge_matrix.subset_of(allowed_edges)
+            if kv_start:
+                admitted_flags = admitted_flags[kv_start:]
+            admitted = np.flatnonzero(admitted_flags)
+            if kv_start:
+                admitted += kv_start
+            if not admitted.size:
+                return
+            base_id = len(cand_lambda)
+            self._append_component_block(component, base_id, admitted.size)
+            kv_index_pieces.append(admitted)
+            cand_lambda.extend(kv_edge_matrix.tolist(admitted))
+            self.cand_chi.extend(kv_var_matrix.intersections(frontier, admitted))
+            self.cand_comp.extend(repeat(component, admitted.size))
+            # Subproblem ids are contiguous per k-vertex, so the ids of the
+            # contained subproblems of k-vertex ``i`` are one slice of the
+            # component's contained-id vector, located by searchsorted over
+            # the block bounds.
+            contained_ids = np.flatnonzero(sub_comp_matrix.subset_of(component))
+            if not contained_ids.size:
+                cand_subs.extend(repeat((), admitted.size))
+                return
+            positions = np.searchsorted(contained_ids, bounds)
+            lows = positions[admitted]
+            highs = positions[admitted + 1]
+            counts = highs - lows
+            occupied = np.flatnonzero(counts)
+            if not occupied.size:
+                cand_subs.extend(repeat((), admitted.size))
+                return
+            block: List[Tuple[int, ...]] = [()] * admitted.size
+            contained_list = contained_ids.tolist()
+            lows_list = lows.tolist()
+            highs_list = highs.tolist()
+            for j in occupied.tolist():
+                block[j] = tuple(contained_list[lows_list[j]:highs_list[j]])
+            cand_subs.extend(block)
+            # Flattened (sub id, cand id) arc arrays: expand every [lo, hi)
+            # slice arithmetically (dependents are grouped from these by one
+            # lexsort at the end of construction).
+            total = int(counts.sum())
+            starts = np.repeat(lows, counts)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            arc_pieces.append(
+                (
+                    contained_ids[starts + within],
+                    np.repeat(base_id + np.arange(admitted.size), counts),
+                )
+            )
+
+        return admit
+
+    def _dependents_from_arcs(self) -> List[Tuple[int, ...]]:
+        """Group the flattened arc arrays into per-subproblem dependent
+        tuples (ascending candidate id, matching the scalar walk)."""
+        num_subs = len(self.sub_keys)
+        pieces = self._arc_pieces or []
+        if not pieces:
+            self._arc_subs = np.empty(0, dtype=np.int64)
+            self._arc_cands = np.empty(0, dtype=np.int64)
+            return [()] * num_subs
+        if len(pieces) == 1:
+            subs, cands = pieces[0]
+        else:
+            subs = np.concatenate([piece[0] for piece in pieces])
+            cands = np.concatenate([piece[1] for piece in pieces])
+        self._arc_subs = subs
+        self._arc_cands = cands
+        order = np.lexsort((cands, subs))
+        sorted_subs = subs[order]
+        sorted_cands = cands[order].tolist()
+        boundaries = np.searchsorted(
+            sorted_subs, np.arange(num_subs + 1, dtype=np.int64)
+        ).tolist()
+        return [
+            tuple(sorted_cands[boundaries[q]:boundaries[q + 1]])
+            for q in range(num_subs)
+        ]
+
+    # ------------------------------------------------------------------
+    # Solver arcs: candidate -> subproblems it can solve
+    # ------------------------------------------------------------------
+    # Both engines memoise per distinct (component, boundary) pair: many
+    # subproblems of one component share their boundary, and equal pairs
+    # have equal solver tuples (which the dedup shares as one object).
+
+    def _seal_kv_index(self) -> None:
+        """Concatenate the vectorised engine's per-component k-vertex index
+        pieces into one candidate-ordered array (scalar engine: no-op, the
+        index is already a flat list)."""
+        if self.vectorized:
+            pieces = self._cand_kv_index
+            self._cand_kv_index = (
+                np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+            )
+
+    def _build_solver_arcs_scalar(self) -> None:
+        """Index candidates by their component so the scan is linear in the
+        number of (subproblem, same-component candidate) pairs."""
+        frontier_of = self._mfrontier_of
+        var_of = self._mvar_of
+        by_component = self._by_component
+        kv_vars = self._kv_vars
+        kv_index = self._cand_kv_index
+        cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        sub_solvers: List[Tuple[int, ...]] = []
+        for r_mask, component in self.sub_keys:
+            boundary = frontier_of[component] & (var_of[r_mask] if r_mask else 0)
+            key = (component, boundary)
+            solvers = cache.get(key)
+            if solvers is None:
+                if boundary:
+                    solvers = tuple(
+                        cand_id
+                        for cand_id in by_component[component]
+                        if not boundary & ~kv_vars[kv_index[cand_id]]
+                    )
+                else:
+                    solvers = tuple(by_component[component])
+                cache[key] = solvers
+            sub_solvers.append(solvers)
+        self.sub_solvers = sub_solvers
+
+    def _build_solver_arcs_vectorized(self) -> None:
+        """One broadcasted covering test per distinct (component, boundary)
+        pair, run on the k-vertex variable matrix through the candidates'
+        k-vertex index (no per-candidate data is materialised at all)."""
+        kv_var_matrix = self._kv_var_matrix
+        kv_index = self._cand_kv_index
+        frontier_of = self._mfrontier_of
+        var_of = self._mvar_of
+        id_arrays: Dict[int, object] = {}
+        cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        sub_solvers: List[Tuple[int, ...]] = []
+        for r_mask, component in self.sub_keys:
+            boundary = frontier_of[component] & (var_of[r_mask] if r_mask else 0)
+            key = (component, boundary)
+            solvers = cache.get(key)
+            if solvers is None:
+                ids = id_arrays.get(component)
+                if ids is None:
+                    ids = _ids_array(self._by_component[component])
+                    id_arrays[component] = ids
+                if not boundary or not ids.size:
+                    solvers = tuple(self._by_component[component])
+                else:
+                    covered = kv_var_matrix.covers(boundary, kv_index[ids])
+                    solvers = tuple(ids[covered].tolist())
+                cache[key] = solvers
+            sub_solvers.append(solvers)
+        self.sub_solvers = sub_solvers
+
+    # ------------------------------------------------------------------
+    # k-incremental construction
+    # ------------------------------------------------------------------
+    def _build_extended(self, base: "CandidatesGraph") -> None:
+        """Build this bound-``k`` graph from ``base`` (bound ``< k``).
+
+        Everything decided by prefix k-vertices against old components is
+        copied (with candidate ids renumbered into the new per-component
+        order); only the new k-vertices -- and, for the components they
+        expose, the full k-vertex range -- are tested.  The result is
+        byte-identical to a fresh construction at ``k``.
+        """
+        if base.hypergraph != self.hypergraph:
+            raise DecompositionError(
+                "cannot extend a candidates graph built for a different hypergraph"
+            )
+        if base.k >= self.k:
+            raise DecompositionError(
+                f"extend_to requires a larger width bound (have k={base.k}, "
+                f"requested k={self.k})"
+            )
+        self._kv_masks = k_vertex_masks(self.hypergraph, self.k)
+        old_num_kvs = len(base._kv_masks)
+
+        # --- N_sub: prefix blocks are shared verbatim --------------------
+        self._kv_vars = list(base._kv_vars)
+        self._mvar_of = dict(base._mvar_of)
+        self.sub_keys = list(base.sub_keys)
+        self._kv_sub_bounds = list(base._kv_sub_bounds)
+        self._seen_components = dict(base._seen_components)
+        self._enumerate_subproblems(range(old_num_kvs, len(self._kv_masks)))
+
+        self._mfrontier_of = dict(base._mfrontier_of)
+        self._mcomponent_edges = dict(base._mcomponent_edges)
+        self._component_rows = list(base._component_rows)
+        self._complete_component_rows()
+
+        # --- N_sol: copy old per-component blocks, admit new k-vertices --
+        self.cand_lambda = []
+        self.cand_chi = []
+        self.cand_comp = []
+        self.cand_subs = []
+        self._cand_kv_index = []
+        self._by_component = {c: [] for c in self._seen_components}
+        old_by_component = base._by_component
+        # The base's candidate -> k-vertex index, in the representation this
+        # engine splices from (array pieces vs flat list).
+        if self.vectorized:
+            base_kv_index = (
+                base._cand_kv_index
+                if isinstance(base._cand_kv_index, np.ndarray)
+                else np.asarray(base._cand_kv_index, dtype=np.int64)
+            )
+        elif isinstance(base._cand_kv_index, list):
+            base_kv_index = base._cand_kv_index
+        else:
+            base_kv_index = base._cand_kv_index.tolist()
+        #: old candidate id -> new candidate id (monotone per component).
+        new_id_of_old: List[int] = [0] * base.num_candidates
+        admit = self._candidate_admitter()
+        for row in self._component_rows:
+            component = row[0]
+            old_ids = old_by_component.get(component)
+            if old_ids is not None:
+                # Candidates are appended component-block by component-block,
+                # so a component's ids are one contiguous range in both the
+                # old and the new graph -- the whole copy (and the old→new
+                # renumbering) is slice arithmetic, no per-candidate loop.
+                count = len(old_ids)
+                if count:
+                    lo = old_ids[0]
+                    hi = lo + count
+                    new_base = len(self.cand_lambda)
+                    new_range = range(new_base, new_base + count)
+                    if self.vectorized:
+                        self._append_component_block(component, new_base, count)
+                    else:
+                        self._by_component[component].extend(new_range)
+                    new_id_of_old[lo:hi] = new_range
+                    self.cand_lambda.extend(base.cand_lambda[lo:hi])
+                    self.cand_chi.extend(base.cand_chi[lo:hi])
+                    self.cand_comp.extend(repeat(component, count))
+                    if self.vectorized:
+                        self._cand_kv_index.append(base_kv_index[lo:hi])
+                    else:
+                        self._cand_kv_index.extend(base_kv_index[lo:hi])
+                    # Prefix k-vertex subproblem ids are unchanged, so the
+                    # containment decisions carry over verbatim.
+                    self.cand_subs.extend(base.cand_subs[lo:hi])
+                # Only the new k-vertices remain to be tested here.
+                admit(row, old_num_kvs)
+            else:
+                # A component first exposed by a new k-vertex: full range.
+                admit(row, 0)
+        self._seal_kv_index()
+
+        if self.vectorized:
+            # The copied candidates' arcs, renumbered into the new id space
+            # (prefix subproblem ids are unchanged), join the arc pieces the
+            # admitter collected for the new candidates.
+            if base._arc_subs is not None:
+                base_arc_subs, base_arc_cands = base._arc_subs, base._arc_cands
+            else:  # scalar-built base: flatten its cand_subs once
+                flat_subs: List[int] = []
+                flat_cands: List[int] = []
+                for cand_id, subs in enumerate(base.cand_subs):
+                    if subs:
+                        flat_subs.extend(subs)
+                        flat_cands.extend(repeat(cand_id, len(subs)))
+                base_arc_subs = np.asarray(flat_subs, dtype=np.int64)
+                base_arc_cands = np.asarray(flat_cands, dtype=np.int64)
+            if base_arc_subs.size:
+                remap = np.asarray(new_id_of_old, dtype=np.int64)
+                self._arc_pieces.append((base_arc_subs, remap[base_arc_cands]))
+
+        # --- solver arcs: remap old ones, test only what is new ----------
+        if self.vectorized:
+            self._extend_solver_arcs_vectorized(base, new_id_of_old, old_by_component)
+        else:
+            self._extend_solver_arcs_scalar(base, new_id_of_old, old_by_component)
+
+    def _extend_solver_arcs_scalar(
+        self, base, new_id_of_old: List[int], old_by_component
+    ) -> None:
+        frontier_of = self._mfrontier_of
+        var_of = self._mvar_of
+        by_component = self._by_component
+        kv_vars = self._kv_vars
+        kv_index = self._cand_kv_index
+        old_num_subs = len(base.sub_keys)
+        cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        sub_solvers: List[Tuple[int, ...]] = []
+        for sub_id, (r_mask, component) in enumerate(self.sub_keys):
+            boundary = frontier_of[component] & (var_of[r_mask] if r_mask else 0)
+            key = (component, boundary)
+            solvers = cache.get(key)
+            if solvers is None:
+                cands = by_component[component]
+                if sub_id < old_num_subs:
+                    # Old subproblem (its component is old too): keep the old
+                    # decisions, test only the candidates this extension
+                    # added (old candidates precede new ones per component).
+                    prefix = [new_id_of_old[c] for c in base.sub_solvers[sub_id]]
+                    fresh = cands[len(old_by_component[component]):]
+                    if boundary:
+                        fresh = [
+                            c for c in fresh if not boundary & ~kv_vars[kv_index[c]]
+                        ]
+                    solvers = tuple(prefix + list(fresh))
+                elif boundary:
+                    solvers = tuple(
+                        c for c in cands if not boundary & ~kv_vars[kv_index[c]]
+                    )
+                else:
+                    solvers = tuple(cands)
+                cache[key] = solvers
+            sub_solvers.append(solvers)
+        self.sub_solvers = sub_solvers
+
+    def _extend_solver_arcs_vectorized(
+        self, base, new_id_of_old: List[int], old_by_component
+    ) -> None:
+        kv_var_matrix = self._kv_var_matrix
+        kv_index = self._cand_kv_index
+        frontier_of = self._mfrontier_of
+        var_of = self._mvar_of
+        old_num_subs = len(base.sub_keys)
+        id_arrays: Dict[Tuple[int, int], object] = {}
+        cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+        def ids_for(component: int, skip: int):
+            key = (component, skip)
+            arr = id_arrays.get(key)
+            if arr is None:
+                ids = self._by_component[component]
+                arr = _ids_array(ids[skip:] if skip else ids)
+                id_arrays[key] = arr
+            return arr
+
+        sub_solvers: List[Tuple[int, ...]] = []
+        for sub_id, (r_mask, component) in enumerate(self.sub_keys):
+            boundary = frontier_of[component] & (var_of[r_mask] if r_mask else 0)
+            key = (component, boundary)
+            solvers = cache.get(key)
+            if solvers is None:
+                if sub_id < old_num_subs:
+                    prefix = [new_id_of_old[c] for c in base.sub_solvers[sub_id]]
+                    fresh = ids_for(component, len(old_by_component[component]))
+                    if boundary and fresh.size:
+                        covered = kv_var_matrix.covers(boundary, kv_index[fresh])
+                        fresh = fresh[covered]
+                    solvers = tuple(prefix + fresh.tolist())
+                else:
+                    ids = ids_for(component, 0)
+                    if boundary and ids.size:
+                        covered = kv_var_matrix.covers(boundary, kv_index[ids])
+                        ids = ids[covered]
+                    solvers = tuple(ids.tolist())
+                cache[key] = solvers
+            sub_solvers.append(solvers)
+        self.sub_solvers = sub_solvers
+
+    # ------------------------------------------------------------------
+    def extend_to(
+        self, k: int, vectorized: Optional[bool] = None
+    ) -> "CandidatesGraph":
+        """The candidates graph of the same hypergraph at a larger bound
+        ``k``, built incrementally from this one (see the class docstring);
+        byte-identical to ``CandidatesGraph(hypergraph, k)``.  Returns
+        ``self`` when ``k`` equals this graph's bound.  ``vectorized``
+        selects the engine for the *new* work (default: inherit this
+        graph's engine)."""
+        if k == self.k:
+            return self
+        if vectorized is None:
+            vectorized = self.vectorized
+        return CandidatesGraph(self.hypergraph, k, vectorized=vectorized, _base=self)
 
     # ------------------------------------------------------------------
     # Dense-id accessors (the algorithms' hot path)
     # ------------------------------------------------------------------
     @property
     def num_candidates(self) -> int:
-        return len(self.cand_keys)
+        return len(self.cand_lambda)
+
+    @property
+    def cand_keys(self) -> List[MaskCandidate]:
+        """Per-candidate ``(λ edge mask, component mask)`` identities.
+
+        Derived (lazily, once) from ``cand_lambda``/``cand_comp``: no
+        algorithm consumes the pairs, only the public mirror and the
+        translation accessors do."""
+        if self._cand_keys is None:
+            self._cand_keys = list(zip(self.cand_lambda, self.cand_comp))
+        return self._cand_keys
+
+    @property
+    def cand_var(self) -> List[int]:
+        """Per-candidate ``var(λ)`` vertex masks, gathered (lazily, once)
+        from the k-vertex table through the candidates' k-vertex index."""
+        if self._cand_var is None:
+            kv_vars = self._kv_vars
+            index = self._cand_kv_index
+            if np is not None and isinstance(index, np.ndarray):
+                index = index.tolist()
+            self._cand_var = [kv_vars[i] for i in index]
+        return self._cand_var
 
     @property
     def num_subproblems(self) -> int:
@@ -293,6 +865,28 @@ class CandidatesGraph:
 
     #: The root subproblem ``(∅, var(H))`` always receives id 0.
     ROOT_SUBPROBLEM_ID = 0
+
+    def solver_id_arrays(self):
+        """Per-subproblem ``incoming(q)`` as numpy index arrays (``None``
+        without numpy); cached for reuse across evaluations of this graph."""
+        if np is None:
+            return None
+        if self._solver_arrays is None:
+            self._solver_arrays = [
+                np.asarray(solvers, dtype=np.int64) for solvers in self.sub_solvers
+            ]
+        return self._solver_arrays
+
+    def dependent_id_arrays(self):
+        """Per-subproblem ``outcoming(q)`` as numpy index arrays (``None``
+        without numpy); cached like :meth:`solver_id_arrays`."""
+        if np is None:
+            return None
+        if self._dependent_arrays is None:
+            self._dependent_arrays = [
+                np.asarray(deps, dtype=np.int64) for deps in self.sub_dependents
+            ]
+        return self._dependent_arrays
 
     def node_view(self, cand_id: int, node_id: int) -> DecompositionNode:
         """The string-labelled :class:`DecompositionNode` of a candidate id
@@ -405,7 +999,7 @@ class CandidatesGraph:
         return {
             "k_vertices": len(self._kv_masks),
             "subproblems": len(self.sub_keys),
-            "candidates": len(self.cand_keys),
+            "candidates": len(self.cand_lambda),
             "solver_arcs": solver_arcs,
             "subproblem_arcs": subproblem_arcs,
         }
@@ -415,6 +1009,72 @@ class CandidatesGraph:
         return (
             f"CandidatesGraph(k={self.k}, |N_sub|={report['subproblems']}, "
             f"|N_sol|={report['candidates']})"
+        )
+
+
+def _ids_array(ids):
+    """A candidate-id collection (list or contiguous range) as int64."""
+    if isinstance(ids, range):
+        return np.arange(ids.start, ids.stop, dtype=np.int64)
+    return np.asarray(ids, dtype=np.int64)
+
+
+def _resolve_vectorized(
+    vectorized: Optional[bool], num_edges: int, k: int
+) -> bool:
+    if vectorized is None:
+        return np is not None and count_k_vertices(num_edges, k) >= (
+            _VECTORIZE_MIN_K_VERTICES
+        )
+    if vectorized and np is None:
+        raise DecompositionError(
+            "vectorized candidates-graph construction requires numpy; "
+            "pass vectorized=False (or None) for the scalar engine"
+        )
+    return bool(vectorized)
+
+
+class CandidatesGraphFamily:
+    """A per-``k`` cache of candidates graphs over one hypergraph.
+
+    ``graph(k)`` returns the cached graph for ``k``, building it via
+    :meth:`CandidatesGraph.extend_to` from the largest already-built smaller
+    bound (so an ascending sweep ``k = 2..5`` pays for each k-vertex,
+    component and arc decision exactly once) and from scratch otherwise.
+    All graphs share the hypergraph's bitset view, its component memo and
+    the interned label frozensets.
+    """
+
+    __slots__ = ("hypergraph", "vectorized", "_graphs")
+
+    def __init__(
+        self, hypergraph: Hypergraph, vectorized: Optional[bool] = None
+    ) -> None:
+        self.hypergraph = hypergraph
+        self.vectorized = vectorized
+        self._graphs: Dict[int, CandidatesGraph] = {}
+
+    def graph(self, k: int) -> CandidatesGraph:
+        built = self._graphs.get(k)
+        if built is not None:
+            return built
+        # The engine is re-resolved per bound (``vectorized=None`` may pick
+        # scalar at small k and the matrix engine once Ψ has grown).
+        engine = _resolve_vectorized(
+            self.vectorized, self.hypergraph.num_edges(), k
+        )
+        smaller = [bound for bound in self._graphs if bound < k]
+        if smaller:
+            built = self._graphs[max(smaller)].extend_to(k, vectorized=engine)
+        else:
+            built = CandidatesGraph(self.hypergraph, k, vectorized=engine)
+        self._graphs[k] = built
+        return built
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidatesGraphFamily(bounds={sorted(self._graphs)}, "
+            f"hypergraph={self.hypergraph!r})"
         )
 
 

@@ -33,6 +33,11 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # The vectorised evaluation fold needs numpy; scalar is the fallback.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
 from repro.decomposition.candidates import (
     Candidate,
     CandidatesGraph,
@@ -68,10 +73,13 @@ class TieBreaker:
         """Pick one of ``tied``; ``key`` overrides the canonical ordering
         (the selection phase passes a key that translates dense candidate
         ids back to the historical (λ names, component names) order)."""
-        ordered = sorted(tied, key=key or _candidate_sort_key)
-        if self.policy == "first" or len(ordered) == 1:
-            return ordered[0]
-        return self._rng.choice(ordered)
+        if self.policy == "first" or len(tied) == 1:
+            # ``min`` is the first element of the stable sort, without the
+            # O(n log n) sort inside the selection hot loop.
+            return min(tied, key=key or _candidate_sort_key)
+        # The random policy keeps sorting so a given seed selects the same
+        # sequence of decompositions it always did.
+        return self._rng.choice(sorted(tied, key=key or _candidate_sort_key))
 
 
 def _candidate_sort_key(candidate):
@@ -156,8 +164,15 @@ class EvaluationResult:
         return min(weights[c] for c in candidates)
 
 
+#: Below this many candidates the per-subproblem numpy dispatch overhead of
+#: the array fold outweighs the scalar loop it replaces.
+_VECTORIZE_MIN_CANDIDATES = 256
+
+
 def evaluate_candidates_graph(
-    graph: CandidatesGraph, taf: TreeAggregationFunction
+    graph: CandidatesGraph,
+    taf: TreeAggregationFunction,
+    vectorized: Optional[bool] = None,
 ) -> EvaluationResult:
     """The *Evaluate the Candidates Graph* phase of Fig. 2.
 
@@ -169,6 +184,15 @@ def evaluate_candidates_graph(
     The whole phase is array arithmetic over candidate ids; string-space
     node views are materialised at most once per candidate, and only when
     the TAF has no mask-space weight functions.
+
+    For separable TAFs over the built-in real-valued semirings (those with
+    a ``ufunc_name``) the per-subproblem min-fold additionally runs as
+    numpy array reductions over ``weight_by_id`` -- identical float64
+    operations in identical order, so the result is bit-equal to the
+    scalar fold, which remains both the generic path (arbitrary semirings
+    and edge weights) and the numpy-free fallback.  ``vectorized`` forces
+    the choice (``True`` requires numpy); ``None`` picks the array fold
+    when it applies and the graph is large enough to amortise it.
     """
     semiring = taf.semiring
     combine = semiring.combine
@@ -227,6 +251,31 @@ def evaluate_candidates_graph(
                 if edge_child_part is edge_parent_part
                 else [edge_child_part(view(i)) for i in range(num_candidates)]
             )
+
+    if vectorized and np is None:
+        raise DecompositionError(
+            "vectorized candidates-graph evaluation requires numpy"
+        )
+    use_array_fold = (
+        np is not None
+        and separable
+        and semiring.ufunc_name in ("add", "maximum")
+        and (
+            vectorized
+            if vectorized is not None
+            # Arrays win when subproblems have wide candidate sets to reduce
+            # over; graphs with many near-empty subproblems (stars) keep the
+            # scalar fold, whose per-element cost is lower than the
+            # per-subproblem numpy dispatch.
+            else num_candidates >= _VECTORIZE_MIN_CANDIDATES
+            and num_candidates >= 8 * graph.num_subproblems
+        )
+    )
+    if use_array_fold:
+        weights, removed, survivors_by_sub = _array_fold(
+            graph, semiring, weights, parent_parts, child_parts
+        )
+        return _result_with_late_prune(graph, weights, removed, survivors_by_sub)
 
     removed = bytearray(num_candidates)
     survivors_by_sub: List[Tuple[int, ...]] = [()] * graph.num_subproblems
@@ -297,10 +346,60 @@ def evaluate_candidates_graph(
                     best = value
             weights[cand_id] = combine(weights[cand_id], best)
 
-    # Drop candidates removed after their subproblem's survivor list was
-    # already recorded (a candidate can be pruned late through one of its
-    # *other* subproblems; filter defensively so downstream code never sees
-    # pruned nodes).
+    return _result_with_late_prune(graph, weights, removed, survivors_by_sub)
+
+
+def _array_fold(graph, semiring, weights, parent_parts, child_parts):
+    """The separable-TAF fold as per-subproblem numpy reductions.
+
+    Runs the same float64 ``⊕``/``min`` operations in the same order as the
+    scalar loop (weights, removals and survivor tuples come out bit-equal);
+    only the per-candidate Python iteration is replaced by gathers and
+    whole-array updates over the graph's cached id arrays.
+    """
+    combine = np.add if semiring.ufunc_name == "add" else np.maximum
+    weight_arr = np.asarray(weights, dtype=np.float64)
+    parent_arr = np.asarray(parent_parts, dtype=np.float64)
+    child_arr = (
+        parent_arr
+        if child_parts is parent_parts
+        else np.asarray(child_parts, dtype=np.float64)
+    )
+    removed = np.zeros(len(weight_arr), dtype=bool)
+    survivors_by_sub: List[Tuple[int, ...]] = [()] * graph.num_subproblems
+    solver_arrays = graph.solver_id_arrays()
+    dependent_arrays = graph.dependent_id_arrays()
+    for sub_id in graph.sub_order:
+        solvers = solver_arrays[sub_id]
+        alive = solvers[~removed[solvers]] if solvers.size else solvers
+        survivors_by_sub[sub_id] = tuple(alive.tolist())
+        dependents = dependent_arrays[sub_id]
+        if not alive.size:
+            # No way to solve this subproblem: every candidate that depends
+            # on it is removed from the graph.
+            if dependents.size:
+                removed[dependents] = True
+            continue
+        if not dependents.size:
+            continue
+        # e(p, p') = parent_part(p) ⊕ child_part(p'); min distributes over
+        # ⊕, so minimise over solvers once and fold per dependent.
+        best_child = combine(weight_arr[alive], child_arr[alive]).min()
+        live = dependents[~removed[dependents]]
+        if live.size:
+            weight_arr[live] = combine(
+                weight_arr[live], combine(parent_arr[live], best_child)
+            )
+    return weight_arr.tolist(), bytearray(removed.tobytes()), survivors_by_sub
+
+
+def _result_with_late_prune(
+    graph, weights, removed, survivors_by_sub
+) -> EvaluationResult:
+    """Drop candidates removed after their subproblem's survivor list was
+    already recorded (a candidate can be pruned late through one of its
+    *other* subproblems; filter defensively so downstream code never sees
+    pruned nodes)."""
     survivors_by_sub = [
         alive
         if all(not removed[c] for c in alive)

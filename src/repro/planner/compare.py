@@ -27,7 +27,11 @@ from repro.db.database import Database
 from repro.db.executor import ExecutionResult
 from repro.exceptions import PlanningError
 from repro.planner.baseline import baseline_plan
-from repro.planner.cost_k_decomp import cost_k_decomp
+from repro.planner.cost_k_decomp import (
+    CostPlanningFamily,
+    cost_k_decomp,
+    planning_family,
+)
 from repro.planner.plans import HypertreePlan, JoinOrderPlan
 from repro.query.conjunctive import ConjunctiveQuery
 
@@ -168,9 +172,18 @@ def measure_structural(
     k: int,
     completion: str = "fresh",
     budget: Optional[int] = None,
+    family: Optional[CostPlanningFamily] = None,
 ) -> PlanMeasurement:
-    """Plan with cost-k-decomp for one ``k`` and execute."""
-    plan: HypertreePlan = cost_k_decomp(query, database.statistics, k, completion=completion)
+    """Plan with cost-k-decomp for one ``k`` and execute.
+
+    ``family`` (see :func:`repro.planner.cost_k_decomp.planning_family`)
+    lets a k-sweep share incremental candidates graphs and warm cost-model
+    memos; the per-``k`` planning time still includes that call's share of
+    the incremental construction.
+    """
+    plan: HypertreePlan = cost_k_decomp(
+        query, database.statistics, k, completion=completion, family=family
+    )
     return _execute_and_measure(
         plan, database, f"cost-{k}-decomp", budget, width=plan.width,
         weighting=plan.weighting,
@@ -194,10 +207,12 @@ def compare_planners(
     """
     baseline_measurement = measure_baseline(query, database, budget=budget)
     report = ComparisonReport(query_name=query.name, baseline=baseline_measurement)
+    family = planning_family(query, database.statistics, completion=completion)
     for k in k_values:
         try:
             measurement = measure_structural(
-                query, database, k, completion=completion, budget=budget
+                query, database, k, completion=completion, budget=budget,
+                family=family,
             )
         except PlanningError:
             continue

@@ -22,10 +22,10 @@ Two details from the paper are handled here:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.db.statistics import CatalogStatistics
-from repro.decomposition.candidates import CandidatesGraph
+from repro.decomposition.candidates import CandidatesGraph, CandidatesGraphFamily
 from repro.decomposition.hypertree import DecompositionNode, HypertreeDecomposition
 from repro.decomposition.minimal import TieBreaker, minimal_k_decomp
 from repro.decomposition.normal_form import complete_decomposition
@@ -67,6 +67,64 @@ def _strip_fresh_variables(
     )
 
 
+class CostPlanningFamily:
+    """Shared planning state for several ``cost_k_decomp`` calls on one
+    (query, statistics, completion) triple -- the Fig. 8(A) k-sweep, the
+    doubling search of ``best_plan_over_k``, re-planning after a statistics
+    refresh at a new ``k``.
+
+    Holds the planned query (with its fresh completeness variables), its
+    hypergraph and bitset view, one :class:`QueryCostTAF` whose per-label
+    cost memos therefore persist across the sweep, and a
+    :class:`CandidatesGraphFamily` so each bound's candidates graph is
+    built incrementally from the previous one.  Construction does no
+    planning work; everything expensive happens inside the per-``k``
+    ``cost_k_decomp`` call (and is charged to its ``planning_seconds``).
+    """
+
+    __slots__ = ("query", "statistics", "completion", "planned_query",
+                 "hypergraph", "taf", "graphs")
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        statistics: CatalogStatistics,
+        completion: str = "fresh",
+    ) -> None:
+        if completion not in {"fresh", "post", "none"}:
+            raise PlanningError(f"unknown completion mode {completion!r}")
+        self.query = query
+        self.statistics = statistics
+        self.completion = completion
+        self.planned_query = (
+            query.with_fresh_head_variables() if completion == "fresh" else query
+        )
+        self.hypergraph = self.planned_query.hypergraph()
+        self.taf = QueryCostTAF(self.planned_query, statistics)
+        self.graphs = CandidatesGraphFamily(self.hypergraph)
+
+    def graph(self, k: int) -> CandidatesGraph:
+        return self.graphs.graph(k)
+
+    def matches(
+        self, query: ConjunctiveQuery, statistics: CatalogStatistics, completion: str
+    ) -> bool:
+        return (
+            self.query == query
+            and self.statistics is statistics
+            and self.completion == completion
+        )
+
+
+def planning_family(
+    query: ConjunctiveQuery,
+    statistics: CatalogStatistics,
+    completion: str = "fresh",
+) -> CostPlanningFamily:
+    """A reusable :class:`CostPlanningFamily` for k-sweeps over one query."""
+    return CostPlanningFamily(query, statistics, completion=completion)
+
+
 def cost_k_decomp(
     query: ConjunctiveQuery,
     statistics: CatalogStatistics,
@@ -74,6 +132,7 @@ def cost_k_decomp(
     completion: str = "fresh",
     tie_breaker: Optional[TieBreaker] = None,
     graph: Optional[CandidatesGraph] = None,
+    family: Optional[CostPlanningFamily] = None,
 ) -> HypertreePlan:
     """Compute the minimal-cost width-``k`` normal-form plan for ``query``.
 
@@ -98,6 +157,12 @@ def cost_k_decomp(
         completed query's hypergraph under ``completion="fresh"``), e.g.
         when re-planning the same query against several catalogs.  Must
         match the hypergraph being decomposed.
+    family:
+        A :class:`CostPlanningFamily` (see :func:`planning_family`) shared
+        across several ``k``: the candidates graph is then built
+        incrementally from the family's largest smaller bound, and the
+        family's single TAF keeps its cost-model memos warm across the
+        sweep.  Mutually exclusive with ``graph``.
 
     Raises
     ------
@@ -106,11 +171,32 @@ def cost_k_decomp(
     """
     if completion not in {"fresh", "post", "none"}:
         raise PlanningError(f"unknown completion mode {completion!r}")
+    if family is not None:
+        if graph is not None:
+            raise PlanningError("pass either graph= or family=, not both")
+        if not family.matches(query, statistics, completion):
+            raise PlanningError(
+                "the supplied planning family was built for a different "
+                "query, statistics or completion mode"
+            )
 
     started = time.perf_counter()
-    planned_query = query.with_fresh_head_variables() if completion == "fresh" else query
-    hypergraph = planned_query.hypergraph()
-    taf = QueryCostTAF(planned_query, statistics)
+    if family is not None:
+        planned_query = family.planned_query
+        hypergraph = family.hypergraph
+        taf = family.taf
+        # Incremental (k-prefix-sharing) construction; charged to this
+        # call's planning time, like the fresh construction would be.
+        graph = family.graph(k)
+    else:
+        planned_query = (
+            query.with_fresh_head_variables() if completion == "fresh" else query
+        )
+        hypergraph = planned_query.hypergraph()
+        taf = QueryCostTAF(planned_query, statistics)
+    # Mask-space weight functions keep the whole evaluation fold on integer
+    # masks (translated once per distinct label through the graph's bitset).
+    taf.bind_mask_space((graph.bitset if graph is not None else hypergraph.bitset()))
 
     try:
         decomposition = minimal_k_decomp(
@@ -151,18 +237,24 @@ def cost_k_decomp(
 def best_plan_over_k(
     query: ConjunctiveQuery,
     statistics: CatalogStatistics,
-    k_values,
+    k_values: Sequence[int],
     completion: str = "fresh",
 ) -> Dict[int, HypertreePlan]:
     """Plans for several width bounds (the Fig. 8(A) sweep ``k = 2..5``).
 
-    Returns a dict ``k -> plan``; values of ``k`` below the query's hypertree
-    width are silently skipped (planning fails there by definition).
+    The sweep shares one :class:`CostPlanningFamily`, so every candidates
+    graph after the first is built incrementally and the cost-model memos
+    stay warm across bounds.  Returns a dict ``k -> plan``; values of ``k``
+    below the query's hypertree width are silently skipped (planning fails
+    there by definition).
     """
+    family = planning_family(query, statistics, completion=completion)
     plans: Dict[int, HypertreePlan] = {}
     for k in k_values:
         try:
-            plans[k] = cost_k_decomp(query, statistics, k, completion=completion)
+            plans[k] = cost_k_decomp(
+                query, statistics, k, completion=completion, family=family
+            )
         except PlanningError:
             continue
     if not plans:

@@ -67,16 +67,29 @@ class QueryCostTAF(TreeAggregationFunction):
         )
 
     # ------------------------------------------------------------------
-    def _vertex_cost(self, node: DecompositionNode) -> float:
-        """``v*(p)``: estimated cost of evaluating ``E(p)``."""
-        key = (node.lambda_edges, node.chi)
+    def _cost_for_labels(self, lambda_edges, chi) -> float:
+        key = (lambda_edges, chi)
         cached = self._cost_by_labels.get(key)
         if cached is None:
             cached = self.estimator.node_expression_cost(
-                sorted(node.lambda_edges), sorted(node.chi)
+                sorted(lambda_edges), sorted(chi)
             )
             self._cost_by_labels[key] = cached
         return cached
+
+    def _estimate_for_labels(self, lambda_edges, chi) -> float:
+        key = (lambda_edges, chi)
+        cached = self._estimate_by_labels.get(key)
+        if cached is None:
+            cached = self.estimator.projection_cardinality(
+                sorted(lambda_edges), sorted(chi)
+            )
+            self._estimate_by_labels[key] = cached
+        return cached
+
+    def _vertex_cost(self, node: DecompositionNode) -> float:
+        """``v*(p)``: estimated cost of evaluating ``E(p)``."""
+        return self._cost_for_labels(node.lambda_edges, node.chi)
 
     def _edge_cost(self, parent: DecompositionNode, child: DecompositionNode) -> float:
         """``e*(p, p')``: estimated cost of the semijoin ``E(p) ⋉ E(p')``."""
@@ -90,14 +103,59 @@ class QueryCostTAF(TreeAggregationFunction):
     # ------------------------------------------------------------------
     def node_estimate(self, node: DecompositionNode) -> float:
         """The estimated output cardinality of ``E(p)`` (used for reporting)."""
-        key = (node.lambda_edges, node.chi)
-        cached = self._estimate_by_labels.get(key)
-        if cached is None:
-            cached = self.estimator.projection_cardinality(
-                sorted(node.lambda_edges), sorted(node.chi)
-            )
-            self._estimate_by_labels[key] = cached
-        return cached
+        return self._estimate_for_labels(node.lambda_edges, node.chi)
+
+    # ------------------------------------------------------------------
+    def bind_mask_space(self, bitset) -> None:
+        """Attach mask-space weight functions translating through
+        ``bitset`` (a :class:`~repro.core.bitset_hypergraph.BitsetHypergraph`
+        of the hypergraph being decomposed).
+
+        The cost model authoritatively speaks in atom *names*, so the mask
+        functions memoise per ``(λ mask, χ mask)`` int pair and fall through
+        to the name-keyed memos on a miss -- each distinct label pair is
+        estimated once, each distinct mask pair translated once, and the
+        evaluation phase never materialises a string-labelled node.  Safe to
+        call repeatedly with the same bitset (a planner family shares one
+        TAF across its whole k-sweep, so the memos carry over); rebinding to
+        a different bitset resets only the mask-keyed layer.
+        """
+        if getattr(self, "_mask_bitset", None) is bitset:
+            return
+        self._mask_bitset = bitset
+        edge_names = bitset.edge_names
+        vertex_names = bitset.vertex_names
+        cost_memo: dict = {}
+        estimate_memo: dict = {}
+        cost_for_labels = self._cost_for_labels
+        estimate_for_labels = self._estimate_for_labels
+
+        def mask_vertex_cost(lambda_mask: int, chi_mask: int) -> float:
+            key = (lambda_mask, chi_mask)
+            cached = cost_memo.get(key)
+            if cached is None:
+                cached = cost_for_labels(
+                    edge_names(lambda_mask), vertex_names(chi_mask)
+                )
+                cost_memo[key] = cached
+            return cached
+
+        def mask_estimate(lambda_mask: int, chi_mask: int) -> float:
+            key = (lambda_mask, chi_mask)
+            cached = estimate_memo.get(key)
+            if cached is None:
+                cached = estimate_for_labels(
+                    edge_names(lambda_mask), vertex_names(chi_mask)
+                )
+                estimate_memo[key] = cached
+            return cached
+
+        self.mask_vertex_weight = mask_vertex_cost
+        # e*(p, p') = |E(p)| + |E(p')| stays separable in mask space; one
+        # shared part function means the evaluation phase computes each
+        # candidate's estimate a single time.
+        self.mask_edge_parent_part = mask_estimate
+        self.mask_edge_child_part = mask_estimate
 
 
 def query_cost_taf(
