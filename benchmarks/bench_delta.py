@@ -9,8 +9,17 @@ trajectory::
 
     python benchmarks/bench_delta.py
 
+Rows whose ``extra`` carries a ``peak_rss_kb`` measurement (the
+memory-bounded execution benches record it via ``resource.getrusage``)
+get a peak-RSS column; note ``ru_maxrss`` is a process-lifetime high-water
+mark, so within one session it can only grow -- it is an upper bound per
+bench, meaningful across sessions.
+
 Exit status is always 0 -- the table is for eyeballs (CI perf gating on
 shared runners would be noise); regressions are made *visible*, not fatal.
+With fewer than two recorded run sessions there is nothing to compare
+yet, and the script says so instead of printing a table of ``(new)``
+placeholders.
 """
 
 from __future__ import annotations
@@ -42,36 +51,64 @@ def bench_key(row) -> str:
     return f"{row.get('bench', '?')}{{{inner}}}"
 
 
+def peak_rss_kb(row):
+    extra = row.get("extra") or {}
+    value = extra.get("peak_rss_kb")
+    return value if isinstance(value, (int, float)) else None
+
+
+def _format_rss(value) -> str:
+    return f"{value / 1024:.0f}M" if value is not None else "-"
+
+
 def delta_table(rows) -> str:
     if not rows:
         return "BENCH_core.json is empty or missing -- nothing to compare."
+    distinct_runs = {run_key(row) for row in rows}
+    if len(distinct_runs) < 2:
+        return (
+            f"BENCH_core.json holds only {len(distinct_runs)} recorded run "
+            "session -- a delta needs at least two.  Run the benchmarks "
+            "(pytest benchmarks/) once more, or compare after the next "
+            "commit's CI run."
+        )
     history: dict = {}
+    any_rss = False
     for row in rows:
         seconds = row.get("seconds")
         if isinstance(seconds, (int, float)):
-            history.setdefault(bench_key(row), []).append((run_key(row), seconds))
+            rss = peak_rss_kb(row)
+            any_rss = any_rss or rss is not None
+            history.setdefault(bench_key(row), []).append(
+                (run_key(row), seconds, rss)
+            )
+    rss_header = f" {'peak RSS':>9}" if any_rss else ""
     lines = [
-        f"{'benchmark':<76} {'previous':>12} {'latest':>12} {'delta':>8}  previous run"
+        f"{'benchmark':<76} {'previous':>12} {'latest':>12} {'delta':>8}"
+        f"{rss_header}  previous run"
     ]
     for name in sorted(history):
         entries = history[name]
-        latest_run, latest = entries[-1]
+        latest_run, latest, latest_rss = entries[-1]
+        rss_cell = f" {_format_rss(latest_rss):>9}" if any_rss else ""
         previous = next(
             (
                 (run, seconds)
-                for run, seconds in reversed(entries)
+                for run, seconds, _ in reversed(entries)
                 if run != latest_run
             ),
             None,
         )
         if previous is None:
-            lines.append(f"{name:<76} {'-':>12} {latest:>12.3f} {'-':>8}  (new)")
+            lines.append(
+                f"{name:<76} {'-':>12} {latest:>12.3f} {'-':>8}{rss_cell}  (new)"
+            )
             continue
         (previous_ts, _), previous_seconds = previous
         change = (latest - previous_seconds) / previous_seconds * 100.0
         lines.append(
             f"{name:<76} {previous_seconds:>12.3f} {latest:>12.3f} "
-            f"{change:+7.1f}%  {previous_ts[:19]}"
+            f"{change:+7.1f}%{rss_cell}  {previous_ts[:19]}"
         )
     lines.append(
         "(negative delta = faster than the previous recorded run; '(new)' = "

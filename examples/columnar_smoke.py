@@ -7,9 +7,12 @@ and executes both plans through the shared plan-node IR on the columnar
 engine.  The run asserts that
 
 * both plans return the same answer (the correctness cross-check of the
-  Fig. 8 comparisons), and
+  Fig. 8 comparisons),
 * the columnar engine's work counters match the row-based reference engine
-  byte for byte on the same data.
+  byte for byte on the same data, and
+* the parallel, memory-bounded execution plane (``threads=4`` plus a small
+  per-kernel memory budget) returns byte-identical answers and counters to
+  the serial unbounded run.
 
 Run with::
 
@@ -64,8 +67,26 @@ def main() -> None:
             "work counters differ between engines"
         )
 
+    # Serial vs the parallel, memory-bounded plane: same plans, same
+    # database, threads=4 and a 64 KiB kernel budget -- answers and every
+    # counter must be byte-identical to the serial unbounded run.
+    for plan, serial_result in (
+        (baseline, baseline_result),
+        (structural, structural_result),
+    ):
+        parallel_result = plan.to_ir().execute(
+            database, budget=budget, threads=4, memory_budget_bytes=64 * 1024
+        )
+        assert parallel_result.cardinality == serial_result.cardinality, (
+            "parallel plane changed the answer"
+        )
+        assert parallel_result.stats.snapshot() == serial_result.stats.snapshot(), (
+            "parallel plane changed the work counters"
+        )
+
     print()
-    print("OK: both planners agree and the engines' work counters are identical.")
+    print("OK: both planners agree, the engines' work counters are identical,")
+    print("and the parallel memory-bounded plane matches the serial run.")
 
 
 if __name__ == "__main__":

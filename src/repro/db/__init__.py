@@ -22,6 +22,7 @@ from repro.db.database import Database
 from repro.db.algebra import (
     OperatorStats,
     cartesian_product,
+    chunk_rows_for_budget,
     evaluate_node_expression,
     join_all,
     natural_join,
@@ -29,6 +30,7 @@ from repro.db.algebra import (
     select,
     semijoin,
 )
+from repro.db.scheduler import TaskScheduler
 from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean, semijoin_reduce
 from repro.db.plan_ir import (
     JoinNode,
@@ -77,7 +79,9 @@ __all__ = [
     "analyze_relation",
     "Database",
     "OperatorStats",
+    "TaskScheduler",
     "cartesian_product",
+    "chunk_rows_for_budget",
     "evaluate_node_expression",
     "join_all",
     "natural_join",

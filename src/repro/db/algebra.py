@@ -14,6 +14,7 @@ what lets the Fig. 8 comparisons be reproduced deterministically.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -71,6 +72,23 @@ class OperatorStats:
     operator invocations by kind.  A non-``None`` ``budget`` turns the
     accumulator into a watchdog: exceeding it raises
     :class:`EvaluationBudgetExceeded`.
+
+    The accumulator is **thread-safe**: the parallel executor shares one
+    instance across all subtree tasks and every counter update commutes
+    (sums, per-key sums, a max), so the final numbers are deterministic and
+    identical to the serial run no matter how tasks interleave.  The budget
+    watchdog keeps its guarantee too: because counters only grow and each
+    operator pre-checks the work it is about to add, an execution raises
+    :class:`EvaluationBudgetExceeded` (in *some* task) exactly when the
+    completed run's total would exceed the budget -- only ``work_so_far`` at
+    raise time depends on scheduling.
+
+    ``peak_transient_elements`` is the memory-bounding diagnostic: the
+    largest batch of transient int64 index elements any single columnar
+    kernel invocation materialised (see the accounting constants in
+    :mod:`repro.db.columnar`).  It is deliberately *not* part of
+    :meth:`snapshot` -- work counters stay representation-blind, peak
+    memory is exactly what the chunked kernels are allowed to change.
     """
 
     tuples_read: int = 0
@@ -78,20 +96,36 @@ class OperatorStats:
     intermediate_tuples: int = 0
     operations: Dict[str, int] = field(default_factory=dict)
     budget: Optional[int] = None
+    peak_transient_elements: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, operator: str, read: int, emitted: int) -> None:
-        self.tuples_read += read
-        self.tuples_emitted += emitted
-        self.intermediate_tuples += emitted
-        self.operations[operator] = self.operations.get(operator, 0) + 1
-        if self.budget is not None and self.total_work > self.budget:
-            raise EvaluationBudgetExceeded(self.total_work, self.budget)
+        with self._lock:
+            self.tuples_read += read
+            self.tuples_emitted += emitted
+            self.intermediate_tuples += emitted
+            self.operations[operator] = self.operations.get(operator, 0) + 1
+            if self.budget is not None and self.total_work > self.budget:
+                raise EvaluationBudgetExceeded(self.total_work, self.budget)
 
     def check(self, extra: int) -> None:
         """Raise if the work done so far plus ``extra`` pending tuples would
         exceed the budget (lets long-running operators abort mid-flight)."""
-        if self.budget is not None and self.total_work + extra > self.budget:
-            raise EvaluationBudgetExceeded(self.total_work + extra, self.budget)
+        if self.budget is None:
+            return
+        with self._lock:
+            if self.total_work + extra > self.budget:
+                raise EvaluationBudgetExceeded(self.total_work + extra, self.budget)
+
+    def note_transient(self, elements: int) -> None:
+        """Record the transient index-element footprint of one kernel batch
+        (columnar kernels only; a max, so merging and threading commute)."""
+        if elements > self.peak_transient_elements:
+            with self._lock:
+                if elements > self.peak_transient_elements:
+                    self.peak_transient_elements = elements
 
     @property
     def total_work(self) -> int:
@@ -104,6 +138,8 @@ class OperatorStats:
         self.intermediate_tuples += other.intermediate_tuples
         for key, value in other.operations.items():
             self.operations[key] = self.operations.get(key, 0) + value
+        if other.peak_transient_elements > self.peak_transient_elements:
+            self.peak_transient_elements = other.peak_transient_elements
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -112,6 +148,27 @@ class OperatorStats:
             "intermediate_tuples": self.intermediate_tuples,
             "total_work": self.total_work,
         }
+
+
+#: Transient int64 words the chunked join kernel allocates per morsel row
+#: (5 emit-sized index arrays + 3 probe-sized range arrays, rounded up for
+#: slack) -- the constant that converts a byte budget into ``chunk_rows``.
+_CHUNK_WORDS_PER_ROW = 16
+
+#: Smallest useful morsel: below this the per-chunk Python overhead swamps
+#: any memory saving.
+_MIN_CHUNK_ROWS = 32
+
+
+def chunk_rows_for_budget(memory_budget_bytes: Optional[int]) -> Optional[int]:
+    """Translate a per-query memory budget into the morsel size the chunked
+    columnar kernels use.  ``None`` and non-positive values both mean
+    unbounded (the single-batch oracle kernels) -- the same normalisation
+    :class:`~repro.db.database.Database` applies to its knob, so ``0``
+    disables the budget at every entry point."""
+    if memory_budget_bytes is None or memory_budget_bytes <= 0:
+        return None
+    return max(_MIN_CHUNK_ROWS, int(memory_budget_bytes) // (8 * _CHUNK_WORDS_PER_ROW))
 
 
 def _shared_attributes(left: Relation, right: Relation) -> Tuple[str, ...]:
@@ -124,6 +181,7 @@ def natural_join(
     stats: Optional[OperatorStats] = None,
     name: Optional[str] = None,
     keep=None,
+    chunk_rows: Optional[int] = None,
 ) -> Relation:
     """Hash-based natural join on all shared attributes.
 
@@ -137,9 +195,15 @@ def natural_join(
     ignores it -- its materialisation is per-tuple anyway -- which is safe
     because ``keep`` never changes join semantics, cardinalities or stats,
     only which columns the columnar result carries.
+
+    ``chunk_rows`` is the memory-bounding morsel size, honoured by the
+    columnar kernel only (the row engine materialises per tuple and needs
+    no bounding); like ``keep`` it never changes results or stats.
     """
     if _columnar_pair(left, right):
-        return columnar_natural_join(left, right, stats=stats, name=name, keep=keep)
+        return columnar_natural_join(
+            left, right, stats=stats, name=name, keep=keep, chunk_rows=chunk_rows
+        )
     shared = _shared_attributes(left, right)
     right_extra = [a for a in right.attributes if a not in shared]
     out_attributes = left.attributes + tuple(right_extra)
@@ -183,6 +247,7 @@ def join_all(
     stats: Optional[OperatorStats] = None,
     order: Optional[Sequence[int]] = None,
     needed: Optional[Iterable[str]] = None,
+    chunk_rows: Optional[int] = None,
 ) -> Relation:
     """Join a list of relations left-to-right (optionally in a given order).
 
@@ -201,7 +266,7 @@ def join_all(
         stats.record("scan", result.cardinality, result.cardinality)
     if needed is None:
         for relation in sequence[1:]:
-            result = natural_join(result, relation, stats=stats)
+            result = natural_join(result, relation, stats=stats, chunk_rows=chunk_rows)
         return result
     # suffix_attrs[i]: attributes of sequence[i+1:], i.e. what later joins
     # may still match on after step i.
@@ -213,7 +278,11 @@ def join_all(
     needed_set = frozenset(needed)
     for index, relation in enumerate(sequence[1:], start=1):
         result = natural_join(
-            result, relation, stats=stats, keep=needed_set | suffix_attrs[index]
+            result,
+            relation,
+            stats=stats,
+            keep=needed_set | suffix_attrs[index],
+            chunk_rows=chunk_rows,
         )
     return result
 
@@ -222,11 +291,13 @@ def semijoin(
     left: Relation,
     right: Relation,
     stats: Optional[OperatorStats] = None,
+    chunk_rows: Optional[int] = None,
 ) -> Relation:
     """``left ⋉ right``: the rows of ``left`` that join with some row of
-    ``right`` (on the shared attributes)."""
+    ``right`` (on the shared attributes).  ``chunk_rows`` bounds the
+    columnar membership test's transient arrays (row engine: ignored)."""
     if _columnar_pair(left, right):
-        return columnar_semijoin(left, right, stats=stats)
+        return columnar_semijoin(left, right, stats=stats, chunk_rows=chunk_rows)
     if stats is not None:
         stats.check(left.cardinality + right.cardinality)
     shared = _shared_attributes(left, right)
@@ -255,6 +326,7 @@ def project(
     stats: Optional[OperatorStats] = None,
     name: Optional[str] = None,
     distinct: bool = True,
+    chunk_rows: Optional[int] = None,
 ) -> Relation:
     """``Π_attributes(relation)``.
 
@@ -265,7 +337,12 @@ def project(
     """
     if ColumnarRelation is not None and isinstance(relation, ColumnarRelation):
         return columnar_project(
-            relation, attributes, stats=stats, name=name, distinct=distinct
+            relation,
+            attributes,
+            stats=stats,
+            name=name,
+            distinct=distinct,
+            chunk_rows=chunk_rows,
         )
     wanted = [a for a in attributes if a in relation.attributes]
     positions = [relation.position(a) for a in wanted]
@@ -313,6 +390,7 @@ def evaluate_node_expression(
     relations: Sequence[Relation],
     projection: Sequence[str],
     stats: Optional[OperatorStats] = None,
+    chunk_rows: Optional[int] = None,
 ) -> Relation:
     """The paper's per-node expression ``E(p) = Π_{χ(p)} ⋈_{h ∈ λ(p)} rel(h)``.
 
@@ -322,5 +400,7 @@ def evaluate_node_expression(
     projection drops are never gathered (work counters unchanged).
     """
     ordered = sorted(range(len(relations)), key=lambda i: relations[i].cardinality)
-    joined = join_all(relations, stats=stats, order=ordered, needed=projection)
-    return project(joined, projection, stats=stats)
+    joined = join_all(
+        relations, stats=stats, order=ordered, needed=projection, chunk_rows=chunk_rows
+    )
+    return project(joined, projection, stats=stats, chunk_rows=chunk_rows)

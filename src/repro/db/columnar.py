@@ -34,12 +34,23 @@ dictionary (a list index per id -- each distinct value is decoded exactly
 once, at interning time) and caches the materialised tuples, so the
 row-based surface the rest of the library sees is unchanged.
 
+Every kernel accepts an optional ``chunk_rows``: the probe/filter side is
+then processed in fixed-size morsels (and materialisation in emit-bounded
+chunks), so no kernel ever holds more than O(``chunk_rows``) transient
+index elements at once -- results, emit counts, budget-stop behaviour and
+``OperatorStats`` are **byte-identical** to the unchunked path, only the
+peak size of the intermediate index arrays changes.  Callers derive
+``chunk_rows`` from a memory budget via
+:func:`repro.db.algebra.chunk_rows_for_budget`; ``None`` (the default)
+keeps the historical single-batch kernels, which remain the oracle.
+
 The module requires numpy; :mod:`repro.db.database` degrades to the
 row-based engine when it is unavailable.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -81,6 +92,7 @@ class ColumnarRelation(Relation):
         "_base_length",
         "_positions",
         "_decoded",
+        "_known_distinct",
     )
 
     def __init__(
@@ -122,8 +134,13 @@ class ColumnarRelation(Relation):
         self._base_length = base_length
         self._positions = {a: i for i, a in enumerate(attrs)}
         self._decoded: Optional[Tuple[Row, ...]] = None
+        # Set by distinct()/project-distinct: the logical rows are known to
+        # be duplicate-free, which lets a semijoin pick np.isin's sort-based
+        # algorithm without re-deriving distinctness.
+        self._known_distinct = False
         self._rows = None  # unused; the decoded cache lives in _decoded
         self._index_cache = OrderedDict()
+        self._index_lock = threading.Lock()
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -215,7 +232,7 @@ class ColumnarRelation(Relation):
 
     def distinct(self, name: Optional[str] = None) -> "ColumnarRelation":
         selection = _distinct_selection(self, self.attributes)
-        return ColumnarRelation(
+        result = ColumnarRelation(
             name or self.name,
             self.attributes,
             self.dictionary,
@@ -223,12 +240,14 @@ class ColumnarRelation(Relation):
             selection,
             self._base_length,
         )
+        result._known_distinct = True
+        return result
 
     def rename(
         self, mapping: Dict[str, str], name: Optional[str] = None
     ) -> "ColumnarRelation":
         new_attrs = [mapping.get(a, a) for a in self.attributes]
-        return ColumnarRelation(
+        result = ColumnarRelation(
             name or self.name,
             new_attrs,
             self.dictionary,
@@ -236,6 +255,8 @@ class ColumnarRelation(Relation):
             self._selection,
             self._base_length,
         )
+        result._known_distinct = self._known_distinct
+        return result
 
     def with_rows(
         self, rows: Iterable[Sequence[Value]], name: Optional[str] = None
@@ -319,7 +340,34 @@ def _combine_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
     return keys
 
 
-def _local_keys(relation: ColumnarRelation, attrs: Sequence[str]) -> np.ndarray:
+def _shift_pack(
+    columns: Sequence[np.ndarray], width: int, chunk_rows: Optional[int] = None
+) -> np.ndarray:
+    """Fold id columns into one key per row by shift-and-or.  With
+    ``chunk_rows`` the fold runs over morsels into a preallocated output, so
+    the per-step temporaries are morsel-sized instead of column-sized; the
+    resulting keys are byte-identical."""
+    length = columns[0].shape[0]
+    if chunk_rows is None or length <= chunk_rows:
+        keys = columns[0]
+        for col in columns[1:]:
+            keys = (keys << width) | col
+        return keys
+    out = np.empty(length, dtype=np.int64)
+    for start in range(0, length, chunk_rows):
+        stop = min(start + chunk_rows, length)
+        keys = columns[0][start:stop]
+        for col in columns[1:]:
+            keys = (keys << width) | col[start:stop]
+        out[start:stop] = keys
+    return out
+
+
+def _local_keys(
+    relation: ColumnarRelation,
+    attrs: Sequence[str],
+    chunk_rows: Optional[int] = None,
+) -> np.ndarray:
     """One int64 key per logical row over ``attrs`` (keys comparable only
     within this relation)."""
     cols = relation._gathered(attrs)
@@ -332,25 +380,29 @@ def _local_keys(relation: ColumnarRelation, attrs: Sequence[str]) -> np.ndarray:
     # surrogates) never pushes a narrow key off the shift fast path.
     width = max(_column_bits([col]) for col in cols[1:])
     if _column_bits([cols[0]]) + width * (len(cols) - 1) <= _PACK_BITS:
-        keys = cols[0]
-        for col in cols[1:]:
-            keys = (keys << width) | col
-        return keys
+        return _shift_pack(cols, width, chunk_rows)
     return _combine_columns(cols)
 
 
-def _distinct_selection(relation: ColumnarRelation, attrs: Sequence[str]) -> np.ndarray:
+def _distinct_selection(
+    relation: ColumnarRelation,
+    attrs: Sequence[str],
+    chunk_rows: Optional[int] = None,
+) -> np.ndarray:
     """The base indices of the first occurrence of every distinct ``attrs``
     combination, in row order -- the shared dedup kernel behind
     ``distinct()`` and project-distinct."""
-    keys = _local_keys(relation, attrs)
+    keys = _local_keys(relation, attrs, chunk_rows=chunk_rows)
     _, first = np.unique(keys, return_index=True)
     first.sort()
     return relation._row_indices()[first]
 
 
 def _joint_keys(
-    left: ColumnarRelation, right: ColumnarRelation, shared: Sequence[str]
+    left: ColumnarRelation,
+    right: ColumnarRelation,
+    shared: Sequence[str],
+    chunk_rows: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Int64 keys for the shared columns of two relations, built from one
     packing so equal rows get equal keys on both sides."""
@@ -371,12 +423,10 @@ def _joint_keys(
     )
     lead = _column_bits([left_cols[0], right_cols[0]])
     if lead + width * (len(shared) - 1) <= _PACK_BITS:
-        left_keys = left_cols[0]
-        right_keys = right_cols[0]
-        for lcol, rcol in zip(left_cols[1:], right_cols[1:]):
-            left_keys = (left_keys << width) | lcol
-            right_keys = (right_keys << width) | rcol
-        return left_keys, right_keys
+        return (
+            _shift_pack(left_cols, width, chunk_rows),
+            _shift_pack(right_cols, width, chunk_rows),
+        )
     # Too wide for a shift pack: combine over the concatenation so the
     # data-dependent densify steps are shared by both sides.
     split = left.cardinality
@@ -399,6 +449,7 @@ def columnar_natural_join(
     stats=None,
     name: Optional[str] = None,
     keep=None,
+    chunk_rows: Optional[int] = None,
 ) -> ColumnarRelation:
     """Sort-and-probe hash-equivalent join on int64 keys.
 
@@ -415,6 +466,16 @@ def columnar_natural_join(
     ``OperatorStats`` count are unaffected -- callers must keep every
     attribute that later operators (joins on shared variables, the final
     projection) still need.
+
+    ``chunk_rows`` bounds peak memory: the probe side is range-probed in
+    fixed-size morsels and the match indices are materialised in
+    emit-bounded chunks straight into the preallocated output columns, so
+    the transient index arrays (``starts``/``within``/``matched``/...) hold
+    O(``chunk_rows``) elements instead of O(emitted).  The per-morsel emit
+    counts sum to exactly the unchunked total *before* anything is
+    materialised, so the budget stop, the output (values **and** row
+    order) and all ``OperatorStats`` counters are byte-identical to the
+    unchunked path.
     """
     positions = right._positions
     shared = tuple(a for a in left.attributes if a in positions)
@@ -431,7 +492,23 @@ def columnar_natural_join(
     if stats is not None:
         stats.check(reads)
 
-    left_keys, right_keys = _joint_keys(left, right, shared)
+    if left.cardinality == 0 or right.cardinality == 0:
+        # Degenerate fast path: an empty side means an empty join -- skip
+        # key packing, the sort and both searchsorted probes entirely.  The
+        # emit count (0) and hence every OperatorStats number match the
+        # full kernel on the same inputs.
+        result = ColumnarRelation(
+            name or f"({left.name}⋈{right.name})",
+            out_attributes,
+            left.dictionary,
+            [np.empty(0, dtype=np.int64) for _ in out_attributes],
+            base_length=0,
+        )
+        if stats is not None:
+            stats.record("join", reads, 0)
+        return result
+
+    left_keys, right_keys = _joint_keys(left, right, shared, chunk_rows=chunk_rows)
     if left.cardinality <= right.cardinality:
         build, build_keys, probe, probe_keys = left, left_keys, right, right_keys
         build_is_left = True
@@ -441,31 +518,99 @@ def columnar_natural_join(
 
     order = np.argsort(build_keys, kind="stable")
     sorted_keys = build_keys[order]
-    lo = np.searchsorted(sorted_keys, probe_keys, side="left")
-    hi = np.searchsorted(sorted_keys, probe_keys, side="right")
-    counts = hi - lo
+    probe_card = probe.cardinality
+
+    if chunk_rows is not None and probe_card > chunk_rows:
+        # Morsel-wise probe: each morsel runs the same searchsorted kernel;
+        # only the full lo/counts arrays (input-sized, as in the unchunked
+        # path) survive the pass.
+        lo = np.empty(probe_card, dtype=np.int64)
+        counts = np.empty(probe_card, dtype=np.int64)
+        for start in range(0, probe_card, chunk_rows):
+            stop = min(start + chunk_rows, probe_card)
+            morsel = probe_keys[start:stop]
+            morsel_lo = np.searchsorted(sorted_keys, morsel, side="left")
+            lo[start:stop] = morsel_lo
+            counts[start:stop] = (
+                np.searchsorted(sorted_keys, morsel, side="right") - morsel_lo
+            )
+    else:
+        lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+        counts = np.searchsorted(sorted_keys, probe_keys, side="right") - lo
     emitted = int(counts.sum())
     if stats is not None:
+        # Same stop point and same would-be total as the unchunked kernel:
+        # nothing has been materialised yet.
         stats.check(reads + emitted)
 
-    probe_idx = np.repeat(probe._row_indices(), counts)
-    # Expand every [lo, hi) range: start offset per output row plus its
-    # position within the range.
-    starts = np.repeat(lo, counts)
-    within = np.arange(emitted, dtype=np.int64) - np.repeat(
-        np.cumsum(counts) - counts, counts
-    )
-    matched = order[starts + within]
-    build_selection = build._selection
-    build_idx = matched if build_selection is None else build_selection[matched]
-
-    left_idx, right_idx = (
-        (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
-    )
     left_columns = left._columns
-    out_columns = [left_columns[left_positions[a]][left_idx] for a in out_left]
     right_columns = right._columns
-    out_columns += [right_columns[positions[a]][right_idx] for a in out_right]
+    # (source column, comes-from-left) per output attribute; gathering
+    # happens per materialisation batch below.
+    gather = [(left_columns[left_positions[a]], True) for a in out_left]
+    gather += [(right_columns[positions[a]], False) for a in out_right]
+    build_selection = build._selection
+    probe_rows = probe._row_indices()
+
+    if chunk_rows is None or emitted <= chunk_rows:
+        # Single-batch materialisation (the oracle path).
+        probe_idx = np.repeat(probe_rows, counts)
+        # Expand every [lo, hi) range: start offset per output row plus its
+        # position within the range.
+        starts = np.repeat(lo, counts)
+        within = np.arange(emitted, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        matched = order[starts + within]
+        build_idx = matched if build_selection is None else build_selection[matched]
+        left_idx, right_idx = (
+            (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
+        )
+        out_columns = [
+            column[left_idx if from_left else right_idx] for column, from_left in gather
+        ]
+        if stats is not None:
+            stats.note_transient(5 * emitted + 3 * probe_card)
+    else:
+        # Emit-bounded chunks: walk the probe rows so each chunk emits at
+        # most chunk_rows output rows (a single exploding probe row may
+        # exceed that on its own) and covers at most chunk_rows probe rows,
+        # writing the gathered ids straight into the preallocated output.
+        cum = np.cumsum(counts)
+        out_columns = [np.empty(emitted, dtype=np.int64) for _ in gather]
+        peak = 0
+        start_row = 0
+        offset = 0
+        while start_row < probe_card:
+            stop_row = int(np.searchsorted(cum, offset + chunk_rows, side="right"))
+            stop_row = max(stop_row, start_row + 1)
+            stop_row = min(stop_row, start_row + chunk_rows, probe_card)
+            chunk_counts = counts[start_row:stop_row]
+            chunk_emit = int(cum[stop_row - 1] - offset)
+            if chunk_emit:
+                starts = np.repeat(lo[start_row:stop_row], chunk_counts)
+                within = np.arange(chunk_emit, dtype=np.int64) - np.repeat(
+                    np.cumsum(chunk_counts) - chunk_counts, chunk_counts
+                )
+                matched = order[starts + within]
+                build_idx = (
+                    matched if build_selection is None else build_selection[matched]
+                )
+                probe_idx = np.repeat(probe_rows[start_row:stop_row], chunk_counts)
+                left_idx, right_idx = (
+                    (build_idx, probe_idx)
+                    if build_is_left
+                    else (probe_idx, build_idx)
+                )
+                for out_column, (column, from_left) in zip(out_columns, gather):
+                    out_column[offset : offset + chunk_emit] = column[
+                        left_idx if from_left else right_idx
+                    ]
+                peak = max(peak, 5 * chunk_emit + 3 * (stop_row - start_row))
+            offset += chunk_emit
+            start_row = stop_row
+        if stats is not None:
+            stats.note_transient(peak)
 
     result = ColumnarRelation(
         name or f"({left.name}⋈{right.name})",
@@ -480,23 +625,63 @@ def columnar_natural_join(
 
 
 def columnar_semijoin(
-    left: ColumnarRelation, right: ColumnarRelation, stats=None
+    left: ColumnarRelation,
+    right: ColumnarRelation,
+    stats=None,
+    chunk_rows: Optional[int] = None,
 ) -> ColumnarRelation:
     """``left ⋉ right`` as pure selection-vector filtering: an ``np.isin``
-    membership mask over the key column, no tuple ever materialised."""
+    membership mask over the key column, no tuple ever materialised.
+
+    An empty side short-circuits before any key is packed; a build side
+    known to be duplicate-free (project-distinct output) picks ``np.isin``'s
+    sort-based algorithm directly.  With ``chunk_rows`` the filter side is
+    probed in morsels against the once-sorted build keys, bounding the
+    transient membership arrays at O(``chunk_rows``); the mask -- and hence
+    the selection vector and all counters -- is byte-identical.
+    """
     shared = tuple(a for a in left.attributes if a in right._positions)
     reads = left.cardinality + right.cardinality
     if stats is not None:
         stats.check(reads)
-    if not shared:
+    if not shared or left.cardinality == 0 or right.cardinality == 0:
+        # No shared attribute, or a degenerate side: the semijoin keeps
+        # everything iff the right side is non-empty -- no key packing, no
+        # membership test.
         selection = (
             left._selection
             if right.cardinality
             else np.empty(0, dtype=np.int64)
         )
     else:
-        left_keys, right_keys = _joint_keys(left, right, shared)
-        mask = np.isin(left_keys, right_keys)
+        left_keys, right_keys = _joint_keys(left, right, shared, chunk_rows=chunk_rows)
+        filter_card = left_keys.shape[0]
+        if chunk_rows is not None and filter_card > chunk_rows:
+            sorted_right = np.sort(right_keys)
+            mask = np.empty(filter_card, dtype=bool)
+            for start in range(0, filter_card, chunk_rows):
+                stop = min(start + chunk_rows, filter_card)
+                morsel = left_keys[start:stop]
+                found = np.searchsorted(sorted_right, morsel, side="left")
+                hit = found < sorted_right.shape[0]
+                hit[hit] = sorted_right[found[hit]] == morsel[hit]
+                mask[start:stop] = hit
+            if stats is not None:
+                stats.note_transient(
+                    right_keys.shape[0] + 4 * min(chunk_rows, filter_card)
+                )
+        else:
+            # np.isin picks table- vs sort-based internally; when the build
+            # side is project-distinct output its keys are duplicate-free,
+            # so the sort-based merge is chosen outright.
+            kind = (
+                "sort"
+                if right._known_distinct and len(shared) == len(right.attributes)
+                else None
+            )
+            mask = np.isin(left_keys, right_keys, kind=kind)
+            if stats is not None:
+                stats.note_transient(2 * filter_card + right_keys.shape[0])
         selection = left._row_indices()[mask]
     result = ColumnarRelation(
         left.name,
@@ -517,16 +702,18 @@ def columnar_project(
     stats=None,
     name: Optional[str] = None,
     distinct: bool = True,
+    chunk_rows: Optional[int] = None,
 ) -> ColumnarRelation:
     """``Π_attributes`` as column subsetting; ``distinct`` deduplicates
-    packed keys into a first-occurrence selection vector."""
+    packed keys into a first-occurrence selection vector (the packed-key
+    builder honours ``chunk_rows``)."""
     positions = relation._positions
     wanted = [a for a in attributes if a in positions]
     columns = tuple(relation._columns[positions[a]] for a in wanted)
     if stats is not None:
         stats.check(relation.cardinality)
     if distinct:
-        selection = _distinct_selection(relation, wanted)
+        selection = _distinct_selection(relation, wanted, chunk_rows=chunk_rows)
     else:
         selection = relation._selection
     result = ColumnarRelation(
@@ -537,6 +724,8 @@ def columnar_project(
         selection,
         relation._base_length,
     )
+    if distinct:
+        result._known_distinct = True
     if stats is not None:
         stats.record("project", relation.cardinality, result.cardinality)
     return result

@@ -28,6 +28,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     ColumnarRelation = None  # type: ignore[assignment]
 from repro.db.dictionary import Dictionary
 from repro.db.relation import Relation
+from repro.db.scheduler import memory_budget_from_env, threads_from_env
 from repro.db.statistics import CatalogStatistics, analyze_relation
 from repro.exceptions import DatabaseError
 from repro.query.atoms import Atom, is_variable
@@ -35,7 +36,17 @@ from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
 
 
 class Database:
-    """A named collection of relations plus a statistics catalog."""
+    """A named collection of relations plus a statistics catalog.
+
+    ``threads`` and ``memory_budget_bytes`` are the execution-plane knobs
+    every plan run against this database inherits (overridable per
+    ``execute_plan`` call): the number of worker threads for the per-subtree
+    Yannakakis task DAG, and the cap on each columnar kernel's transient
+    index arrays.  When not given they default to the ``REPRO_DB_THREADS``
+    and ``REPRO_DB_MEMORY_BUDGET_BYTES`` environment variables (1 /
+    unbounded), so whole suites can be switched onto the parallel,
+    memory-bounded plane without touching call sites.
+    """
 
     def __init__(
         self,
@@ -44,9 +55,19 @@ class Database:
         name: str = "db",
         columnar: bool = True,
         dictionary: Optional[Dictionary] = None,
+        threads: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         self.name = name
         self.columnar = columnar
+        self.threads = (
+            threads_from_env(1) if threads is None else max(1, int(threads))
+        )
+        if memory_budget_bytes is None:
+            memory_budget_bytes = memory_budget_from_env(None)
+        elif memory_budget_bytes <= 0:
+            memory_budget_bytes = None
+        self.memory_budget_bytes = memory_budget_bytes
         self.dictionary = dictionary if dictionary is not None else Dictionary()
         self._relations: Dict[str, Relation] = {
             key: self._intern(relation) for key, relation in (relations or {}).items()

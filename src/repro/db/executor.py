@@ -13,6 +13,24 @@ by :func:`execute_plan`, so they run on the identical operator kernels
 directly comparable.  :func:`execute_hypertree_plan` and
 :func:`naive_join_evaluation` remain as the public entry points and report
 the work performed, which is what the Fig. 8 experiments measure.
+
+The execution plane is parallel and memory-bounded:
+
+* ``threads`` (per call, defaulting to the database's knob, defaulting to
+  the ``REPRO_DB_THREADS`` environment variable, defaulting to 1) runs the
+  per-subtree task DAG of a Yannakakis plan -- per-node expressions, both
+  semijoin passes, the join fold -- on a
+  :class:`~repro.db.scheduler.TaskScheduler` thread pool; independent
+  sibling subtrees execute concurrently and the big numpy kernels release
+  the GIL.  ``threads=1`` is the serial oracle path, byte-identical by
+  construction; the parallel path is pinned to it by the equivalence suite
+  (answers, row order, ``OperatorStats``).
+* ``memory_budget_bytes`` (same defaulting chain, env var
+  ``REPRO_DB_MEMORY_BUDGET_BYTES``) caps each columnar kernel's transient
+  index arrays by deriving a morsel size
+  (:func:`repro.db.algebra.chunk_rows_for_budget`) for the chunked
+  probe/membership kernels of :mod:`repro.db.columnar` -- results, emit
+  counts and the evaluation-budget stop are unchanged.
 """
 
 from __future__ import annotations
@@ -22,6 +40,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.db.algebra import (
     OperatorStats,
+    chunk_rows_for_budget,
     evaluate_node_expression,
     join_all,
     project,
@@ -34,10 +53,21 @@ from repro.db.plan_ir import (
     ScanNode,
     YannakakisNode,
     hypertree_plan_ir,
+    join_input_task_dag,
     join_order_plan_ir,
+    scan_order,
+    yannakakis_task_dag,
 )
 from repro.db.relation import Relation
-from repro.db.yannakakis import TreeQuery, evaluate, evaluate_boolean
+from repro.db.scheduler import TaskScheduler, resolve_threads
+from repro.db.yannakakis import (
+    TreeQuery,
+    evaluate,
+    evaluate_boolean,
+    fold_plan,
+    fold_task_functions,
+    reduction_task_functions,
+)
 from repro.decomposition.hypertree import HypertreeDecomposition
 from repro.exceptions import DatabaseError
 from repro.query.conjunctive import ConjunctiveQuery
@@ -94,7 +124,11 @@ def build_tree_query(
 
 
 def execute_plan(
-    plan: QueryPlanIR, database: Database, budget: Optional[int] = None
+    plan: QueryPlanIR,
+    database: Database,
+    budget: Optional[int] = None,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExecutionResult:
     """Interpret a plan-node IR tree against ``database``.
 
@@ -103,8 +137,18 @@ def execute_plan(
     :mod:`repro.db.algebra`, which dispatches to the columnar kernels when
     the database is columnar.  ``budget`` caps the total evaluation work
     (tuples read + emitted); exceeding it raises
-    :class:`repro.db.algebra.EvaluationBudgetExceeded`.
+    :class:`repro.db.algebra.EvaluationBudgetExceeded` -- with ``threads >
+    1`` the raise happens in whichever task crosses the budget first, but
+    *whether* it happens is scheduling-independent (counters only grow).
+    ``threads``/``memory_budget_bytes`` default to the database's knobs;
+    see the module docstring.
     """
+    threads = resolve_threads(threads, default=getattr(database, "threads", 1))
+    if memory_budget_bytes is None:
+        memory_budget_bytes = getattr(database, "memory_budget_bytes", None)
+    chunk_rows = chunk_rows_for_budget(memory_budget_bytes)
+    scheduler = TaskScheduler(threads)
+
     stats = OperatorStats(budget=budget)
     atoms = {atom.name: atom for atom in plan.query.atoms}
     bound: Dict[str, Relation] = {}
@@ -116,17 +160,25 @@ def execute_plan(
             bound[atom_name] = relation
         return relation
 
+    def fold_inputs(node: JoinNode, relations, needed=None) -> Relation:
+        """Join a JoinNode's already-evaluated inputs -- the single fold
+        implementation both the serial interpreter and the parallel root
+        path use, so the two can never drift apart."""
+        order = None
+        if node.smallest_first:
+            order = sorted(
+                range(len(relations)), key=lambda i: relations[i].cardinality
+            )
+        return join_all(
+            relations, stats=stats, order=order, needed=needed,
+            chunk_rows=chunk_rows,
+        )
+
     def run(node, needed=None) -> Relation:
         if isinstance(node, ScanNode):
             return scan(node.atom_name)
         if isinstance(node, JoinNode):
-            relations = [run(child) for child in node.inputs]
-            order = None
-            if node.smallest_first:
-                order = sorted(
-                    range(len(relations)), key=lambda i: relations[i].cardinality
-                )
-            return join_all(relations, stats=stats, order=order, needed=needed)
+            return fold_inputs(node, [run(child) for child in node.inputs], needed)
         if isinstance(node, ProjectNode):
             # Kernel-level projection pushdown: the join below gathers only
             # the columns this projection (or a later join key) still needs;
@@ -137,11 +189,16 @@ def execute_plan(
                 stats=stats,
                 name=node.name,
                 distinct=node.distinct,
+                chunk_rows=chunk_rows,
             )
         raise DatabaseError(f"unknown plan node: {node!r}")
 
     root = plan.root
     if isinstance(root, YannakakisNode):
+        if scheduler.parallel:
+            return _execute_yannakakis_parallel(
+                root, scan, run, stats, scheduler, chunk_rows
+            )
         relations = {node_id: run(expr) for node_id, expr in root.expressions}
         tree = TreeQuery(
             root=root.root,
@@ -149,18 +206,128 @@ def execute_plan(
             relations=relations,
         )
         if root.boolean:
-            answer = evaluate_boolean(tree, stats=stats)
+            answer = evaluate_boolean(tree, stats=stats, chunk_rows=chunk_rows)
             return ExecutionResult(relation=None, boolean=answer, stats=stats)
-        result = evaluate(tree, list(root.output_variables), stats=stats)
+        result = evaluate(
+            tree, list(root.output_variables), stats=stats, chunk_rows=chunk_rows
+        )
         return ExecutionResult(relation=result, boolean=None, stats=stats)
 
     # A Boolean plan only needs the root cardinality, so the top-level join
     # may drop every column that no longer feeds a join key.
-    result = run(root, needed=frozenset() if plan.boolean else None)
+    needed = frozenset() if plan.boolean else None
+    if scheduler.parallel:
+        result = _run_root_parallel(
+            root, scan, run, fold_inputs, stats, scheduler, chunk_rows, needed
+        )
+    else:
+        result = run(root, needed=needed)
     if plan.boolean:
         return ExecutionResult(
             relation=None, boolean=result.cardinality > 0, stats=stats
         )
+    return ExecutionResult(relation=result, boolean=None, stats=stats)
+
+
+def _run_root_parallel(
+    node, scan, run, fold_inputs, stats, scheduler: TaskScheduler, chunk_rows,
+    needed=None,
+) -> Relation:
+    """Evaluate a Join/Project plan root with the top join's inputs as
+    concurrent tasks; the join fold itself is the serial interpreter's
+    ``fold_inputs``, so the result (and every counter) matches it."""
+    for atom_name in scan_order(node):
+        scan(atom_name)  # serial pre-bind: dictionary interning stays ordered
+    if isinstance(node, ProjectNode):
+        inner = _run_root_parallel(
+            node.input, scan, run, fold_inputs, stats, scheduler, chunk_rows,
+            needed=frozenset(node.attributes),
+        )
+        return project(
+            inner,
+            list(node.attributes),
+            stats=stats,
+            name=node.name,
+            distinct=node.distinct,
+            chunk_rows=chunk_rows,
+        )
+    if isinstance(node, JoinNode) and len(node.inputs) > 1:
+        results: list = [None] * len(node.inputs)
+        specs = join_input_task_dag(node)
+
+        def input_task(index, child):
+            def evaluate_input() -> None:
+                results[index] = run(child)
+            return evaluate_input
+
+        scheduler.run(
+            [
+                (spec.key, spec.deps, input_task(index, child))
+                for index, (spec, child) in enumerate(zip(specs, node.inputs))
+            ]
+        )
+        return fold_inputs(node, results, needed)
+    return run(node, needed=needed)
+
+
+def _execute_yannakakis_parallel(
+    root: YannakakisNode, scan, run, stats, scheduler: TaskScheduler, chunk_rows
+) -> ExecutionResult:
+    """Run one Yannakakis plan as its per-subtree task DAG.
+
+    Phase one executes expressions and both semijoin passes as one DAG
+    (independent sibling subtrees overlap freely); the join fold needs the
+    reduced tree's metadata (:func:`repro.db.yannakakis.fold_plan`), so it
+    runs as a second DAG.  Every task performs the identical kernel calls
+    of the serial path on the identical operands; determinism comes from
+    the dependency edges (each relation slot has exactly one writer per
+    pass) and the commutative ``OperatorStats`` counters.
+    """
+    for atom_name in scan_order(root):
+        scan(atom_name)  # serial pre-bind: dictionary interning stays ordered
+    children = {node_id: tuple(kids) for node_id, kids in root.children}
+    # Pre-seed the mapping in canonical order: concurrent writes then
+    # preserve this key order, keeping attribute collection deterministic.
+    relations: Dict[object, Relation] = {
+        node_id: None for node_id, _ in root.expressions
+    }
+    tree = TreeQuery(root=root.root, children=children, relations=relations)
+    specs = yannakakis_task_dag(root)
+
+    def expression_task(node_id, expression):
+        def evaluate_expression() -> None:
+            relations[node_id] = run(expression)
+        return evaluate_expression
+
+    functions = {
+        ("expr", node_id): expression_task(node_id, expression)
+        for node_id, expression in root.expressions
+    }
+    functions.update(
+        reduction_task_functions(
+            tree, relations, stats=stats, full=not root.boolean,
+            chunk_rows=chunk_rows,
+        )
+    )
+    reduction_specs = [spec for spec in specs if spec.key[0] != "fold"]
+    scheduler.run([(s.key, s.deps, functions[s.key]) for s in reduction_specs])
+
+    if root.boolean:
+        answer = relations[root.root].cardinality > 0
+        return ExecutionResult(relation=None, boolean=answer, stats=stats)
+
+    plan = fold_plan(tree, list(root.output_variables))
+    folded = dict(relations)
+    fold_functions = fold_task_functions(
+        tree, folded, plan, stats=stats, chunk_rows=chunk_rows
+    )
+    fold_specs = [spec for spec in specs if spec.key[0] == "fold"]
+    scheduler.run([(s.key, s.deps, fold_functions[s.key]) for s in fold_specs])
+
+    result = project(
+        folded[root.root], plan.wanted, stats=stats, name="answer",
+        chunk_rows=chunk_rows,
+    )
     return ExecutionResult(relation=result, boolean=None, stats=stats)
 
 
@@ -170,6 +337,8 @@ def execute_hypertree_plan(
     decomposition: HypertreeDecomposition,
     require_complete: bool = True,
     budget: Optional[int] = None,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExecutionResult:
     """Run the query through the hypertree plan.
 
@@ -186,7 +355,13 @@ def execute_hypertree_plan(
             "(repro.decomposition.complete_decomposition) or plan with the "
             "fresh-variable construction"
         )
-    return execute_plan(hypertree_plan_ir(query, decomposition), database, budget=budget)
+    return execute_plan(
+        hypertree_plan_ir(query, decomposition),
+        database,
+        budget=budget,
+        threads=threads,
+        memory_budget_bytes=memory_budget_bytes,
+    )
 
 
 def naive_join_evaluation(
@@ -194,9 +369,17 @@ def naive_join_evaluation(
     database: Database,
     order: Optional[Tuple[str, ...]] = None,
     budget: Optional[int] = None,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExecutionResult:
     """Evaluate the query by joining all bound atoms in a (given or textual)
     order, with no structural awareness -- the "flat" evaluation a
     quantitative-only engine performs once its optimiser has fixed a join
     order.  Used as the execution backend of the baseline optimiser."""
-    return execute_plan(join_order_plan_ir(query, order), database, budget=budget)
+    return execute_plan(
+        join_order_plan_ir(query, order),
+        database,
+        budget=budget,
+        threads=threads,
+        memory_budget_bytes=memory_budget_bytes,
+    )

@@ -23,6 +23,16 @@ The builders :func:`join_order_plan_ir` and :func:`hypertree_plan_ir`
 reproduce, operator for operator, the exact sequences the historical
 ``naive_join_evaluation`` / ``execute_hypertree_plan`` performed, so
 ``OperatorStats`` work counts are unchanged.
+
+Task extraction
+---------------
+For the parallel execution plane, :func:`yannakakis_task_dag` walks a
+:class:`YannakakisNode` into the dependency DAG of its per-subtree tasks
+(expression evaluation, both semijoin passes, the join fold) and
+:func:`join_input_task_dag` does the same for the independent inputs of a
+:class:`JoinNode`.  The specs carry keys and dependencies only -- the
+executor supplies the callables -- and are emitted in the serial engine's
+canonical order, so running them in list order *is* the serial execution.
 """
 
 from __future__ import annotations
@@ -90,12 +100,140 @@ class QueryPlanIR:
     root: PlanNode
     boolean: bool = False
 
-    def execute(self, database, budget: Optional[int] = None):
+    def execute(
+        self,
+        database,
+        budget: Optional[int] = None,
+        threads: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ):
         """Interpret the plan against ``database`` (see
         :func:`repro.db.executor.execute_plan`)."""
         from repro.db.executor import execute_plan
 
-        return execute_plan(self, database, budget=budget)
+        return execute_plan(
+            self,
+            database,
+            budget=budget,
+            threads=threads,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Task extraction: the dependency DAG of the parallel execution plane.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit: a key plus the keys it must wait for."""
+
+    key: Tuple[str, object]
+    deps: Tuple[Tuple[str, object], ...]
+
+
+def _tree_orders(node: YannakakisNode):
+    """BFS and post-order node id sequences of a YannakakisNode's tree."""
+    children = {node_id: tuple(kids) for node_id, kids in node.children}
+    bfs = [node.root]
+    i = 0
+    while i < len(bfs):
+        bfs.extend(children.get(bfs[i], ()))
+        i += 1
+    post: list = []
+    stack = [(node.root, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            post.append(current)
+            continue
+        stack.append((current, True))
+        for kid in reversed(children.get(current, ())):
+            stack.append((kid, False))
+    return children, tuple(bfs), tuple(post)
+
+
+def yannakakis_task_dag(node: YannakakisNode) -> Tuple[TaskSpec, ...]:
+    """The per-subtree task DAG of one Yannakakis execution.
+
+    Task kinds (``v`` ranges over decomposition nodes):
+
+    * ``("expr", v)`` -- evaluate ``E(v)``; no dependencies.
+    * ``("up", v)`` -- bottom-up pass at ``v``: semijoin ``v`` with each
+      child; needs ``v``'s expression and every child's ``up``.
+    * ``("down", v)`` (non-root, full reduction only) -- top-down pass:
+      semijoin ``v`` with its parent's final relation; needs ``v``'s ``up``
+      and the parent's own final task.
+    * ``("fold", v)`` (non-Boolean only) -- join pass for the subtree at
+      ``v``: fold every child's completed subtree into ``v``; needs ``v``'s
+      final reduction and every child's ``fold``.
+
+    Sibling subtrees share no dependency, which is exactly the parallelism
+    the selection-vector representation makes safe.  Specs are emitted in
+    the serial engine's evaluation order (expressions, bottom-up post-order,
+    top-down BFS, fold post-order), so inline execution in list order
+    reproduces the serial run.
+    """
+    children, bfs, post = _tree_orders(node)
+
+    def final(node_id) -> Tuple[str, object]:
+        """The task after which a node's reduced relation is final."""
+        if node.boolean or node_id == node.root:
+            return ("up", node_id)
+        return ("down", node_id)
+
+    specs = [TaskSpec(("expr", node_id), ()) for node_id, _ in node.expressions]
+    for node_id in post:
+        deps = (("expr", node_id),) + tuple(
+            ("up", kid) for kid in children.get(node_id, ())
+        )
+        specs.append(TaskSpec(("up", node_id), deps))
+    if node.boolean:
+        return tuple(specs)
+    for parent_id in bfs:
+        for kid in children.get(parent_id, ()):
+            specs.append(TaskSpec(("down", kid), (("up", kid), final(parent_id))))
+    for node_id in post:
+        deps = (final(node_id),) + tuple(
+            ("fold", kid) for kid in children.get(node_id, ())
+        )
+        specs.append(TaskSpec(("fold", node_id), deps))
+    return tuple(specs)
+
+
+def join_input_task_dag(node: JoinNode) -> Tuple[TaskSpec, ...]:
+    """The (trivially independent) tasks of a JoinNode's inputs: each input
+    subplan may be evaluated concurrently; the join itself then folds the
+    results in canonical order."""
+    return tuple(TaskSpec(("input", i), ()) for i in range(len(node.inputs)))
+
+
+def scan_order(node: PlanNode) -> Tuple[str, ...]:
+    """Every atom name scanned under ``node``, in first-use order of the
+    serial interpreter.  The parallel executor binds atoms in exactly this
+    order *before* spawning tasks: binding may intern fresh-variable
+    surrogates into the database's shared dictionary, which must stay
+    single-threaded and deterministic."""
+    seen: list = []
+    seen_set = set()
+
+    def visit(current) -> None:
+        if isinstance(current, ScanNode):
+            if current.atom_name not in seen_set:
+                seen_set.add(current.atom_name)
+                seen.append(current.atom_name)
+        elif isinstance(current, JoinNode):
+            for child in current.inputs:
+                visit(child)
+        elif isinstance(current, ProjectNode):
+            visit(current.input)
+        elif isinstance(current, YannakakisNode):
+            for _, expression in current.expressions:
+                visit(expression)
+
+    visit(node)
+    return tuple(seen)
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ shared variable names).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, OrderedDict
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -55,7 +56,7 @@ class Relation:
         Duplicates are preserved.
     """
 
-    __slots__ = ("name", "attributes", "_rows", "_index_cache")
+    __slots__ = ("name", "attributes", "_rows", "_index_cache", "_index_lock")
 
     def __init__(
         self,
@@ -81,6 +82,7 @@ class Relation:
         self._index_cache: "OrderedDict[Tuple[str, ...], Dict[Row, List[Row]]]" = (
             OrderedDict()
         )
+        self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -132,21 +134,34 @@ class Relation:
 
     def index_on(self, attributes: Sequence[str]) -> Dict[Row, List[Row]]:
         """A hash index keyed by the given attributes (LRU-cached, at most
-        :data:`INDEX_CACHE_LIMIT` indexes per relation)."""
+        :data:`INDEX_CACHE_LIMIT` indexes per relation).
+
+        The cache bookkeeping is locked: the parallel executor may probe one
+        relation from sibling tasks concurrently, and an unguarded
+        get / move_to_end / popitem interleaving could evict a key between
+        another task's hit and its recency update.  Index construction
+        itself stays outside the lock (two tasks may rarely build the same
+        index; both results are identical)."""
         key_attrs = tuple(attributes)
         cache = self._index_cache
-        index = cache.get(key_attrs)
-        if index is None:
-            positions = [self.position(a) for a in key_attrs]
-            index = {}
-            for row in self.rows:
-                key = tuple(row[p] for p in positions)
-                index.setdefault(key, []).append(row)
+        with self._index_lock:
+            index = cache.get(key_attrs)
+            if index is not None:
+                cache.move_to_end(key_attrs)
+                return index
+        positions = [self.position(a) for a in key_attrs]
+        index = {}
+        for row in self.rows:
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        with self._index_lock:
+            existing = cache.get(key_attrs)
+            if existing is not None:
+                cache.move_to_end(key_attrs)
+                return existing
             cache[key_attrs] = index
             if len(cache) > INDEX_CACHE_LIMIT:
                 cache.popitem(last=False)
-        else:
-            cache.move_to_end(key_attrs)
         return index
 
     # ------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""A dependency-DAG task scheduler for the parallel execution plane.
+
+The parallel Yannakakis executor (:mod:`repro.db.executor`) decomposes a
+plan into *tasks* -- per-decomposition-node expression evaluations,
+per-subtree semijoin reductions, per-subtree join folds -- whose data
+dependencies form a DAG (see :func:`repro.db.plan_ir.yannakakis_task_dag`).
+This module runs such a DAG:
+
+* with ``threads == 1`` every task executes inline, in the submission
+  order, which by construction is the serial engine's canonical order --
+  the scheduler adds nothing but a function call;
+* with ``threads > 1`` tasks run on a ``ThreadPoolExecutor``: a task is
+  submitted as soon as all of its dependencies completed, so independent
+  sibling subtrees execute concurrently.  The big columnar kernels
+  (``argsort``/``searchsorted``/``np.isin`` over int64 columns) release
+  the GIL, which is what makes threads effective for this workload.
+
+Determinism: tasks communicate only through per-node slots each task owns
+exclusively (the dependency edges serialise every read-after-write), and
+the shared :class:`~repro.db.algebra.OperatorStats` accumulator is
+thread-safe with purely commutative counters -- so answers, row orderings
+and work counters are identical to the serial run regardless of the
+interleaving.  Exceptions (including the evaluation-budget watchdog)
+propagate to the caller: the first failing task wins, no further tasks are
+started, and already-running tasks are drained before re-raising.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, Hashable, Sequence, Tuple
+
+Task = Tuple[Hashable, Tuple[Hashable, ...], Callable[[], None]]
+
+
+def resolve_threads(threads=None, default: int = 1) -> int:
+    """Normalise a thread-count knob: ``None`` falls back to ``default``
+    (itself usually the ``REPRO_DB_THREADS`` environment default), anything
+    below one is clamped to one (the serial path)."""
+    if threads is None:
+        threads = default
+    return max(1, int(threads))
+
+
+def threads_from_env(default: int = 1) -> int:
+    """The ``REPRO_DB_THREADS`` environment default (used by
+    :class:`~repro.db.database.Database` so whole test-suite runs can be
+    switched to the parallel plane without touching call sites)."""
+    raw = os.environ.get("REPRO_DB_THREADS", "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def memory_budget_from_env(default=None):
+    """The ``REPRO_DB_MEMORY_BUDGET_BYTES`` environment default (empty,
+    unset, unparsable or non-positive values mean "unbounded")."""
+    raw = os.environ.get("REPRO_DB_MEMORY_BUDGET_BYTES", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else None
+
+
+class TaskScheduler:
+    """Run dependency-ordered tasks, serially or on a thread pool."""
+
+    def __init__(self, threads: int = 1) -> None:
+        self.threads = max(1, int(threads))
+
+    @property
+    def parallel(self) -> bool:
+        return self.threads > 1
+
+    def run(self, tasks: Sequence[Task]) -> None:
+        """Execute every ``(key, deps, fn)`` task respecting dependencies.
+
+        ``tasks`` must be topologically ordered (dependencies listed before
+        dependents), which is how every extractor emits them -- the serial
+        path can then simply execute in list order.
+        """
+        if not self.parallel:
+            for _, _, fn in tasks:
+                fn()
+            return
+        self._run_threaded(tasks)
+
+    def _run_threaded(self, tasks: Sequence[Task]) -> None:
+        keys = {key for key, _, _ in tasks}
+        if len(keys) != len(tasks):
+            raise ValueError("duplicate task keys in DAG")
+        pending = {key: {d for d in deps if d in keys} for key, deps, _ in tasks}
+        functions = {key: fn for key, _, fn in tasks}
+        dependents: dict = {}
+        for key, deps, _ in tasks:
+            for dep in pending[key]:
+                dependents.setdefault(dep, []).append(key)
+
+        ready = [key for key, _, _ in tasks if not pending[key]]
+        completed = 0
+        first_error = None
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            futures = {pool.submit(functions[key]): key for key in ready}
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                newly_ready = []
+                for future in done:
+                    key = futures.pop(future)
+                    completed += 1
+                    error = future.exception()
+                    if error is not None:
+                        if first_error is None:
+                            first_error = error
+                        continue
+                    for dependent in dependents.get(key, ()):
+                        remaining = pending[dependent]
+                        remaining.discard(key)
+                        if not remaining:
+                            newly_ready.append(dependent)
+                if first_error is None:
+                    for key in newly_ready:
+                        futures[pool.submit(functions[key])] = key
+        if first_error is not None:
+            raise first_error
+        if completed != len(tasks):
+            unrun = [key for key, deps, _ in tasks if pending[key]]
+            raise ValueError(f"task DAG is not schedulable; blocked tasks: {unrun}")

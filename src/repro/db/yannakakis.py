@@ -20,12 +20,23 @@ answer is *true* iff the root relation is non-empty.
 The node relations here are arbitrary relations over query variables; the
 caller (the hypertree-plan executor or the acyclic-query evaluator) decides
 what each node holds.
+
+Both semijoin passes and the join pass are *per-subtree parallel*: sibling
+subtrees never read each other's relations, only parent/child pairs do.
+:func:`reduction_task_functions` and :func:`fold_task_functions` expose
+each pass as a dictionary of per-node task callables keyed exactly like the
+dependency DAG of :func:`repro.db.plan_ir.yannakakis_task_dag`; the
+parallel executor zips the two and runs them on a
+:class:`~repro.db.scheduler.TaskScheduler`.  The serial loops below stay
+the oracle: every task performs the same operator calls on the same
+operands in the same per-node order, so answers and ``OperatorStats`` are
+identical (the counters commute; see :class:`~repro.db.algebra.OperatorStats`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.db.algebra import OperatorStats, natural_join, project, semijoin
 from repro.db.relation import Relation
@@ -73,13 +84,17 @@ class TreeQuery:
 
 
 def semijoin_reduce(
-    tree: TreeQuery, stats: Optional[OperatorStats] = None, full: bool = True
+    tree: TreeQuery,
+    stats: Optional[OperatorStats] = None,
+    full: bool = True,
+    chunk_rows: Optional[int] = None,
 ) -> TreeQuery:
     """The semijoin program of Yannakakis' algorithm.
 
     The bottom-up pass is always performed; the top-down pass only when
     ``full`` is true (it is not needed for Boolean queries).  Returns a new
-    :class:`TreeQuery` with reduced relations.
+    :class:`TreeQuery` with reduced relations.  ``chunk_rows`` bounds the
+    columnar semijoin kernels' transient memory (results unchanged).
     """
     tree.validate()
     relations = dict(tree.relations)
@@ -87,40 +102,54 @@ def semijoin_reduce(
     # Bottom-up: parent ⋉ child, children first.
     for node in tree.post_order():
         for child in tree.children.get(node, ()):
-            relations[node] = semijoin(relations[node], relations[child], stats=stats)
+            relations[node] = semijoin(
+                relations[node], relations[child], stats=stats, chunk_rows=chunk_rows
+            )
 
     if full:
         # Top-down: child ⋉ parent, parents first.
         for node in tree.node_ids():
             for child in tree.children.get(node, ()):
-                relations[child] = semijoin(relations[child], relations[node], stats=stats)
+                relations[child] = semijoin(
+                    relations[child], relations[node], stats=stats, chunk_rows=chunk_rows
+                )
 
     return TreeQuery(root=tree.root, children=dict(tree.children), relations=relations)
 
 
-def evaluate_boolean(tree: TreeQuery, stats: Optional[OperatorStats] = None) -> bool:
+def evaluate_boolean(
+    tree: TreeQuery,
+    stats: Optional[OperatorStats] = None,
+    chunk_rows: Optional[int] = None,
+) -> bool:
     """Answer the Boolean query represented by the tree: true iff the
     semijoin-reduced root is non-empty."""
-    reduced = semijoin_reduce(tree, stats=stats, full=False)
+    reduced = semijoin_reduce(tree, stats=stats, full=False, chunk_rows=chunk_rows)
     return reduced.relations[reduced.root].cardinality > 0
 
 
-def evaluate(
-    tree: TreeQuery,
-    output_variables: Sequence[str],
-    stats: Optional[OperatorStats] = None,
-) -> Relation:
-    """Full evaluation: the projection of the join of all node relations onto
-    ``output_variables`` (all variables of the tree if empty).
+@dataclass
+class FoldPlan:
+    """The static metadata of the bottom-up join pass.
 
-    After full semijoin reduction, nodes are joined bottom-up; each
-    intermediate result is projected onto the output variables plus the
-    variables shared with the remaining (upper) part of the tree, which is
-    the projection discipline that makes Yannakakis output-polynomial.
+    Computed once from the (reduced) tree -- semijoins never change a
+    relation's attributes, so everything here is known before any join
+    runs: ``wanted`` the output attributes, ``parent`` the child->parent
+    map, and ``keeps[v]`` the projection list applied to the folded subtree
+    of ``v`` before it is joined into its parent (output variables plus the
+    variables still needed higher up, the discipline that makes Yannakakis
+    output-polynomial).  Both the serial fold loop and the per-subtree fold
+    tasks consume the same plan, which is what keeps them byte-identical.
     """
-    reduced = semijoin_reduce(tree, stats=stats, full=True)
-    relations = dict(reduced.relations)
 
+    wanted: List[str]
+    parent: Dict[object, object]
+    keeps: Dict[object, List[str]]
+
+
+def fold_plan(tree: TreeQuery, output_variables: Sequence[str]) -> FoldPlan:
+    """Precompute the join pass: what every folded subtree keeps."""
+    relations = tree.relations
     wanted = list(output_variables)
     if not wanted:
         seen = set()
@@ -129,12 +158,11 @@ def evaluate(
                 if attribute not in seen:
                     seen.add(attribute)
                     wanted.append(attribute)
+    wanted_set = set(wanted)
 
-    # Variables appearing in each subtree, to decide what must be kept when a
-    # child is folded into its parent.
-    parent: Dict[object, object] = {reduced.root: None}
-    for node in reduced.node_ids():
-        for child in reduced.children.get(node, ()):
+    parent: Dict[object, object] = {tree.root: None}
+    for node in tree.node_ids():
+        for child in tree.children.get(node, ()):
             parent[child] = node
 
     # ``above[v]``: attributes appearing outside the subtree rooted at ``v``
@@ -142,14 +170,14 @@ def evaluate(
     # per-subtree attribute sets, one top-down pass combines each node's
     # ``above`` with its own attributes and every sibling subtree.
     subtree_attrs: Dict[object, set] = {}
-    for node in reduced.post_order():
+    for node in tree.post_order():
         attrs = set(relations[node].attributes)
-        for child in reduced.children.get(node, ()):
+        for child in tree.children.get(node, ()):
             attrs |= subtree_attrs[child]
         subtree_attrs[node] = attrs
-    above: Dict[object, set] = {reduced.root: set()}
-    for node in reduced.node_ids():
-        kids = reduced.children.get(node, ())
+    above: Dict[object, set] = {tree.root: set()}
+    for node in tree.node_ids():
+        kids = tree.children.get(node, ())
         base = above[node] | set(relations[node].attributes)
         for child in kids:
             outside = set(base)
@@ -158,19 +186,130 @@ def evaluate(
                     outside |= subtree_attrs[sibling]
             above[child] = outside
 
-    folded = dict(relations)
+    # Attributes of every *folded* subtree, bottom-up: a node's own columns
+    # plus, in child order, whatever each child's kept contribution adds --
+    # the exact column order the natural joins of the fold produce.
+    keeps: Dict[object, List[str]] = {}
+    for node in tree.post_order():
+        attrs = list(relations[node].attributes)
+        present = set(attrs)
+        for child in tree.children.get(node, ()):
+            for attribute in keeps[child]:
+                if attribute not in present:
+                    present.add(attribute)
+                    attrs.append(attribute)
+        if node != tree.root:
+            node_above = above[node]
+            keeps[node] = [
+                a for a in attrs if a in node_above or a in wanted_set
+            ]
+    return FoldPlan(wanted=wanted, parent=parent, keeps=keeps)
+
+
+def evaluate(
+    tree: TreeQuery,
+    output_variables: Sequence[str],
+    stats: Optional[OperatorStats] = None,
+    chunk_rows: Optional[int] = None,
+) -> Relation:
+    """Full evaluation: the projection of the join of all node relations onto
+    ``output_variables`` (all variables of the tree if empty).
+
+    After full semijoin reduction, nodes are joined bottom-up; each
+    intermediate result is projected onto the output variables plus the
+    variables shared with the remaining (upper) part of the tree (the
+    precomputed :func:`fold_plan`).
+    """
+    reduced = semijoin_reduce(tree, stats=stats, full=True, chunk_rows=chunk_rows)
+    plan = fold_plan(reduced, output_variables)
+
+    folded = dict(reduced.relations)
     for node in reduced.post_order():
         if node == reduced.root:
             continue
-        node_above = above[node]
-        keep = [
-            a
-            for a in folded[node].attributes
-            if a in node_above or a in wanted
-        ]
-        contribution = project(folded[node], keep, stats=stats)
-        up = parent[node]
-        folded[up] = natural_join(folded[up], contribution, stats=stats)
+        contribution = project(
+            folded[node], plan.keeps[node], stats=stats, chunk_rows=chunk_rows
+        )
+        up = plan.parent[node]
+        folded[up] = natural_join(
+            folded[up], contribution, stats=stats, chunk_rows=chunk_rows
+        )
 
-    result = project(folded[reduced.root], wanted, stats=stats, name="answer")
-    return result
+    return project(
+        folded[reduced.root], plan.wanted, stats=stats, name="answer",
+        chunk_rows=chunk_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-subtree task functions for the parallel executor.  Keys match the
+# dependency DAG of repro.db.plan_ir.yannakakis_task_dag; each task owns
+# the relation slot it writes and only reads slots its dependencies wrote,
+# so the scheduler's dependency edges serialise every read-after-write.
+# ----------------------------------------------------------------------
+
+
+def reduction_task_functions(
+    tree: TreeQuery,
+    relations: Dict[object, Relation],
+    stats: Optional[OperatorStats] = None,
+    full: bool = True,
+    chunk_rows: Optional[int] = None,
+) -> Dict[Tuple[str, object], Callable[[], None]]:
+    """The semijoin passes as per-node tasks over a shared ``relations``
+    mapping: ``("up", v)`` semijoins ``v`` with each child (children order,
+    as the serial pass does), ``("down", c)`` semijoins ``c`` with its
+    already-final parent."""
+
+    def up_task(node):
+        def run() -> None:
+            for child in tree.children.get(node, ()):
+                relations[node] = semijoin(
+                    relations[node], relations[child], stats=stats,
+                    chunk_rows=chunk_rows,
+                )
+        return run
+
+    def down_task(child, parent_id):
+        def run() -> None:
+            relations[child] = semijoin(
+                relations[child], relations[parent_id], stats=stats,
+                chunk_rows=chunk_rows,
+            )
+        return run
+
+    functions: Dict[Tuple[str, object], Callable[[], None]] = {}
+    for node in tree.post_order():
+        functions[("up", node)] = up_task(node)
+    if full:
+        for node in tree.node_ids():
+            for child in tree.children.get(node, ()):
+                functions[("down", child)] = down_task(child, node)
+    return functions
+
+
+def fold_task_functions(
+    tree: TreeQuery,
+    folded: Dict[object, Relation],
+    plan: FoldPlan,
+    stats: Optional[OperatorStats] = None,
+    chunk_rows: Optional[int] = None,
+) -> Dict[Tuple[str, object], Callable[[], None]]:
+    """The join pass as per-subtree tasks: ``("fold", v)`` projects each
+    child's completed fold onto its keep list and joins it into ``v``, in
+    children order -- the identical operator sequence the serial fold
+    applies at ``v``."""
+
+    def fold_task(node):
+        def run() -> None:
+            for child in tree.children.get(node, ()):
+                contribution = project(
+                    folded[child], plan.keeps[child], stats=stats,
+                    chunk_rows=chunk_rows,
+                )
+                folded[node] = natural_join(
+                    folded[node], contribution, stats=stats, chunk_rows=chunk_rows
+                )
+        return run
+
+    return {("fold", node): fold_task(node) for node in tree.post_order()}

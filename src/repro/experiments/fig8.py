@@ -31,6 +31,8 @@ def fig8a_experiment(
     seed: int = 3,
     budget: Optional[int] = 6_000_000,
     columnar: bool = True,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig. 8(A): Q1, sweep of the width bound ``k``.
 
@@ -49,7 +51,8 @@ def fig8a_experiment(
         columnar=columnar,
     )
     report = compare_planners(
-        query, database, k_values=k_values, completion="fresh", budget=budget
+        query, database, k_values=k_values, completion="fresh", budget=budget,
+        threads=threads, memory_budget_bytes=memory_budget_bytes,
     )
     result = ExperimentResult(
         name="Fig. 8(A) -- Q1, cost-k-decomp vs quantitative-only baseline",
@@ -106,6 +109,8 @@ def fig8b_experiment(
     seed: int = 11,
     budget: Optional[int] = 6_000_000,
     columnar: bool = True,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig. 8(B): absolute evaluation measurements for Q2 and Q3 at ``k``."""
     result = ExperimentResult(
@@ -124,7 +129,8 @@ def fig8b_experiment(
             columnar=columnar,
         )
         report = compare_planners(
-            query, database, k_values=(k,), completion="fresh", budget=budget
+            query, database, k_values=(k,), completion="fresh", budget=budget,
+            threads=threads, memory_budget_bytes=memory_budget_bytes,
         )
         base = report.baseline
         structural = report.structural[k]

@@ -122,7 +122,8 @@ def _measure_execution(plan, database: Database) -> ExecutionResult:
 
 def _execute_and_measure(
     plan, database: Database, label: str, budget: Optional[int], width=None,
-    weighting: str = "-",
+    weighting: str = "-", threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> PlanMeasurement:
     from repro.db.algebra import EvaluationBudgetExceeded
 
@@ -131,7 +132,12 @@ def _execute_and_measure(
     plan_ir = plan.to_ir()
     started = time.perf_counter()
     try:
-        result = plan_ir.execute(database, budget=budget)
+        result = plan_ir.execute(
+            database,
+            budget=budget,
+            threads=threads,
+            memory_budget_bytes=memory_budget_bytes,
+        )
         elapsed = time.perf_counter() - started
         return PlanMeasurement(
             label=label,
@@ -159,11 +165,15 @@ def _execute_and_measure(
 
 
 def measure_baseline(
-    query: ConjunctiveQuery, database: Database, budget: Optional[int] = None
+    query: ConjunctiveQuery, database: Database, budget: Optional[int] = None,
+    threads: Optional[int] = None, memory_budget_bytes: Optional[int] = None,
 ) -> PlanMeasurement:
     """Plan with the left-deep optimiser and execute."""
     plan: JoinOrderPlan = baseline_plan(query, database.statistics)
-    return _execute_and_measure(plan, database, "baseline(left-deep)", budget)
+    return _execute_and_measure(
+        plan, database, "baseline(left-deep)", budget,
+        threads=threads, memory_budget_bytes=memory_budget_bytes,
+    )
 
 
 def measure_structural(
@@ -173,6 +183,8 @@ def measure_structural(
     completion: str = "fresh",
     budget: Optional[int] = None,
     family: Optional[CostPlanningFamily] = None,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> PlanMeasurement:
     """Plan with cost-k-decomp for one ``k`` and execute.
 
@@ -186,7 +198,8 @@ def measure_structural(
     )
     return _execute_and_measure(
         plan, database, f"cost-{k}-decomp", budget, width=plan.width,
-        weighting=plan.weighting,
+        weighting=plan.weighting, threads=threads,
+        memory_budget_bytes=memory_budget_bytes,
     )
 
 
@@ -197,6 +210,8 @@ def compare_planners(
     completion: str = "fresh",
     check_answers: bool = True,
     budget: Optional[int] = 20_000_000,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ComparisonReport:
     """Run the full comparison for one query over one database.
 
@@ -204,15 +219,23 @@ def compare_planners(
     roughly tens of seconds of pure-Python evaluation); a plan that exceeds
     it is reported with ``budget_exceeded=True`` and its work-so-far as a
     lower bound, mirroring a query timeout in a real system.
+    ``threads``/``memory_budget_bytes`` select the parallel, memory-bounded
+    execution plane for every executed plan (defaults: the database's
+    knobs); work counters and answers are engine-identical either way, so
+    the comparison stays fair.
     """
-    baseline_measurement = measure_baseline(query, database, budget=budget)
+    baseline_measurement = measure_baseline(
+        query, database, budget=budget, threads=threads,
+        memory_budget_bytes=memory_budget_bytes,
+    )
     report = ComparisonReport(query_name=query.name, baseline=baseline_measurement)
     family = planning_family(query, database.statistics, completion=completion)
     for k in k_values:
         try:
             measurement = measure_structural(
                 query, database, k, completion=completion, budget=budget,
-                family=family,
+                family=family, threads=threads,
+                memory_budget_bytes=memory_budget_bytes,
             )
         except PlanningError:
             continue

@@ -60,9 +60,22 @@ class HypertreePlan:
         )
         return hypertree_plan_ir(executed, self.decomposition)
 
-    def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
-        """Run the plan: per-node joins, then Yannakakis over the tree."""
-        return self.to_ir().execute(database, budget=budget)
+    def execute(
+        self,
+        database: Database,
+        budget: Optional[int] = None,
+        threads: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Run the plan: per-node joins, then Yannakakis over the tree
+        (``threads``/``memory_budget_bytes`` select the parallel,
+        memory-bounded plane; defaults come from the database)."""
+        return self.to_ir().execute(
+            database,
+            budget=budget,
+            threads=threads,
+            memory_budget_bytes=memory_budget_bytes,
+        )
 
     def describe(self) -> str:
         lines = [
@@ -97,10 +110,21 @@ class JoinOrderPlan:
         """Lower the plan to the shared plan-node IR."""
         return join_order_plan_ir(self.query, self.order)
 
-    def execute(self, database: Database, budget: Optional[int] = None) -> ExecutionResult:
+    def execute(
+        self,
+        database: Database,
+        budget: Optional[int] = None,
+        threads: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> ExecutionResult:
         """Join the atoms left-to-right in the chosen order (no structural
         awareness: no semijoin reduction, no early projection)."""
-        return self.to_ir().execute(database, budget=budget)
+        return self.to_ir().execute(
+            database,
+            budget=budget,
+            threads=threads,
+            memory_budget_bytes=memory_budget_bytes,
+        )
 
     def describe(self) -> str:
         chain = " ⋈ ".join(self.order)

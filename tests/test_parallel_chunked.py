@@ -1,0 +1,432 @@
+"""Equivalence tests for the parallel, memory-bounded execution plane.
+
+Two invariants, each pinned against its oracle:
+
+* **chunked vs unchunked kernels** -- ``columnar_natural_join``,
+  ``columnar_semijoin`` and project-distinct with any ``chunk_rows`` must
+  produce byte-identical output (values *and* row order), byte-identical
+  ``OperatorStats`` and the identical evaluation-budget stop behaviour as
+  the single-batch kernels;
+* **parallel vs serial ``execute_plan``** -- any ``threads``/
+  ``memory_budget_bytes`` combination must return byte-identical answers
+  and counters as the serial unbounded run, and must raise
+  :class:`EvaluationBudgetExceeded` exactly when the serial run does
+  (``work_so_far`` at raise time is the only scheduling-dependent value).
+
+Hypothesis drives randomised relations and trees through both paths side
+by side; deterministic cases cover the budget-stop edges (budget hit
+exactly at a morsel boundary, mid-morsel, on the first morsel, and with an
+all-matching key column) and the degenerate fast paths.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.algebra import (
+    EvaluationBudgetExceeded,
+    OperatorStats,
+    chunk_rows_for_budget,
+    natural_join,
+    project,
+    semijoin,
+)
+from repro.db.columnar import ColumnarRelation
+from repro.db.database import Database
+from repro.db.dictionary import Dictionary
+from repro.db.relation import Relation
+from repro.db.scheduler import TaskScheduler
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import workload_database
+
+VALUES = st.sampled_from([0, 1, 2, 3, "a", "b"])
+CHUNKS = st.sampled_from([1, 2, 3, 7, 64])
+
+
+def relation_strategy(attributes, max_size=25):
+    arity = len(attributes)
+    return st.lists(
+        st.tuples(*([VALUES] * arity)), min_size=0, max_size=max_size
+    ).map(lambda rows: ("R", tuple(attributes), rows))
+
+
+def columnar(spec, dictionary):
+    name, attributes, rows = spec
+    return ColumnarRelation.from_relation(
+        Relation(name, attributes, rows), dictionary
+    )
+
+
+def assert_identical(unchunked, chunked):
+    """Byte-identical: attributes, values and row order."""
+    assert chunked.attributes == unchunked.attributes
+    assert chunked.rows == unchunked.rows
+
+
+class TestChunkedKernelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y"]),
+        right=relation_strategy(["y", "z"]),
+        chunk=CHUNKS,
+    )
+    def test_chunked_join_is_byte_identical(self, left, right, chunk):
+        dictionary = Dictionary()
+        lc, rc = columnar(left, dictionary), columnar(right, dictionary)
+        base_stats, chunk_stats = OperatorStats(), OperatorStats()
+        base = natural_join(lc, rc, stats=base_stats)
+        chunked = natural_join(lc, rc, stats=chunk_stats, chunk_rows=chunk)
+        assert_identical(base, chunked)
+        assert base_stats.snapshot() == chunk_stats.snapshot()
+        assert base_stats.operations == chunk_stats.operations
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y", "z"]),
+        right=relation_strategy(["y", "z", "w"]),
+        chunk=CHUNKS,
+    )
+    def test_chunked_multi_key_join_is_byte_identical(self, left, right, chunk):
+        # Multi-attribute keys exercise the chunked shift-pack builder.
+        dictionary = Dictionary()
+        lc, rc = columnar(left, dictionary), columnar(right, dictionary)
+        base = natural_join(lc, rc)
+        chunked = natural_join(lc, rc, chunk_rows=chunk)
+        assert_identical(base, chunked)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y"]),
+        right=relation_strategy(["y", "z"]),
+        keep=st.sets(st.sampled_from(["x", "y", "z"])),
+        chunk=CHUNKS,
+    )
+    def test_chunked_join_with_pushdown_is_byte_identical(
+        self, left, right, keep, chunk
+    ):
+        dictionary = Dictionary()
+        lc, rc = columnar(left, dictionary), columnar(right, dictionary)
+        base = natural_join(lc, rc, keep=keep)
+        chunked = natural_join(lc, rc, keep=keep, chunk_rows=chunk)
+        assert_identical(base, chunked)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=relation_strategy(["x", "y"]),
+        right=relation_strategy(["y", "z"]),
+        chunk=CHUNKS,
+    )
+    def test_chunked_semijoin_is_byte_identical(self, left, right, chunk):
+        dictionary = Dictionary()
+        lc, rc = columnar(left, dictionary), columnar(right, dictionary)
+        base_stats, chunk_stats = OperatorStats(), OperatorStats()
+        base = semijoin(lc, rc, stats=base_stats)
+        chunked = semijoin(lc, rc, stats=chunk_stats, chunk_rows=chunk)
+        assert_identical(base, chunked)
+        assert base_stats.snapshot() == chunk_stats.snapshot()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        relation=relation_strategy(["x", "y", "z"]),
+        chunk=CHUNKS,
+        distinct=st.booleans(),
+    )
+    def test_chunked_project_is_byte_identical(self, relation, chunk, distinct):
+        dictionary = Dictionary()
+        rc = columnar(relation, dictionary)
+        base = project(rc, ["x", "z"], distinct=distinct)
+        chunked = project(rc, ["x", "z"], distinct=distinct, chunk_rows=chunk)
+        assert_identical(base, chunked)
+
+    def test_semijoin_against_distinct_build_side(self):
+        # The project-distinct output is flagged duplicate-free, which picks
+        # np.isin's sort kind; the result must not change.
+        dictionary = Dictionary()
+        left = columnar(("l", ("x", "y"), [(i % 4, i % 3) for i in range(30)]), dictionary)
+        right = columnar(("r", ("y",), [(i % 3,) for i in range(20)]), dictionary)
+        distinct_right = project(right, ["y"], distinct=True)
+        assert distinct_right._known_distinct
+        plain = semijoin(left, right)
+        via_distinct = semijoin(left, distinct_right)
+        assert plain.rows == via_distinct.rows
+
+    def test_empty_side_fast_paths_keep_stats(self):
+        dictionary = Dictionary()
+        full = columnar(("l", ("x", "y"), [(1, 2), (3, 4)]), dictionary)
+        empty = columnar(("r", ("y", "z"), []), dictionary)
+        for left, right in ((full, empty), (empty, full), (empty, empty)):
+            join_stats, semi_stats = OperatorStats(), OperatorStats()
+            joined = natural_join(left, right, stats=join_stats)
+            assert joined.cardinality == 0
+            assert join_stats.tuples_read == left.cardinality + right.cardinality
+            assert join_stats.tuples_emitted == 0
+            assert join_stats.operations == {"join": 1}
+            semi = semijoin(left, right, stats=semi_stats)
+            expected = 0 if right.cardinality == 0 else left.cardinality
+            assert semi.cardinality == expected
+            assert semi_stats.operations == {"semijoin": 1}
+
+    def test_transient_accounting_shrinks_with_chunking(self):
+        dictionary = Dictionary()
+        rows = [(i % 3, i) for i in range(600)]
+        left = columnar(("l", ("k", "a"), rows), dictionary)
+        right = columnar(("r", ("k", "b"), rows), dictionary)
+        unbounded, bounded = OperatorStats(), OperatorStats()
+        base = natural_join(left, right, stats=unbounded)
+        chunked = natural_join(left, right, stats=bounded, chunk_rows=128)
+        assert_identical(base, chunked)
+        assert bounded.peak_transient_elements * 4 < unbounded.peak_transient_elements
+
+
+class TestChunkedBudgetStops:
+    """The budget stop of the chunked join must be indistinguishable from
+    the unchunked kernel: same raise/no-raise decision, same ``work_so_far``
+    (the exact would-be total, computed before materialising), and nothing
+    recorded on abort."""
+
+    @staticmethod
+    def _blowup(probe_rows=12, matches_each=5):
+        # Every probe row matches `matches_each` build rows; build side is
+        # smaller so the larger side is chunked.  reads = probe + build,
+        # emitted = probe * matches_each.
+        dictionary = Dictionary()
+        build = columnar(
+            ("b", ("k", "a"), [(0, j) for j in range(matches_each)]), dictionary
+        )
+        probe = columnar(
+            ("p", ("k", "c"), [(0, 100 + i) for i in range(probe_rows)]), dictionary
+        )
+        reads = probe_rows + matches_each
+        emitted = probe_rows * matches_each
+        return build, probe, reads, emitted
+
+    def _assert_same_stop(self, budget, chunk_rows, probe_rows=12, matches_each=5):
+        build, probe, reads, emitted = self._blowup(probe_rows, matches_each)
+        outcomes = []
+        for chunk in (None, chunk_rows):
+            stats = OperatorStats(budget=budget)
+            try:
+                result = natural_join(build, probe, stats=stats, chunk_rows=chunk)
+                outcomes.append(("ok", result.rows, stats.snapshot()))
+            except EvaluationBudgetExceeded as exc:
+                outcomes.append(("raise", exc.work_so_far, stats.snapshot()))
+                # Aborted before materialising: nothing recorded.
+                assert stats.total_work == 0
+        assert outcomes[0] == outcomes[1]
+        return outcomes[0][0]
+
+    def test_budget_hit_exactly_at_morsel_boundary(self):
+        build, probe, reads, emitted = self._blowup()
+        # chunk_rows=4 over 12 probe rows: morsel boundaries at emit 20/40/60.
+        # A budget of exactly reads + 20 is crossed (total is reads+60).
+        assert self._assert_same_stop(reads + 20, chunk_rows=4) == "raise"
+
+    def test_budget_hit_mid_morsel(self):
+        build, probe, reads, emitted = self._blowup()
+        assert self._assert_same_stop(reads + 33, chunk_rows=4) == "raise"
+
+    def test_budget_hit_on_first_morsel(self):
+        build, probe, reads, emitted = self._blowup()
+        assert self._assert_same_stop(reads + 1, chunk_rows=4) == "raise"
+
+    def test_budget_exactly_sufficient_is_not_hit(self):
+        build, probe, reads, emitted = self._blowup()
+        # record() raises only when total_work *exceeds* the budget.
+        assert self._assert_same_stop(reads + emitted, chunk_rows=4) == "ok"
+
+    def test_all_matching_key_column(self):
+        # Every key matches every build row: the densest possible counts
+        # array; chunked and unchunked must agree on the abort.
+        build, probe, reads, emitted = self._blowup(probe_rows=30, matches_each=30)
+        assert (
+            self._assert_same_stop(
+                reads + emitted - 1, chunk_rows=1, probe_rows=30, matches_each=30
+            )
+            == "raise"
+        )
+        assert (
+            self._assert_same_stop(
+                reads + emitted, chunk_rows=1, probe_rows=30, matches_each=30
+            )
+            == "ok"
+        )
+
+
+def _output_query(num_atoms=5):
+    body = [
+        (f"r{i}", [f"X{i}", f"X{(i + 1) % num_atoms}"]) for i in range(num_atoms)
+    ]
+    return build_query(body, output_variables=["X0", "X2"], name="cycle_out")
+
+
+class TestParallelExecutionEquivalence:
+    @pytest.mark.parametrize("threads", [2, 4])
+    @pytest.mark.parametrize("memory_budget", [None, 2_048, 1 << 20])
+    def test_structural_plan_matches_serial(self, threads, memory_budget):
+        from repro.planner.cost_k_decomp import cost_k_decomp
+
+        query = _output_query()
+        database = workload_database(
+            query, tuples_per_relation=80, domain_size=12, seed=7
+        )
+        plan = cost_k_decomp(query, database.statistics, 2, completion="fresh")
+        serial = plan.to_ir().execute(database, budget=5_000_000)
+        parallel = plan.to_ir().execute(
+            database,
+            budget=5_000_000,
+            threads=threads,
+            memory_budget_bytes=memory_budget,
+        )
+        assert parallel.relation.attributes == serial.relation.attributes
+        assert parallel.relation.rows == serial.relation.rows  # incl. row order
+        assert parallel.stats.snapshot() == serial.stats.snapshot()
+        assert parallel.stats.operations == serial.stats.operations
+
+    @pytest.mark.parametrize("threads", [2, 4])
+    def test_baseline_plan_matches_serial(self, threads):
+        from repro.planner.baseline import baseline_plan
+
+        query = _output_query()
+        database = workload_database(
+            query, tuples_per_relation=60, domain_size=10, seed=3
+        )
+        plan = baseline_plan(query, database.statistics)
+        serial = plan.to_ir().execute(database, budget=20_000_000)
+        parallel = plan.to_ir().execute(
+            database, budget=20_000_000, threads=threads, memory_budget_bytes=4_096
+        )
+        assert parallel.relation.rows == serial.relation.rows
+        assert parallel.stats.snapshot() == serial.stats.snapshot()
+
+    @pytest.mark.parametrize("threads", [2, 4])
+    def test_boolean_plan_matches_serial(self, threads):
+        from repro.planner.cost_k_decomp import cost_k_decomp
+        from repro.workloads.synthetic import snowflake_query
+
+        query = snowflake_query(3, 2)
+        database = workload_database(
+            query, tuples_per_relation=80, domain_size=15, seed=11
+        )
+        plan = cost_k_decomp(query, database.statistics, 2, completion="fresh")
+        serial = plan.to_ir().execute(database, budget=5_000_000)
+        parallel = plan.to_ir().execute(database, budget=5_000_000, threads=threads)
+        assert parallel.boolean == serial.boolean
+        assert parallel.stats.snapshot() == serial.stats.snapshot()
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_tiny_budget_raises_in_every_mode(self, threads):
+        from repro.planner.baseline import baseline_plan
+
+        query = _output_query()
+        database = workload_database(
+            query, tuples_per_relation=60, domain_size=4, seed=1
+        )
+        plan = baseline_plan(query, database.statistics)
+        with pytest.raises(EvaluationBudgetExceeded):
+            plan.to_ir().execute(
+                database, budget=200, threads=threads, memory_budget_bytes=1_024
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_databases_match_across_modes(self, seed):
+        from repro.planner.cost_k_decomp import cost_k_decomp
+
+        query = _output_query()
+        database = workload_database(
+            query, tuples_per_relation=40, domain_size=6, seed=seed
+        )
+        plan = cost_k_decomp(query, database.statistics, 2, completion="fresh")
+        serial = plan.to_ir().execute(database, budget=5_000_000)
+        for threads, memory_budget in ((2, None), (4, 1_024)):
+            parallel = plan.to_ir().execute(
+                database,
+                budget=5_000_000,
+                threads=threads,
+                memory_budget_bytes=memory_budget,
+            )
+            assert parallel.relation.rows == serial.relation.rows
+            assert parallel.stats.snapshot() == serial.stats.snapshot()
+
+
+class TestKnobsAndScheduler:
+    def test_database_reads_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DB_THREADS", "3")
+        monkeypatch.setenv("REPRO_DB_MEMORY_BUDGET_BYTES", "65536")
+        database = Database(relations={"r": Relation("r", ["a"], [(1,)])})
+        assert database.threads == 3
+        assert database.memory_budget_bytes == 65536
+        monkeypatch.setenv("REPRO_DB_MEMORY_BUDGET_BYTES", "0")
+        assert Database().memory_budget_bytes is None
+
+    def test_explicit_knobs_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DB_THREADS", "8")
+        database = Database(threads=2, memory_budget_bytes=1_000)
+        assert database.threads == 2
+        assert database.memory_budget_bytes == 1_000
+
+    def test_chunk_rows_for_budget(self):
+        assert chunk_rows_for_budget(None) is None
+        assert chunk_rows_for_budget(0) is None  # 0 disables, as on Database
+        assert chunk_rows_for_budget(1 << 20) == (1 << 20) // 128
+        assert chunk_rows_for_budget(1) == 32  # floor
+
+    def test_scheduler_respects_dependencies(self):
+        order = []
+        tasks = [
+            (("a", 1), (), lambda: order.append("a")),
+            (("b", 1), (("a", 1),), lambda: order.append("b")),
+            (("c", 1), (("a", 1),), lambda: order.append("c")),
+            (("d", 1), (("b", 1), ("c", 1)), lambda: order.append("d")),
+        ]
+        TaskScheduler(4).run(tasks)
+        assert order[0] == "a" and order[-1] == "d"
+        assert set(order) == {"a", "b", "c", "d"}
+
+    def test_scheduler_propagates_first_error(self):
+        def boom():
+            raise ValueError("boom")
+
+        tasks = [
+            (("ok", 0), (), lambda: None),
+            (("bad", 0), (), boom),
+            (("after", 0), (("bad", 0),), lambda: None),
+        ]
+        with pytest.raises(ValueError, match="boom"):
+            TaskScheduler(2).run(tasks)
+
+    def test_scheduler_serial_mode_runs_in_list_order(self):
+        order = []
+        tasks = [
+            (("x", i), (), (lambda i=i: order.append(i))) for i in range(5)
+        ]
+        TaskScheduler(1).run(tasks)
+        assert order == list(range(5))
+
+    def test_task_dag_shape(self):
+        from repro.db.plan_ir import yannakakis_task_dag
+        from repro.decomposition.kdecomp import optimal_decomposition
+        from repro.decomposition.normal_form import complete_decomposition
+        from repro.db.plan_ir import hypertree_plan_ir
+
+        query = _output_query()
+        decomposition = complete_decomposition(
+            optimal_decomposition(query.hypergraph())
+        )
+        plan = hypertree_plan_ir(query, decomposition)
+        specs = yannakakis_task_dag(plan.root)
+        keys = {spec.key for spec in specs}
+        kinds = {kind for kind, _ in keys}
+        assert kinds == {"expr", "up", "down", "fold"}
+        # Every dependency points at a task of the DAG, no cycles by kind.
+        for spec in specs:
+            for dep in spec.deps:
+                assert dep in keys
+        # Topological in list order.
+        seen = set()
+        for spec in specs:
+            assert all(dep in seen for dep in spec.deps)
+            seen.add(spec.key)
