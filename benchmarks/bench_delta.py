@@ -15,6 +15,12 @@ get a peak-RSS column; note ``ru_maxrss`` is a process-lifetime high-water
 mark, so within one session it can only grow -- it is an upper bound per
 bench, meaningful across sessions.
 
+``--bench PREFIX`` restricts the table to benchmarks whose key starts
+with the prefix (e.g. ``--bench benchmarks/bench_storage.py`` prints only
+the storage rows next to the CI storage step).  The run-session counting
+ignores the filter, so a filtered view over a fresh benchmark still says
+"(new)" rather than "nothing to compare".
+
 Exit status is always 0 -- the table is for eyeballs (CI perf gating on
 shared runners would be noise); regressions are made *visible*, not fatal.
 With fewer than two recorded run sessions there is nothing to compare
@@ -24,6 +30,7 @@ placeholders.
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
 
@@ -61,7 +68,7 @@ def _format_rss(value) -> str:
     return f"{value / 1024:.0f}M" if value is not None else "-"
 
 
-def delta_table(rows) -> str:
+def delta_table(rows, bench_filter: str | None = None) -> str:
     if not rows:
         return "BENCH_core.json is empty or missing -- nothing to compare."
     distinct_runs = {run_key(row) for row in rows}
@@ -75,6 +82,8 @@ def delta_table(rows) -> str:
     history: dict = {}
     any_rss = False
     for row in rows:
+        if bench_filter and not bench_key(row).startswith(bench_filter):
+            continue
         seconds = row.get("seconds")
         if isinstance(seconds, (int, float)):
             rss = peak_rss_kb(row)
@@ -82,6 +91,11 @@ def delta_table(rows) -> str:
             history.setdefault(bench_key(row), []).append(
                 (run_key(row), seconds, rss)
             )
+    if not history:
+        return (
+            f"no recorded benchmark matches --bench {bench_filter!r} "
+            "(keys are pytest nodeids, e.g. benchmarks/bench_storage.py)."
+        )
     rss_header = f" {'peak RSS':>9}" if any_rss else ""
     lines = [
         f"{'benchmark':<76} {'previous':>12} {'latest':>12} {'delta':>8}"
@@ -117,8 +131,19 @@ def delta_table(rows) -> str:
     return "\n".join(lines)
 
 
-def main() -> int:
-    print(delta_table(load_rows()))
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Print the newest-vs-previous delta table over BENCH_core.json"
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="PREFIX",
+        help="only show benchmarks whose key starts with this prefix "
+        "(e.g. benchmarks/bench_storage.py)",
+    )
+    args = parser.parse_args(argv)
+    print(delta_table(load_rows(), bench_filter=args.bench))
     return 0
 
 

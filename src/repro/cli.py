@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands mirror the library's main entry points::
+Four subcommands mirror the library's main entry points::
 
     python -m repro.cli decompose QUERY_OR_FILE [--k K] [--taf lex|width|nodes]
     python -m repro.cli plan QUERY [--k K] [--tuples N] [--seed S]
     python -m repro.cli experiments [--fast]
+    python -m repro.cli db {save,open,info} PATH [...]
 
 * ``decompose`` parses a datalog query (or a hypergraph file in the
   benchmark format when the argument is a path ending in ``.hg``) and prints
@@ -14,6 +15,12 @@ Three subcommands mirror the library's main entry points::
   and compares it against the left-deep baseline.
 * ``experiments`` regenerates the paper's tables (Fig. 1, Example 3.1, the Ψ
   table, Figs. 6/7, and -- unless ``--fast`` -- Fig. 8) and prints them.
+* ``db`` drives the persistent storage plane (:mod:`repro.db.storage`):
+  ``db save PATH --query Q`` generates a synthetic workload database and
+  stores it in the mmap-able columnar format, ``db open PATH`` reopens it
+  (zero interning) and prints the schema, ``db info PATH`` prints the
+  catalog summary -- relations, rows, bytes, dictionary size -- without
+  touching a single column file.
 """
 
 from __future__ import annotations
@@ -68,6 +75,33 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--fast", action="store_true", help="skip the Fig. 8 execution experiments"
     )
+
+    db = subparsers.add_parser(
+        "db", help="save/open/inspect stored databases (the storage plane)"
+    )
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+
+    db_save = db_commands.add_parser(
+        "save", help="generate a synthetic workload database and store it"
+    )
+    db_save.add_argument("path", help="target directory for the stored database")
+    db_save.add_argument("--query", required=True, help="datalog query text")
+    db_save.add_argument("--tuples", type=int, default=150, help="tuples per relation")
+    db_save.add_argument("--domain", type=int, default=30, help="attribute domain size")
+    db_save.add_argument("--seed", type=int, default=0)
+
+    db_open = db_commands.add_parser(
+        "open", help="open a stored database (mmap) and print its schema"
+    )
+    db_open.add_argument("path", help="directory of a stored database")
+    db_open.add_argument(
+        "--rows", action="store_true", help="decode and print a few rows per relation"
+    )
+
+    db_info = db_commands.add_parser(
+        "info", help="print the catalog summary without loading any column"
+    )
+    db_info.add_argument("path", help="directory of a stored database")
     return parser
 
 
@@ -144,6 +178,53 @@ def _command_experiments(args) -> int:
     return 0
 
 
+def _command_db(args) -> int:
+    from repro.db.database import Database
+    from repro.db.storage import storage_info
+
+    if args.db_command == "save":
+        query = parse_query(args.query)
+        database = workload_database(
+            query,
+            tuples_per_relation=args.tuples,
+            domain_size=args.domain,
+            seed=args.seed,
+        )
+        database.save(args.path)
+        info = storage_info(args.path)
+        print(
+            f"saved {info['total_rows']:,} rows in {len(info['relations'])} "
+            f"relations ({info['total_column_bytes']:,} column bytes, "
+            f"{info['dictionary_entries']:,} dictionary values) to {args.path}"
+        )
+        return 0
+    if args.db_command == "open":
+        database = Database.open(args.path)
+        print(database.describe())
+        if args.rows:
+            for name in database.relation_names():
+                print(f"  {name} head: {database.relation(name).head()}")
+        return 0
+    if args.db_command == "info":
+        info = storage_info(args.path)
+        print(
+            f"stored database {info['name']!r} "
+            f"(format {info['format']} v{info['version']})"
+        )
+        print(
+            f"  relations: {len(info['relations'])}  rows: {info['total_rows']:,}  "
+            f"column bytes: {info['total_column_bytes']:,}  "
+            f"dictionary: {info['dictionary_entries']:,} values"
+        )
+        for relation in info["relations"]:
+            print(
+                f"  {relation['name']}({', '.join(relation['attributes'])}): "
+                f"{relation['rows']:,} rows, {relation['bytes']:,} bytes"
+            )
+        return 0
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "decompose":
@@ -152,6 +233,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_plan(args)
     if args.command == "experiments":
         return _command_experiments(args)
+    if args.command == "db":
+        return _command_db(args)
     return 1
 
 

@@ -48,6 +48,16 @@ from repro.db.executor import (
     execute_plan,
     naive_join_evaluation,
 )
+from repro.db.storage import (
+    PlanCache,
+    cached_database,
+    open_database,
+    query_fingerprint,
+    save_database,
+    statistics_digest,
+    storage_info,
+    workload_cache_stats,
+)
 from repro.db.costmodel import AtomProfile, CardinalityEstimator
 from repro.db.generator import (
     database_from_statistics,
@@ -96,6 +106,14 @@ __all__ = [
     "build_tree_query",
     "execute_hypertree_plan",
     "naive_join_evaluation",
+    "PlanCache",
+    "cached_database",
+    "open_database",
+    "query_fingerprint",
+    "save_database",
+    "statistics_digest",
+    "storage_info",
+    "workload_cache_stats",
     "AtomProfile",
     "CardinalityEstimator",
     "database_from_statistics",

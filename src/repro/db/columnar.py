@@ -286,6 +286,20 @@ class ColumnarRelation(Relation):
             base_length=count,
         )
 
+    def column_nbytes(self) -> int:
+        """Bytes held by the base column arrays plus the selection vector --
+        also the exact on-disk size of the relation's binary files under
+        :mod:`repro.db.storage` (the format is the raw little-endian int64
+        columns, so saving is a plain dump and opening is ``np.memmap``).
+        Columns loaded from storage are read-only memmaps; every kernel
+        treats input columns as immutable, so they execute on mapped
+        relations unchanged.
+        """
+        total = sum(col.nbytes for col in self._columns)
+        if self._selection is not None:
+            total += self._selection.nbytes
+        return int(total)
+
     def __repr__(self) -> str:
         return (
             f"ColumnarRelation({self.name!r}, attributes={self.attributes}, "

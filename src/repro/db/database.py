@@ -101,6 +101,38 @@ class Database:
         return sum(r.cardinality for r in self._relations.values())
 
     # ------------------------------------------------------------------
+    def save(self, path) -> "Database":
+        """Persist this database to ``path`` in the mmap-able columnar
+        storage format (see :mod:`repro.db.storage`): a JSON catalog plus
+        one raw int64 file per column.  Returns ``self`` for chaining."""
+        from repro.db.storage import save_database
+
+        save_database(self, path)
+        return self
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        columnar: bool = True,
+        threads: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> "Database":
+        """Open a stored database.  Under the columnar engine every column
+        is ``np.memmap``'d read-only straight into the relations -- no
+        interning, no row materialisation; without numpy (or with
+        ``columnar=False``) the stored ids decode through the row engine.
+        Statistics come back verbatim from the catalog."""
+        from repro.db.storage import open_database
+
+        return open_database(
+            path,
+            columnar=columnar,
+            threads=threads,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
+    # ------------------------------------------------------------------
     def analyze(self) -> CatalogStatistics:
         """Recompute the catalog from the stored relations (``ANALYZE TABLE``
         for every table) and return it."""

@@ -22,7 +22,19 @@ database never touches the values themselves.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StorageFormatError
+
+#: Type tags of the persistence segments (see :meth:`Dictionary.to_segments`).
+#: ``bool`` must be tested before ``int`` (it is an ``int`` subclass) so a
+#: stored ``True`` decodes back to ``True``, not ``1``.
+_SEGMENT_TYPES: Tuple[Tuple[str, type], ...] = (
+    ("bool", bool),
+    ("int", int),
+    ("float", float),
+    ("str", str),
+)
 
 
 class Dictionary:
@@ -85,6 +97,68 @@ class Dictionary:
 
     def __contains__(self, value: object) -> bool:
         return value in self._ids
+
+    # ------------------------------------------------------------------
+    # Persistence (the storage plane serialises dictionaries as typed
+    # segments; see repro.db.storage).
+    # ------------------------------------------------------------------
+    def to_segments(self) -> List[Tuple[str, List[Any]]]:
+        """The id-ordered value list as (type-tag, values) runs.
+
+        Consecutive values of the same JSON-representable type are grouped
+        into one segment, so the common case (a long run of ints, or of
+        strings) stays compact and decoding is a straight concatenation that
+        reproduces the exact id order.  Unicode strings, negative and
+        arbitrarily large ints, floats, bools and ``None`` all round-trip
+        exactly; any other value type raises :class:`StorageFormatError`
+        (the on-disk format would not preserve it).
+        """
+        segments: List[Tuple[str, List[Any]]] = []
+        for value in self._values:
+            tag = None
+            if value is None:
+                tag = "none"
+            else:
+                for candidate, cls in _SEGMENT_TYPES:
+                    if isinstance(value, cls):
+                        tag = candidate
+                        break
+            if tag is None:
+                raise StorageFormatError(
+                    f"dictionary value {value!r} of type "
+                    f"{type(value).__name__!r} cannot be stored; supported "
+                    "types: int, str, float, bool, None"
+                )
+            if segments and segments[-1][0] == tag:
+                segments[-1][1].append(value)
+            else:
+                segments.append((tag, [value]))
+        return segments
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[Sequence[Any]]) -> "Dictionary":
+        """Rebuild a dictionary from :meth:`to_segments` output (ids are
+        reassigned in order, hence identical to the saved ones)."""
+        known = {tag for tag, _ in _SEGMENT_TYPES} | {"none"}
+        decoders = {"bool": bool, "int": int, "float": float, "str": str}
+
+        def values():
+            for segment in segments:
+                try:
+                    tag, payload = segment[0], segment[1]
+                except (IndexError, TypeError) as exc:
+                    raise StorageFormatError(
+                        f"malformed dictionary segment: {segment!r}"
+                    ) from exc
+                if tag not in known:
+                    raise StorageFormatError(
+                        f"unknown dictionary segment type {tag!r}"
+                    )
+                decode = decoders.get(tag)
+                for value in payload:
+                    yield None if tag == "none" else decode(value)
+
+        return cls(values())
 
     @property
     def key_width(self) -> int:

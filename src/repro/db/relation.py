@@ -85,6 +85,26 @@ class Relation:
         self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_value_columns(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        columns: Sequence[Sequence[Value]],
+        cardinality: int | None = None,
+    ) -> "Relation":
+        """Build a relation from per-attribute value columns (the row-engine
+        twin of ``ColumnarRelation.from_value_columns``; the storage plane's
+        numpy-free open path decodes stored columns through it).
+
+        ``cardinality`` is only needed for zero-arity relations, whose row
+        count cannot be inferred from an empty column list.
+        """
+        if columns:
+            return cls(name, attributes, zip(*columns))
+        return cls(name, attributes, ((),) * int(cardinality or 0))
+
+    # ------------------------------------------------------------------
     @property
     def rows(self) -> Tuple[Row, ...]:
         return self._rows

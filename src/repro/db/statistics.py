@@ -61,6 +61,29 @@ class TableStatistics:
     def attributes(self) -> Iterable[str]:
         return self.distinct_counts.keys()
 
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-safe rendering (the storage catalog and the planner's
+        statistics digest both consume it)."""
+        return {
+            "cardinality": int(self.cardinality),
+            "distinct_counts": {
+                str(attribute): int(count)
+                for attribute, count in sorted(self.distinct_counts.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, relation_name: str, payload: Mapping) -> "TableStatistics":
+        return cls(
+            relation_name=relation_name,
+            cardinality=int(payload["cardinality"]),
+            distinct_counts={
+                str(attribute): int(count)
+                for attribute, count in payload.get("distinct_counts", {}).items()
+            },
+        )
+
 
 def analyze_relation(relation: Relation) -> TableStatistics:
     """Measure statistics from an actual relation (the ``ANALYZE TABLE``
@@ -135,6 +158,24 @@ class CatalogStatistics:
                     distinct_counts=dict(selectivities.get(name, {})),
                 )
             )
+        return catalog
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe catalog rendering, keyed and ordered by relation name
+        (deterministic, so the planner's statistics digest is stable)."""
+        return {
+            "tables": {
+                name: self._tables[name].to_payload()
+                for name in self.relation_names()
+            }
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CatalogStatistics":
+        catalog = cls()
+        for name, table in payload.get("tables", {}).items():
+            catalog.add(TableStatistics.from_payload(str(name), table))
         return catalog
 
     def describe(self) -> str:

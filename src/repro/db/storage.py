@@ -1,0 +1,740 @@
+"""Persistent columnar storage plane: an mmap-backed on-disk database
+format, a content-addressed workload cache, and a persistent plan cache.
+
+The paper's experiments (Figs. 5-8) are repeated sweeps over the same
+generated databases, yet every run historically paid full generation plus
+dictionary interning before a single join ran.  The columnar engine makes
+persistence almost free: a :class:`~repro.db.database.Database` is a shared
+value :class:`~repro.db.dictionary.Dictionary` plus flat ``int64`` id
+columns, both of which serialise trivially.  This module defines:
+
+**The storage format** (:func:`save_database` / :func:`open_database`) -- a
+directory per database::
+
+    <dir>/catalog.json        # format marker+version, relation metadata,
+                              # statistics, dictionary reference
+    <dir>/dictionary.json     # the interner as typed value segments
+    <dir>/cols/r<i>_c<j>.i64  # one raw little-endian int64 file per column
+    <dir>/cols/r<i>_sel.i64   # optional selection vector
+
+Opening maps every column file with ``np.memmap(mode="r")`` straight into
+:class:`~repro.db.columnar.ColumnarRelation` columns: no interning, no row
+materialisation, near-zero allocation.  The maps are **read-only** (writes
+raise), which is safe because every kernel treats input columns as
+immutable.  Without numpy the same files are decoded through the row
+engine (:meth:`Relation.from_value_columns`), so a stored database opens
+on either engine.  Because join/semijoin/project output order is
+id-independent (matches surface in probe-row then base-row order), a
+round-tripped database yields byte-identical answers, row order and
+``OperatorStats`` to the in-memory original -- the invariant the Hypothesis
+suite in ``tests/test_storage.py`` pins.
+
+**The workload cache** (:func:`cached_database`) -- a content-addressed
+store of generated databases keyed by ``(generator kind, params)`` digests.
+:func:`repro.workloads.synthetic.workload_database` and the Fig. 5/Fig. 8
+drivers route generation through it, so repeated experiment sweeps reuse
+the stored columns instead of regenerating.  The cache activates when a
+directory is configured (``REPRO_WORKLOAD_CACHE_DIR`` or an explicit
+``cache_dir``); saves are atomic (build in a temp sibling, rename), and a
+corrupt or version-mismatched entry is regenerated in place.
+
+**The plan cache** (:class:`PlanCache`) -- a persistent store of winning
+plans keyed by (query fingerprint, statistics digest, width bound, planner
+knobs).  :func:`repro.planner.compare.compare_planners` consults it so a
+repeated k-sweep over unchanged statistics skips planning entirely (a hit
+reports ``planning_seconds == 0.0``); any statistics change alters the
+digest and invalidates the entry.  The cache stores payloads, not pickles:
+decompositions serialise through :func:`decomposition_to_payload`.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+import shutil
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+try:  # The mmap fast path needs numpy; the row fallback covers its absence.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.db.database import Database
+from repro.db.dictionary import Dictionary
+from repro.db.relation import Relation
+from repro.db.statistics import CatalogStatistics
+from repro.exceptions import StorageFormatError
+
+try:
+    from repro.db.columnar import ColumnarRelation
+except ImportError:  # pragma: no cover - exercised only without numpy
+    ColumnarRelation = None  # type: ignore[assignment]
+
+#: Format marker + version of the on-disk layout.  Bump the version on any
+#: incompatible change; readers raise :class:`StorageFormatError` on both an
+#: unknown marker and a version they do not understand.
+FORMAT_NAME = "repro-columnar-db"
+FORMAT_VERSION = 1
+
+_CATALOG_FILE = "catalog.json"
+_DICTIONARY_FILE = "dictionary.json"
+_COLUMN_DIR = "cols"
+
+#: Environment knobs of the workload cache: the directory that activates it
+#: and the kill switch that beats an explicitly passed directory.
+CACHE_DIR_ENV = "REPRO_WORKLOAD_CACHE_DIR"
+CACHE_DISABLE_ENV = "REPRO_WORKLOAD_CACHE"
+
+
+# ----------------------------------------------------------------------
+# Raw int64 column files.
+# ----------------------------------------------------------------------
+
+
+def _write_i64(path: Path, ids) -> int:
+    """Dump one id column as raw little-endian int64; returns byte count."""
+    if np is not None and isinstance(ids, np.ndarray):
+        payload = np.ascontiguousarray(ids, dtype=np.dtype("<i8")).tobytes()
+    else:
+        import array
+
+        arr = array.array("q", [int(v) for v in ids])
+        if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+            arr.byteswap()
+        payload = arr.tobytes()
+    path.write_bytes(payload)
+    return len(payload)
+
+
+def _check_i64_file(path: Path, length: int) -> None:
+    try:
+        size = path.stat().st_size
+    except OSError as exc:
+        raise StorageFormatError(f"missing column file {path}") from exc
+    if size != 8 * length:
+        raise StorageFormatError(
+            f"column file {path} holds {size} bytes, expected {8 * length} "
+            f"({length} int64 values)"
+        )
+
+
+def _memmap_i64(path: Path, length: int):
+    """Map one column file read-only (zero rows need no file mapping)."""
+    _check_i64_file(path, length)
+    if length == 0:
+        return np.empty(0, dtype=np.int64)
+    try:
+        return np.memmap(path, dtype=np.dtype("<i8"), mode="r")
+    except (OSError, ValueError) as exc:
+        raise StorageFormatError(f"cannot map column file {path}: {exc}") from exc
+
+
+def _read_i64_fallback(path: Path, length: int) -> List[int]:
+    """Decode one column file without numpy (the row-engine open path)."""
+    import array
+
+    _check_i64_file(path, length)
+    arr = array.array("q")
+    arr.frombytes(path.read_bytes())
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        arr.byteswap()
+    return arr.tolist()
+
+
+def _checked_ids(column, limit: int, relation: str, what: str = "dictionary id"):
+    """Range-check a loaded id column against ``[0, limit)``.
+
+    Bit-level corruption that survives the byte-length check would otherwise
+    decode *silently* through Python/numpy negative indexing into wrong
+    values; a single min/max scan turns it into a loud
+    :class:`StorageFormatError`.  (For memmaps this is the one sequential
+    read an open performs -- no allocation, and orders of magnitude cheaper
+    than regeneration.)
+    """
+    if np is not None and isinstance(column, np.ndarray):
+        if column.size == 0:
+            return column
+        lo, hi = int(column.min()), int(column.max())
+    else:
+        if not column:
+            return column
+        lo, hi = min(column), max(column)
+    if lo < 0 or hi >= limit:
+        raise StorageFormatError(
+            f"relation {relation!r}: stored {what} out of range "
+            f"([{lo}, {hi}] not within [0, {limit}))"
+        )
+    return column
+
+
+# ----------------------------------------------------------------------
+# Save.
+# ----------------------------------------------------------------------
+
+
+def _encoded_relations(database: Database):
+    """``(dictionary, [(relation, base_columns, selection, base_length,
+    known_distinct)])`` -- the id-space view of every stored relation.
+
+    Columnar relations are already in id space over the database's shared
+    dictionary.  Row relations (the ``columnar=False`` engine) are encoded
+    column-major into a fresh dictionary at save time, in relation order --
+    the same interning order the columnar generator produces, so the stored
+    bytes are identical whichever engine generated the data.
+    """
+    columnar = [
+        relation
+        for relation in (database.relation(n) for n in database.relation_names())
+    ]
+    if database.columnar and ColumnarRelation is not None and all(
+        isinstance(r, ColumnarRelation) and r.dictionary is database.dictionary
+        for r in columnar
+    ):
+        encoded = [
+            (r, r._columns, r._selection, r._base_length, r._known_distinct)
+            for r in columnar
+        ]
+        return database.dictionary, encoded
+    dictionary = Dictionary()
+    encoded = []
+    for relation in columnar:
+        rows = relation.rows
+        columns = [
+            dictionary.encode_column(row[position] for row in rows)
+            for position in range(len(relation.attributes))
+        ]
+        encoded.append((relation, columns, None, len(rows), False))
+    return dictionary, encoded
+
+
+def save_database(database: Database, path) -> Path:
+    """Write ``database`` to ``path`` (a directory, created as needed) in
+    the mmap-able columnar format.  Existing contents are replaced.  The
+    statistics catalog is stored verbatim, so opening restores it without
+    re-analysis.  Returns the directory path."""
+    root = Path(path)
+    column_dir = root / _COLUMN_DIR
+    if column_dir.exists():
+        shutil.rmtree(column_dir)
+    column_dir.mkdir(parents=True, exist_ok=True)
+
+    dictionary, encoded = _encoded_relations(database)
+    relations_meta = []
+    total_bytes = 0
+    for index, (relation, columns, selection, base_length, known_distinct) in enumerate(
+        encoded
+    ):
+        column_files = []
+        for position, column in enumerate(columns):
+            file_name = f"{_COLUMN_DIR}/r{index}_c{position}.i64"
+            nbytes = _write_i64(root / file_name, column)
+            total_bytes += nbytes
+            column_files.append(
+                {
+                    "attribute": relation.attributes[position],
+                    "file": file_name,
+                    "bytes": nbytes,
+                }
+            )
+        selection_meta = None
+        if selection is not None:
+            file_name = f"{_COLUMN_DIR}/r{index}_sel.i64"
+            nbytes = _write_i64(root / file_name, selection)
+            total_bytes += nbytes
+            selection_meta = {
+                "file": file_name,
+                "length": int(len(selection)),
+                "bytes": nbytes,
+            }
+        relations_meta.append(
+            {
+                "name": relation.name,
+                "attributes": list(relation.attributes),
+                "base_length": int(base_length),
+                "cardinality": int(relation.cardinality),
+                "columns": column_files,
+                "selection": selection_meta,
+                "known_distinct": bool(known_distinct),
+            }
+        )
+
+    dictionary_payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "segments": [[tag, values] for tag, values in dictionary.to_segments()],
+    }
+    (root / _DICTIONARY_FILE).write_text(json.dumps(dictionary_payload))
+
+    catalog = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": database.name,
+        "dictionary": {"file": _DICTIONARY_FILE, "entries": len(dictionary)},
+        "relations": relations_meta,
+        "statistics": database.statistics.to_payload(),
+        "total_column_bytes": total_bytes,
+    }
+    (root / _CATALOG_FILE).write_text(json.dumps(catalog, indent=1))
+    return root
+
+
+# ----------------------------------------------------------------------
+# Open.
+# ----------------------------------------------------------------------
+
+
+def _load_json(path: Path) -> Mapping:
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise StorageFormatError(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise StorageFormatError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StorageFormatError(f"{path} does not hold a JSON object")
+    return payload
+
+
+def _checked_format(payload: Mapping, path: Path) -> Mapping:
+    marker = payload.get("format")
+    version = payload.get("version")
+    if marker != FORMAT_NAME:
+        raise StorageFormatError(
+            f"{path} has format marker {marker!r}, expected {FORMAT_NAME!r} "
+            "(not a stored repro database?)"
+        )
+    if version != FORMAT_VERSION:
+        raise StorageFormatError(
+            f"{path} is format version {version!r}; this build reads only "
+            f"version {FORMAT_VERSION}"
+        )
+    return payload
+
+
+def load_catalog(path) -> Mapping:
+    """The validated catalog of a stored database (metadata only -- no
+    column file is touched; the ``db info`` command reads just this)."""
+    root = Path(path)
+    return _checked_format(_load_json(root / _CATALOG_FILE), root / _CATALOG_FILE)
+
+
+def open_database(
+    path,
+    columnar: bool = True,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> Database:
+    """Open a stored database.
+
+    With numpy present and ``columnar=True`` (the default) every column file
+    is ``np.memmap``'d read-only directly into the relations -- no value is
+    interned and no row materialised, which is what makes warm opens orders
+    of magnitude cheaper than regeneration.  ``columnar=False`` (or a
+    missing numpy) decodes the same files through the row engine instead.
+    ``threads`` / ``memory_budget_bytes`` are the usual execution-plane
+    knobs of :class:`Database`.
+    """
+    root = Path(path)
+    catalog = load_catalog(root)
+    dict_meta = catalog.get("dictionary", {})
+    dictionary_payload = _checked_format(
+        _load_json(root / dict_meta.get("file", _DICTIONARY_FILE)),
+        root / dict_meta.get("file", _DICTIONARY_FILE),
+    )
+    dictionary = Dictionary.from_segments(dictionary_payload.get("segments", ()))
+    if len(dictionary) != int(dict_meta.get("entries", len(dictionary))):
+        raise StorageFormatError(
+            f"dictionary holds {len(dictionary)} values, catalog declares "
+            f"{dict_meta.get('entries')}"
+        )
+
+    use_columnar = columnar and np is not None and ColumnarRelation is not None
+    database = Database(
+        name=str(catalog.get("name", "db")),
+        columnar=use_columnar,
+        dictionary=dictionary if use_columnar else None,
+        threads=threads,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    # Any shape defect in the catalog payload -- missing keys, non-numeric
+    # fields -- is a corrupt store, not a programming error: surface it as
+    # StorageFormatError so cache layers regenerate instead of crashing.
+    try:
+        relation_metas = [
+            (
+                str(meta["name"]),
+                [str(a) for a in meta["attributes"]],
+                int(meta["base_length"]),
+                list(meta["columns"]),
+                dict(meta["selection"]) if meta.get("selection") else None,
+                bool(meta.get("known_distinct", False)),
+            )
+            for meta in catalog.get("relations", ())
+        ]
+        statistics = CatalogStatistics.from_payload(catalog.get("statistics", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageFormatError(f"malformed catalog payload: {exc!r}") from exc
+
+    for name, attributes, base_length, column_metas, selection_meta, known_distinct in (
+        relation_metas
+    ):
+        if len(column_metas) != len(attributes):
+            raise StorageFormatError(
+                f"relation {name!r}: {len(column_metas)} column "
+                f"files for {len(attributes)} attributes"
+            )
+        try:
+            column_files = [root / column["file"] for column in column_metas]
+            selection_file = (
+                (root / selection_meta["file"], int(selection_meta["length"]))
+                if selection_meta
+                else None
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageFormatError(
+                f"relation {name!r}: malformed column metadata: {exc!r}"
+            ) from exc
+        if use_columnar:
+            columns = [
+                _checked_ids(_memmap_i64(path, base_length), len(dictionary), name)
+                for path in column_files
+            ]
+            selection = None
+            if selection_file is not None:
+                selection = _checked_ids(
+                    _memmap_i64(*selection_file), base_length, name,
+                    what="selection index",
+                )
+            relation = ColumnarRelation(
+                name,
+                attributes,
+                dictionary,
+                columns,
+                selection,
+                base_length,
+            )
+            relation._known_distinct = known_distinct
+            database.add_relation(relation)
+        else:
+            values = dictionary.values
+            id_columns = [
+                _checked_ids(
+                    _read_i64_fallback(path, base_length), len(dictionary), name
+                )
+                for path in column_files
+            ]
+            if selection_file is not None:
+                selection = _checked_ids(
+                    _read_i64_fallback(*selection_file), base_length, name,
+                    what="selection index",
+                )
+                id_columns = [[col[i] for i in selection] for col in id_columns]
+                cardinality = len(selection)
+            else:
+                cardinality = base_length
+            value_columns = [[values[i] for i in col] for col in id_columns]
+            database.add_relation(
+                Relation.from_value_columns(
+                    name, attributes, value_columns, cardinality
+                )
+            )
+    database.statistics = statistics
+    return database
+
+
+def storage_info(path) -> Dict[str, Any]:
+    """Catalog summary of a stored database without opening any column:
+    relation count/rows/bytes and the dictionary size (the ``db info``
+    subcommand prints this)."""
+    catalog = load_catalog(path)
+    relations = []
+    total_rows = 0
+    total_bytes = 0
+    for meta in catalog.get("relations", ()):
+        nbytes = sum(int(c.get("bytes", 0)) for c in meta.get("columns", ()))
+        if meta.get("selection"):
+            nbytes += int(meta["selection"].get("bytes", 0))
+        cardinality = int(meta.get("cardinality", 0))
+        total_rows += cardinality
+        total_bytes += nbytes
+        relations.append(
+            {
+                "name": meta.get("name"),
+                "attributes": list(meta.get("attributes", ())),
+                "rows": cardinality,
+                "bytes": nbytes,
+            }
+        )
+    return {
+        "name": catalog.get("name"),
+        "format": catalog.get("format"),
+        "version": catalog.get("version"),
+        "relations": relations,
+        "total_rows": total_rows,
+        "total_column_bytes": total_bytes,
+        "dictionary_entries": int(catalog.get("dictionary", {}).get("entries", 0)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and digests (shared by both caches).
+# ----------------------------------------------------------------------
+
+
+def canonical_digest(payload) -> str:
+    """SHA-256 over the canonical JSON rendering of a payload -- the single
+    content-addressing primitive of the storage plane."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def query_fingerprint(query) -> Dict[str, Any]:
+    """A JSON-safe structural fingerprint of a conjunctive query: atom
+    names, predicates, term tuples and the output variables -- everything
+    that determines both the generated workload and the plan space."""
+    return {
+        "name": query.name,
+        "atoms": [
+            [atom.name, atom.predicate, list(atom.terms)] for atom in query.atoms
+        ],
+        "output": list(query.output_variables),
+    }
+
+
+def statistics_digest(statistics: CatalogStatistics) -> str:
+    """Content digest of a statistics catalog.  Any cardinality or
+    selectivity change changes the digest, which is exactly the plan
+    cache's invalidation rule."""
+    return canonical_digest(statistics.to_payload())
+
+
+# ----------------------------------------------------------------------
+# Content-addressed workload cache.
+# ----------------------------------------------------------------------
+
+#: Process-wide hit/miss counters (reported by benchmarks, asserted by CI).
+_workload_cache_counters = {"hits": 0, "misses": 0}
+
+
+def workload_cache_stats() -> Dict[str, int]:
+    """A copy of the process-wide workload-cache hit/miss counters."""
+    return dict(_workload_cache_counters)
+
+
+def reset_workload_cache_stats() -> None:
+    _workload_cache_counters["hits"] = 0
+    _workload_cache_counters["misses"] = 0
+
+
+def workload_cache_dir(cache_dir=None) -> Optional[Path]:
+    """Resolve the active cache directory: an explicit ``cache_dir`` wins,
+    else the ``REPRO_WORKLOAD_CACHE_DIR`` environment variable; ``None``
+    (cache disabled) when neither is set or ``REPRO_WORKLOAD_CACHE=0``."""
+    if os.environ.get(CACHE_DISABLE_ENV, "").strip() == "0":
+        return None
+    if cache_dir is not None:
+        return Path(cache_dir)
+    configured = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(configured) if configured else None
+
+
+def cached_database(
+    kind: str,
+    params: Mapping[str, Any],
+    builder: Callable[[], Database],
+    columnar: bool = True,
+    cache_dir=None,
+    refresh: bool = False,
+) -> Database:
+    """Generate-or-reuse a workload database.
+
+    ``kind`` names the generator and ``params`` its JSON-safe parameters
+    (include the seed and a :func:`query_fingerprint`); together with the
+    format version they form the content address.  On a hit the stored
+    database is opened (mmap'd under the columnar engine); on a miss --
+    including a corrupt or version-mismatched entry -- ``builder()`` runs
+    and its result is saved atomically (temp sibling + rename, so
+    concurrent processes never observe a half-written entry).  With no
+    cache directory configured this is exactly ``builder()``.
+
+    The ``columnar`` flag selects the *representation* of the returned
+    database only; it is deliberately not part of the key, because both
+    engines hold identical data.
+    """
+    root = workload_cache_dir(cache_dir)
+    if root is None:
+        return builder()
+    digest = canonical_digest(
+        {"kind": kind, "params": dict(params), "format_version": FORMAT_VERSION}
+    )
+    entry = root / f"{kind}-{digest[:20]}"
+    if not refresh and (entry / _CATALOG_FILE).exists():
+        try:
+            database = open_database(entry, columnar=columnar)
+            _workload_cache_counters["hits"] += 1
+            return database
+        except StorageFormatError:
+            shutil.rmtree(entry, ignore_errors=True)
+    _workload_cache_counters["misses"] += 1
+    database = builder()
+    root.mkdir(parents=True, exist_ok=True)
+    staging = root / f".{entry.name}.tmp{os.getpid()}"
+    shutil.rmtree(staging, ignore_errors=True)
+    try:
+        save_database(database, staging)
+        if refresh:
+            shutil.rmtree(entry, ignore_errors=True)
+        try:
+            os.replace(staging, entry)
+        except OSError:
+            if (entry / _CATALOG_FILE).exists():
+                # A concurrent process published the same entry first; its
+                # content is identical by construction.
+                shutil.rmtree(staging, ignore_errors=True)
+            else:
+                # A stale half-entry (e.g. a crash between cleanup and
+                # republish) blocks the rename; heal it so the key is not
+                # permanently cold.
+                shutil.rmtree(entry, ignore_errors=True)
+                try:
+                    os.replace(staging, entry)
+                except OSError:
+                    shutil.rmtree(staging, ignore_errors=True)
+    except Exception:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return database
+
+
+# ----------------------------------------------------------------------
+# Decomposition (de)serialisation for the plan cache.
+# ----------------------------------------------------------------------
+
+
+def decomposition_to_payload(decomposition) -> Dict[str, Any]:
+    """A JSON-safe rendering of a hypertree decomposition: the rooted tree
+    plus the λ/χ labels (components are planner-internal and dropped)."""
+    return {
+        "root": int(decomposition.root),
+        "children": {
+            str(node_id): [int(kid) for kid in decomposition.children(node_id)]
+            for node_id in decomposition.node_ids()
+        },
+        "nodes": {
+            str(node.node_id): {
+                "lambda": sorted(node.lambda_edges),
+                "chi": sorted(node.chi),
+            }
+            for node in decomposition.nodes()
+        },
+    }
+
+
+def decomposition_from_payload(hypergraph, payload: Mapping):
+    """Rebuild a :class:`HypertreeDecomposition` over ``hypergraph`` from
+    :func:`decomposition_to_payload` output."""
+    from repro.decomposition.hypertree import (
+        DecompositionNode,
+        HypertreeDecomposition,
+    )
+    from repro.exceptions import DecompositionError
+
+    try:
+        nodes = {
+            int(node_id): DecompositionNode(
+                node_id=int(node_id),
+                lambda_edges=frozenset(meta["lambda"]),
+                chi=frozenset(meta["chi"]),
+                component=None,
+            )
+            for node_id, meta in payload["nodes"].items()
+        }
+        children = {
+            int(node_id): tuple(int(kid) for kid in kids)
+            for node_id, kids in payload["children"].items()
+        }
+        root = int(payload["root"])
+        # The constructor validates tree shape (unknown/unreachable nodes,
+        # double reachability); a payload that fails it is corrupt too.
+        return HypertreeDecomposition(
+            hypergraph=hypergraph, root=root, children=children, nodes=nodes
+        )
+    except (KeyError, TypeError, ValueError, DecompositionError) as exc:
+        raise StorageFormatError(
+            f"malformed decomposition payload: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Persistent plan cache.
+# ----------------------------------------------------------------------
+
+
+class PlanCache:
+    """A persistent store of winning plans, one JSON file per entry.
+
+    Keys are JSON payloads (built by the planner layer from a query
+    fingerprint, a statistics digest, the width bound and the planner
+    knobs); the stored entry echoes its key, so a digest collision can
+    never hand back the wrong plan.  Version-mismatched or corrupt entries
+    read as misses and are overwritten on the next store.  ``hits`` /
+    ``misses`` / ``stores`` count this process's lookups -- the CI
+    cold-vs-warm step asserts the second run reports hits.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry_path(self, key_payload: Mapping) -> Path:
+        return self.path / f"plan-{canonical_digest(key_payload)[:24]}.json"
+
+    def lookup(self, key_payload: Mapping) -> Optional[Mapping]:
+        """The stored plan payload for a key, or ``None`` (a miss)."""
+        entry = self._entry_path(key_payload)
+        try:
+            stored = json.loads(entry.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(stored, dict)
+            or stored.get("format") != FORMAT_NAME
+            or stored.get("version") != FORMAT_VERSION
+            or stored.get("key") != json.loads(json.dumps(key_payload))
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored.get("plan")
+
+    def store(self, key_payload: Mapping, plan_payload: Mapping) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        entry = self._entry_path(key_payload)
+        staging = entry.with_name(entry.name + f".tmp{os.getpid()}")
+        staging.write_text(
+            json.dumps(
+                {
+                    "format": FORMAT_NAME,
+                    "version": FORMAT_VERSION,
+                    "key": key_payload,
+                    "plan": plan_payload,
+                }
+            )
+        )
+        os.replace(staging, entry)
+        self.stores += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache({str(self.path)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -51,6 +51,15 @@ class DatabaseError(ReproError):
     """Schema mismatch, unknown relation, or invalid relational operation."""
 
 
+class StorageFormatError(DatabaseError):
+    """A stored database (or cache entry) cannot be read back: unknown
+    format marker, unsupported format version, a missing or truncated
+    column file, or a dictionary value of a type the on-disk format cannot
+    represent.  Raised instead of a raw ``KeyError``/``ValueError`` so
+    callers can distinguish "this directory is not (this version of) a
+    stored database" from genuine I/O failures."""
+
+
 class PlanningError(ReproError):
     """Query-planning failure (e.g. the query has hypertree width larger than
     the planner's bound and no fallback was requested)."""

@@ -33,6 +33,7 @@ def fig8a_experiment(
     columnar: bool = True,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    plan_cache=None,
 ) -> ExperimentResult:
     """Fig. 8(A): Q1, sweep of the width bound ``k``.
 
@@ -42,6 +43,12 @@ def fig8a_experiment(
     reports the work-so-far lower bound, which depends on where the engine
     stopped (the columnar join aborts with the exact would-be total, the
     row join one probe batch past the budget).
+
+    The database comes through the storage plane's workload cache (when
+    ``REPRO_WORKLOAD_CACHE_DIR`` is configured a repeat run mmaps the
+    stored columns instead of regenerating), and ``plan_cache`` (a
+    :class:`repro.db.storage.PlanCache`) replays the winning plans of a
+    previous sweep with zero planning time.
     """
     query = q1()
     database = fig8_database(
@@ -53,6 +60,7 @@ def fig8a_experiment(
     report = compare_planners(
         query, database, k_values=k_values, completion="fresh", budget=budget,
         threads=threads, memory_budget_bytes=memory_budget_bytes,
+        plan_cache=plan_cache,
     )
     result = ExperimentResult(
         name="Fig. 8(A) -- Q1, cost-k-decomp vs quantitative-only baseline",
@@ -111,8 +119,10 @@ def fig8b_experiment(
     columnar: bool = True,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    plan_cache=None,
 ) -> ExperimentResult:
-    """Fig. 8(B): absolute evaluation measurements for Q2 and Q3 at ``k``."""
+    """Fig. 8(B): absolute evaluation measurements for Q2 and Q3 at ``k``
+    (workload cache and ``plan_cache`` as in :func:`fig8a_experiment`)."""
     result = ExperimentResult(
         name="Fig. 8(B) -- Q2 and Q3, baseline vs cost-k-decomp",
         description=(
@@ -131,6 +141,7 @@ def fig8b_experiment(
         report = compare_planners(
             query, database, k_values=(k,), completion="fresh", budget=budget,
             threads=threads, memory_budget_bytes=memory_budget_bytes,
+            plan_cache=plan_cache,
         )
         base = report.baseline
         structural = report.structural[k]

@@ -15,6 +15,14 @@ database and a set of width bounds, it
 
 Correctness is also cross-checked: every structural plan must return exactly
 the same answer as the baseline plan.
+
+Every ``measure_*`` entry point (and :func:`compare_planners`) accepts a
+``plan_cache`` -- a :class:`repro.db.storage.PlanCache` -- keyed by (query
+fingerprint, statistics digest, k, planner knobs).  On a hit the winning
+plan is rebuilt from its stored payload and ``planning_seconds`` is
+reported as ``0.0`` (planning was genuinely skipped); on a miss the planner
+runs and the result is stored.  Any statistics change alters the digest,
+so stale plans can never be replayed against refreshed catalogs.
 """
 
 from __future__ import annotations
@@ -25,7 +33,14 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.db.database import Database
 from repro.db.executor import ExecutionResult
-from repro.exceptions import PlanningError
+from repro.db.storage import (
+    PlanCache,
+    decomposition_from_payload,
+    decomposition_to_payload,
+    query_fingerprint,
+    statistics_digest,
+)
+from repro.exceptions import PlanningError, StorageFormatError
 from repro.planner.baseline import baseline_plan
 from repro.planner.cost_k_decomp import (
     CostPlanningFamily,
@@ -164,12 +179,121 @@ def _execute_and_measure(
         )
 
 
+def _baseline_cache_key(query: ConjunctiveQuery, statistics) -> Dict[str, object]:
+    return {
+        "kind": "join_order",
+        "query": query_fingerprint(query),
+        "statistics": statistics_digest(statistics),
+    }
+
+
+def _structural_cache_key(
+    query: ConjunctiveQuery, statistics, k: int, completion: str
+) -> Dict[str, object]:
+    return {
+        "kind": "hypertree",
+        "query": query_fingerprint(query),
+        "statistics": statistics_digest(statistics),
+        "k": int(k),
+        "completion": completion,
+    }
+
+
+def _cached_baseline_plan(
+    query: ConjunctiveQuery, statistics, plan_cache: Optional[PlanCache]
+) -> JoinOrderPlan:
+    """The baseline plan, through the plan cache when one is given (a hit
+    skips the optimiser's join-order search and reports zero planning
+    time)."""
+    if plan_cache is None:
+        return baseline_plan(query, statistics)
+    key = _baseline_cache_key(query, statistics)
+    payload = plan_cache.lookup(key)
+    if payload is not None:
+        try:
+            return JoinOrderPlan(
+                query=query,
+                order=tuple(str(name) for name in payload["order"]),
+                estimated_cost=float(payload["estimated_cost"]),
+                planning_seconds=0.0,
+            )
+        except (KeyError, TypeError, ValueError):
+            pass  # corrupt entry: replan and overwrite below
+    plan = baseline_plan(query, statistics)
+    plan_cache.store(
+        key, {"order": list(plan.order), "estimated_cost": plan.estimated_cost}
+    )
+    return plan
+
+
+def _cached_structural_plan(
+    query: ConjunctiveQuery,
+    statistics,
+    k: int,
+    completion: str,
+    family_factory,
+    plan_cache: Optional[PlanCache],
+) -> HypertreePlan:
+    """cost-k-decomp through the plan cache: a hit rebuilds the stored
+    winning decomposition (``planning_seconds == 0.0``); a miss plans and
+    stores.  Only successful plans are cached -- a ``PlanningError`` (k
+    below the hypertree width) is recomputed each time.  ``family_factory``
+    produces the (shared) :class:`CostPlanningFamily` and is only called on
+    the planning path, so a fully warm sweep builds no planner state at
+    all."""
+    if plan_cache is None:
+        return cost_k_decomp(
+            query, statistics, k, completion=completion, family=family_factory()
+        )
+    key = _structural_cache_key(query, statistics, k, completion)
+    payload = plan_cache.lookup(key)
+    if payload is not None:
+        try:
+            decomposition = decomposition_from_payload(
+                query.hypergraph(), payload["decomposition"]
+            )
+            return HypertreePlan(
+                query=query,
+                decomposition=decomposition,
+                estimated_cost=float(payload["estimated_cost"]),
+                k=int(payload["k"]),
+                node_estimates={
+                    int(node_id): float(value)
+                    for node_id, value in payload["node_estimates"].items()
+                },
+                planning_seconds=0.0,
+                planned_query=None,
+                weighting=str(payload["weighting"]),
+            )
+        except (KeyError, TypeError, ValueError, StorageFormatError):
+            pass  # corrupt entry: replan and overwrite below
+    plan = cost_k_decomp(
+        query, statistics, k, completion=completion, family=family_factory()
+    )
+    plan_cache.store(
+        key,
+        {
+            "decomposition": decomposition_to_payload(plan.decomposition),
+            "estimated_cost": plan.estimated_cost,
+            "k": plan.k,
+            "node_estimates": {
+                str(node_id): value
+                for node_id, value in plan.node_estimates.items()
+            },
+            "weighting": plan.weighting,
+        },
+    )
+    return plan
+
+
 def measure_baseline(
     query: ConjunctiveQuery, database: Database, budget: Optional[int] = None,
     threads: Optional[int] = None, memory_budget_bytes: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> PlanMeasurement:
-    """Plan with the left-deep optimiser and execute."""
-    plan: JoinOrderPlan = baseline_plan(query, database.statistics)
+    """Plan with the left-deep optimiser (or replay the cached order) and
+    execute."""
+    plan = _cached_baseline_plan(query, database.statistics, plan_cache)
     return _execute_and_measure(
         plan, database, "baseline(left-deep)", budget,
         threads=threads, memory_budget_bytes=memory_budget_bytes,
@@ -185,16 +309,27 @@ def measure_structural(
     family: Optional[CostPlanningFamily] = None,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
+    _family_factory=None,
 ) -> PlanMeasurement:
     """Plan with cost-k-decomp for one ``k`` and execute.
 
     ``family`` (see :func:`repro.planner.cost_k_decomp.planning_family`)
     lets a k-sweep share incremental candidates graphs and warm cost-model
     memos; the per-``k`` planning time still includes that call's share of
-    the incremental construction.
+    the incremental construction.  ``plan_cache`` short-circuits both: a
+    hit replays the stored winning decomposition without touching the
+    candidates graph at all.  ``_family_factory`` (internal; used by
+    :func:`compare_planners`) lazily supplies the shared family so a fully
+    cached sweep never builds one.
     """
-    plan: HypertreePlan = cost_k_decomp(
-        query, database.statistics, k, completion=completion, family=family
+    plan = _cached_structural_plan(
+        query,
+        database.statistics,
+        k,
+        completion,
+        _family_factory if _family_factory is not None else (lambda: family),
+        plan_cache,
     )
     return _execute_and_measure(
         plan, database, f"cost-{k}-decomp", budget, width=plan.width,
@@ -212,6 +347,7 @@ def compare_planners(
     budget: Optional[int] = 20_000_000,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> ComparisonReport:
     """Run the full comparison for one query over one database.
 
@@ -222,20 +358,33 @@ def compare_planners(
     ``threads``/``memory_budget_bytes`` select the parallel, memory-bounded
     execution plane for every executed plan (defaults: the database's
     knobs); work counters and answers are engine-identical either way, so
-    the comparison stays fair.
+    the comparison stays fair.  ``plan_cache`` makes the whole sweep
+    persistent: with unchanged statistics a repeated comparison replays
+    every winning plan with zero planning time.
     """
     baseline_measurement = measure_baseline(
         query, database, budget=budget, threads=threads,
-        memory_budget_bytes=memory_budget_bytes,
+        memory_budget_bytes=memory_budget_bytes, plan_cache=plan_cache,
     )
     report = ComparisonReport(query_name=query.name, baseline=baseline_measurement)
-    family = planning_family(query, database.statistics, completion=completion)
+    # The family is built lazily, on the first k the plan cache cannot
+    # serve: a fully warm sweep does zero planner setup.
+    shared: List[CostPlanningFamily] = []
+
+    def family_factory() -> CostPlanningFamily:
+        if not shared:
+            shared.append(
+                planning_family(query, database.statistics, completion=completion)
+            )
+        return shared[0]
+
     for k in k_values:
         try:
             measurement = measure_structural(
                 query, database, k, completion=completion, budget=budget,
-                family=family, threads=threads,
-                memory_budget_bytes=memory_budget_bytes,
+                threads=threads,
+                memory_budget_bytes=memory_budget_bytes, plan_cache=plan_cache,
+                _family_factory=family_factory,
             )
         except PlanningError:
             continue

@@ -19,6 +19,7 @@ from typing import Dict, Mapping, Optional
 from repro.db.database import Database
 from repro.db.generator import database_from_statistics
 from repro.db.statistics import CatalogStatistics
+from repro.db.storage import cached_database, query_fingerprint
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.examples import q1, q2, q3
 
@@ -63,17 +64,28 @@ def fig5_statistics() -> CatalogStatistics:
     return CatalogStatistics.from_declared(FIG5_CARDINALITIES, FIG5_SELECTIVITIES)
 
 
-def fig5_database(seed: int = 0, scale: float = 0.05, columnar: bool = True) -> Database:
+def fig5_database(
+    seed: int = 0, scale: float = 0.05, columnar: bool = True, cache_dir=None
+) -> Database:
     """A synthetic database realising the Fig. 5 profile.
 
     ``scale`` scales the cardinalities (default 5% so the full evaluation
     comparison runs in seconds in pure Python); the attribute selectivities
     are scaled gently (square root of the cardinality ratio) by the
     generator.  ``columnar`` picks the storage engine (the row engine is the
-    reference the benchmarks compare against).
+    reference the benchmarks compare against).  Generation is routed
+    through the content-addressed workload cache (see
+    :func:`repro.db.storage.cached_database`), so repeated sweeps over the
+    same profile reopen the stored columns instead of regenerating.
     """
-    return database_from_statistics(
-        q1(), fig5_statistics(), seed=seed, scale=scale, columnar=columnar
+    return cached_database(
+        kind="fig5",
+        params={"seed": int(seed), "scale": float(scale)},
+        builder=lambda: database_from_statistics(
+            q1(), fig5_statistics(), seed=seed, scale=scale, columnar=columnar
+        ),
+        columnar=columnar,
+        cache_dir=cache_dir,
     )
 
 
@@ -120,6 +132,7 @@ def fig8_database(
     selectivity: int = 15,
     seed: int = 0,
     columnar: bool = True,
+    cache_dir=None,
 ) -> Database:
     """A database for the Fig. 8 timing comparison.
 
@@ -133,8 +146,19 @@ def fig8_database(
     """
     query = query or q1()
     stats = fig8_statistics(query, tuples_per_relation, selectivity)
-    return database_from_statistics(
-        query, stats, seed=seed, scale=1.0, columnar=columnar
+    return cached_database(
+        kind="fig8",
+        params={
+            "query": query_fingerprint(query),
+            "tuples_per_relation": int(tuples_per_relation),
+            "selectivity": int(selectivity),
+            "seed": int(seed),
+        },
+        builder=lambda: database_from_statistics(
+            query, stats, seed=seed, scale=1.0, columnar=columnar
+        ),
+        columnar=columnar,
+        cache_dir=cache_dir,
     )
 
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.db.database import Database
 from repro.db.generator import uniform_database
+from repro.db.storage import cached_database, query_fingerprint
 from repro.exceptions import QueryError
 from repro.query.conjunctive import ConjunctiveQuery, build_query
 
@@ -119,6 +120,8 @@ def workload_database(
     tuples_per_relation: int = 200,
     domain_size: int = 10,
     seed: int = 0,
+    columnar: bool = True,
+    cache_dir=None,
 ) -> Database:
     """A random database for a synthetic query.
 
@@ -126,12 +129,32 @@ def workload_database(
     paper's density regime (joins that blow up unless the plan is careful);
     ``domain_size`` of the same order as the cardinality gives sparse,
     selective joins.
+
+    Generation goes through the content-addressed workload cache of
+    :mod:`repro.db.storage` keyed by (query fingerprint, cardinality,
+    domain, seed): when a cache directory is configured (``cache_dir`` or
+    ``REPRO_WORKLOAD_CACHE_DIR``) a repeated call opens the stored columns
+    (mmap, no interning) instead of regenerating; otherwise it generates as
+    before.  Either way the data is identical -- the cache stores exactly
+    what the generator would produce.
     """
-    return uniform_database(
-        query,
-        tuples_per_relation=tuples_per_relation,
-        domain_size=domain_size,
-        seed=seed,
+    return cached_database(
+        kind="uniform-workload",
+        params={
+            "query": query_fingerprint(query),
+            "tuples_per_relation": int(tuples_per_relation),
+            "domain_size": int(domain_size),
+            "seed": int(seed),
+        },
+        builder=lambda: uniform_database(
+            query,
+            tuples_per_relation=tuples_per_relation,
+            domain_size=domain_size,
+            seed=seed,
+            columnar=columnar,
+        ),
+        columnar=columnar,
+        cache_dir=cache_dir,
     )
 
 

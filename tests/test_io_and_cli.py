@@ -198,3 +198,46 @@ class TestCLI:
         assert "Fig. 1" in out
         assert "Example 3.1" in out
         assert "Ψ vs n^k" in out
+
+
+class TestCLIDb:
+    """Smoke tests of the storage-plane subcommands (db save/open/info)."""
+
+    def test_save_info_open_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "stored"
+        exit_code = cli_main(
+            [
+                "db",
+                "save",
+                str(target),
+                "--query",
+                "ans <- r(A,B), s(B,C)",
+                "--tuples",
+                "25",
+                "--domain",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "saved 50 rows in 2 relations" in out
+        assert (target / "catalog.json").exists()
+
+        assert cli_main(["db", "info", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "relations: 2" in out
+        assert "rows: 50" in out
+        assert "column bytes:" in out
+        assert "dictionary:" in out
+        assert "r(A, B): 25 rows" in out
+
+        assert cli_main(["db", "open", str(target), "--rows"]) == 0
+        out = capsys.readouterr().out
+        assert "r(A, B): 25 tuples" in out
+        assert "head:" in out
+
+    def test_info_rejects_non_database_directory(self, tmp_path):
+        from repro.exceptions import StorageFormatError
+
+        with pytest.raises(StorageFormatError):
+            cli_main(["db", "info", str(tmp_path)])
