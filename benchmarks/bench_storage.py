@@ -22,6 +22,18 @@ Two interleaved measurement groups, recorded as separate rows in
   stores, the warm run replays every winning plan and must report
   ``planning_seconds == 0.0`` for baseline and every ``k`` (the cache
   hit skips planning entirely).
+* ``test_packed_vs_raw_store`` -- the same full-scale Fig. 5 database
+  saved under ``encoding="packed"`` and ``encoding="raw"``: bytes on
+  disk (the packed store must be at least 4x smaller), warm-open time,
+  and the Q1 budget-abort execution fingerprint plus its wall time on
+  each store (identical abort point: the packed kernels are
+  byte-equivalent to the int64 oracle).
+* ``test_budgeted_execution_below_raw_footprint`` -- the scaled Fig. 5
+  Q1 structural plan run to completion under a ``memory_budget_bytes``
+  an order of magnitude *smaller than the raw int64 column footprint*
+  (``CatalogStatistics.estimated_raw_bytes``): adaptive morsels bound
+  the transients, and the answer, row order and work counters stay
+  byte-identical to the unbudgeted run.
 """
 
 import atexit
@@ -34,7 +46,7 @@ import pytest
 
 from repro.db.algebra import EvaluationBudgetExceeded
 from repro.db.generator import database_from_statistics
-from repro.db.storage import PlanCache, open_database, save_database
+from repro.db.storage import PlanCache, open_database, save_database, storage_info
 from repro.planner.compare import compare_planners
 from repro.planner.cost_k_decomp import cost_k_decomp
 from repro.query.examples import q1
@@ -47,6 +59,7 @@ _BUCKETS = {}
 
 OPEN_MODES = ("cold_generate", "warm_open")
 PLAN_MODES = ("plan_cold", "plan_warm")
+ENCODING_MODES = ("packed", "raw")
 
 #: Tight budget for the abort-point fingerprint: reached long before the
 #: ~51M-tuple full evaluation, but only after every relation has been
@@ -62,13 +75,23 @@ def _generate_full_scale():
 
 def _fig5_stored():
     """One cold-generated, saved copy of the full-scale Fig. 5 database
-    plus the Q1 k=3 plan (untimed shared setup)."""
+    plus the Q1 k=3 plan (untimed shared setup).  Saved packed -- this
+    store doubles as the packed side of the encoding comparison."""
     if "fig5" not in _STATE:
         database = _generate_full_scale()
-        save_database(database, _SCRATCH / "fig5")
+        save_database(database, _SCRATCH / "fig5-packed", encoding="packed")
         plan = cost_k_decomp(q1(), database.statistics, 3, completion="fresh")
         _STATE["fig5"] = (database, plan)
     return _STATE["fig5"]
+
+
+def _fig5_store_for(encoding: str) -> Path:
+    """The full-scale Fig. 5 store under one encoding (saved lazily)."""
+    database, _ = _fig5_stored()
+    target = _SCRATCH / f"fig5-{encoding}"
+    if not (target / "catalog.json").exists():
+        save_database(database, target, encoding=encoding)
+    return target
 
 
 def _execution_fingerprint(plan, database):
@@ -89,7 +112,7 @@ def test_cold_generate_vs_warm_open(benchmark, mode, request):
     if mode == "cold_generate":
         action = _generate_full_scale
     else:
-        action = lambda: open_database(_SCRATCH / "fig5")
+        action = lambda: open_database(_SCRATCH / "fig5-packed")
 
     started = time.perf_counter()
     database = benchmark.pedantic(action, rounds=1, iterations=1)
@@ -176,4 +199,97 @@ def test_plan_cache_cold_vs_warm(benchmark, mode, request):
         "sweep_seconds": round(sweep_seconds, 6),
         "planning_seconds": round(planning_seconds, 6),
         "cache": cache.stats(),
+    }
+
+
+@pytest.mark.parametrize("mode", ENCODING_MODES)
+def test_packed_vs_raw_store(benchmark, mode, request):
+    """Full-scale Fig. 5 under both encodings: store bytes, warm open,
+    and the Q1 budget-abort join time -- interleaved packed-vs-raw rows."""
+    _, plan = _fig5_stored()
+    target = _fig5_store_for(mode)
+    info = storage_info(target)
+
+    started = time.perf_counter()
+    database = benchmark.pedantic(
+        lambda: open_database(target), rounds=1, iterations=1
+    )
+    open_seconds = time.perf_counter() - started
+
+    join_started = time.perf_counter()
+    abort_work = _execution_fingerprint(plan, database)
+    join_seconds = time.perf_counter() - join_started
+
+    seen = _BUCKETS.setdefault("encoding", {})
+    seen[mode] = {
+        "bytes": info["total_column_bytes"],
+        "ratio": info["compression_ratio"],
+        "abort_work": abort_work,
+    }
+    if len(seen) == len(ENCODING_MODES):
+        packed, raw = seen["packed"], seen["raw"]
+        assert packed["abort_work"] == raw["abort_work"], (
+            "packed kernels must reach the identical budget-abort point"
+        )
+        assert raw["bytes"] >= 4 * packed["bytes"], (
+            f"the packed Fig. 5 store should be at least 4x smaller "
+            f"({packed['bytes']:,}B packed vs {raw['bytes']:,}B raw)"
+        )
+        assert packed["ratio"] >= 4.0
+    request.node._bench_extra = {
+        "mode": mode,
+        "store_bytes": info["total_column_bytes"],
+        "compression_ratio": round(info["compression_ratio"], 3),
+        "open_seconds": round(open_seconds, 6),
+        "q1_join_seconds": round(join_seconds, 6),
+        "abort_work": abort_work,
+    }
+
+
+def test_budgeted_execution_below_raw_footprint(benchmark, request):
+    """Scaled Fig. 5 Q1 runs to completion under a memory budget an order
+    of magnitude smaller than the raw int64 column footprint, with the
+    answer and every work counter byte-identical to the unbudgeted run."""
+    if "plan_db" not in _STATE:
+        _STATE["plan_db"] = fig5_database(seed=0, scale=0.2, columnar=True)
+    database = _STATE["plan_db"]
+    raw_footprint = database.statistics.estimated_raw_bytes()
+    budget_bytes = raw_footprint // 8
+    assert budget_bytes < raw_footprint
+    plan = cost_k_decomp(q1(), database.statistics, 3, completion="fresh")
+    oracle = plan.execute(database)
+
+    started = time.perf_counter()
+    bounded = benchmark.pedantic(
+        lambda: plan.execute(database, memory_budget_bytes=budget_bytes),
+        rounds=1,
+        iterations=1,
+    )
+    bounded_seconds = time.perf_counter() - started
+
+    assert bounded.cardinality == oracle.cardinality
+    assert bounded.boolean == oracle.boolean
+    if oracle.relation is not None:
+        assert bounded.relation.rows == oracle.relation.rows
+    assert bounded.stats.snapshot() == oracle.stats.snapshot()
+    assert (
+        bounded.stats.peak_transient_elements
+        <= oracle.stats.peak_transient_elements
+    )
+    if oracle.stats.peak_transient_elements > budget_bytes // 8:
+        # The unbudgeted transients would not have fit: the adaptive
+        # morsels must actually have shrunk them.
+        assert (
+            bounded.stats.peak_transient_elements
+            < oracle.stats.peak_transient_elements
+        )
+    request.node._bench_extra = {
+        "raw_footprint_bytes": raw_footprint,
+        "memory_budget_bytes": budget_bytes,
+        "peak_transient_elements": bounded.stats.peak_transient_elements,
+        "unbudgeted_peak_transient_elements": (
+            oracle.stats.peak_transient_elements
+        ),
+        "bounded_seconds": round(bounded_seconds, 6),
+        "evaluation_work": bounded.stats.total_work,
     }

@@ -89,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
     db_save.add_argument("--tuples", type=int, default=150, help="tuples per relation")
     db_save.add_argument("--domain", type=int, default=30, help="attribute domain size")
     db_save.add_argument("--seed", type=int, default=0)
+    db_save.add_argument(
+        "--encoding",
+        choices=("packed", "raw"),
+        default=None,
+        help="column codec: frame-of-reference packed (default) or raw int64",
+    )
 
     db_open = db_commands.add_parser(
         "open", help="open a stored database (mmap) and print its schema"
@@ -190,7 +196,7 @@ def _command_db(args) -> int:
             domain_size=args.domain,
             seed=args.seed,
         )
-        database.save(args.path)
+        database.save(args.path, encoding=args.encoding)
         info = storage_info(args.path)
         print(
             f"saved {info['total_rows']:,} rows in {len(info['relations'])} "
@@ -216,11 +222,21 @@ def _command_db(args) -> int:
             f"column bytes: {info['total_column_bytes']:,}  "
             f"dictionary: {info['dictionary_entries']:,} values"
         )
+        print(
+            f"  raw int64 bytes: {info['total_raw_column_bytes']:,}  "
+            f"compression: {info['compression_ratio']:.2f}x"
+        )
         for relation in info["relations"]:
             print(
                 f"  {relation['name']}({', '.join(relation['attributes'])}): "
                 f"{relation['rows']:,} rows, {relation['bytes']:,} bytes"
             )
+            for column in relation["columns"]:
+                print(
+                    f"    {column['attribute']}: {column['codec']}/"
+                    f"{column['dtype']} ref={column['reference']} "
+                    f"{column['bytes']:,}B (raw {column['raw_bytes']:,}B)"
+                )
         return 0
     return 1
 

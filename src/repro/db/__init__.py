@@ -52,10 +52,13 @@ from repro.db.storage import (
     PlanCache,
     cached_database,
     open_database,
+    pack_ids,
     query_fingerprint,
+    resolve_encoding,
     save_database,
     statistics_digest,
     storage_info,
+    unpack_ids,
     workload_cache_stats,
 )
 from repro.db.costmodel import AtomProfile, CardinalityEstimator
@@ -109,10 +112,13 @@ __all__ = [
     "PlanCache",
     "cached_database",
     "open_database",
+    "pack_ids",
     "query_fingerprint",
+    "resolve_encoding",
     "save_database",
     "statistics_digest",
     "storage_info",
+    "unpack_ids",
     "workload_cache_stats",
     "AtomProfile",
     "CardinalityEstimator",

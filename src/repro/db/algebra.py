@@ -84,10 +84,14 @@ class OperatorStats:
     raise time depends on scheduling.
 
     ``peak_transient_elements`` is the memory-bounding diagnostic: the
-    largest batch of transient int64 index elements any single columnar
-    kernel invocation materialised (see the accounting constants in
-    :mod:`repro.db.columnar`).  It is deliberately *not* part of
-    :meth:`snapshot` -- work counters stay representation-blind, peak
+    largest batch of transient index elements any single columnar kernel
+    invocation materialised (see the accounting constants in
+    :mod:`repro.db.columnar`).  It counts *elements*, never bytes, so it is
+    identical between packed and raw column encodings; its byte-level
+    sibling ``peak_transient_bytes`` additionally weighs each batch by the
+    actual dtypes involved (key arrays included) and is the only counter
+    allowed to differ across encodings.  Both are deliberately *not* part
+    of :meth:`snapshot` -- work counters stay representation-blind, peak
     memory is exactly what the chunked kernels are allowed to change.
     """
 
@@ -97,6 +101,7 @@ class OperatorStats:
     operations: Dict[str, int] = field(default_factory=dict)
     budget: Optional[int] = None
     peak_transient_elements: int = 0
+    peak_transient_bytes: int = field(default=0, compare=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -119,13 +124,24 @@ class OperatorStats:
             if self.total_work + extra > self.budget:
                 raise EvaluationBudgetExceeded(self.total_work + extra, self.budget)
 
-    def note_transient(self, elements: int) -> None:
-        """Record the transient index-element footprint of one kernel batch
-        (columnar kernels only; a max, so merging and threading commute)."""
-        if elements > self.peak_transient_elements:
+    def note_transient(self, elements: int, nbytes: Optional[int] = None) -> None:
+        """Record the transient index footprint of one kernel batch
+        (columnar kernels only; maxes, so merging and threading commute).
+
+        ``elements`` is the dtype-blind count; ``nbytes`` the dtype-aware
+        byte weight (defaulting to 8 bytes per element, the raw-int64
+        equivalent)."""
+        if nbytes is None:
+            nbytes = 8 * elements
+        if (
+            elements > self.peak_transient_elements
+            or nbytes > self.peak_transient_bytes
+        ):
             with self._lock:
                 if elements > self.peak_transient_elements:
                     self.peak_transient_elements = elements
+                if nbytes > self.peak_transient_bytes:
+                    self.peak_transient_bytes = nbytes
 
     @property
     def total_work(self) -> int:
@@ -140,6 +156,8 @@ class OperatorStats:
             self.operations[key] = self.operations.get(key, 0) + value
         if other.peak_transient_elements > self.peak_transient_elements:
             self.peak_transient_elements = other.peak_transient_elements
+        if other.peak_transient_bytes > self.peak_transient_bytes:
+            self.peak_transient_bytes = other.peak_transient_bytes
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -182,6 +200,7 @@ def natural_join(
     name: Optional[str] = None,
     keep=None,
     chunk_rows: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Relation:
     """Hash-based natural join on all shared attributes.
 
@@ -199,10 +218,19 @@ def natural_join(
     ``chunk_rows`` is the memory-bounding morsel size, honoured by the
     columnar kernel only (the row engine materialises per tuple and needs
     no bounding); like ``keep`` it never changes results or stats.
+    ``memory_budget_bytes`` upgrades the columnar kernel to adaptive morsel
+    sizing (exact per-chunk transient cost against the budget) -- also
+    result- and stats-neutral apart from the peak-memory diagnostics.
     """
     if _columnar_pair(left, right):
         return columnar_natural_join(
-            left, right, stats=stats, name=name, keep=keep, chunk_rows=chunk_rows
+            left,
+            right,
+            stats=stats,
+            name=name,
+            keep=keep,
+            chunk_rows=chunk_rows,
+            memory_budget_bytes=memory_budget_bytes,
         )
     shared = _shared_attributes(left, right)
     right_extra = [a for a in right.attributes if a not in shared]
@@ -248,6 +276,7 @@ def join_all(
     order: Optional[Sequence[int]] = None,
     needed: Optional[Iterable[str]] = None,
     chunk_rows: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Relation:
     """Join a list of relations left-to-right (optionally in a given order).
 
@@ -266,7 +295,13 @@ def join_all(
         stats.record("scan", result.cardinality, result.cardinality)
     if needed is None:
         for relation in sequence[1:]:
-            result = natural_join(result, relation, stats=stats, chunk_rows=chunk_rows)
+            result = natural_join(
+                result,
+                relation,
+                stats=stats,
+                chunk_rows=chunk_rows,
+                memory_budget_bytes=memory_budget_bytes,
+            )
         return result
     # suffix_attrs[i]: attributes of sequence[i+1:], i.e. what later joins
     # may still match on after step i.
@@ -283,6 +318,7 @@ def join_all(
             stats=stats,
             keep=needed_set | suffix_attrs[index],
             chunk_rows=chunk_rows,
+            memory_budget_bytes=memory_budget_bytes,
         )
     return result
 
@@ -391,6 +427,7 @@ def evaluate_node_expression(
     projection: Sequence[str],
     stats: Optional[OperatorStats] = None,
     chunk_rows: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Relation:
     """The paper's per-node expression ``E(p) = Π_{χ(p)} ⋈_{h ∈ λ(p)} rel(h)``.
 
@@ -401,6 +438,11 @@ def evaluate_node_expression(
     """
     ordered = sorted(range(len(relations)), key=lambda i: relations[i].cardinality)
     joined = join_all(
-        relations, stats=stats, order=ordered, needed=projection, chunk_rows=chunk_rows
+        relations,
+        stats=stats,
+        order=ordered,
+        needed=projection,
+        chunk_rows=chunk_rows,
+        memory_budget_bytes=memory_budget_bytes,
     )
     return project(joined, projection, stats=stats, chunk_rows=chunk_rows)

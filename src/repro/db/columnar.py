@@ -3,7 +3,7 @@
 This is the data-plane twin of the bitset decomposition core
 (:mod:`repro.core`): every domain value is interned once into a shared
 :class:`~repro.db.dictionary.Dictionary`, a relation stores each attribute
-as a flat ``int64`` array of ids, and the hot relational operators run as
+as a flat integer array of ids, and the hot relational operators run as
 vectorised kernels over those columns:
 
 * a **semijoin** never materialises tuples -- it produces a new relation
@@ -20,12 +20,31 @@ vectorised kernels over those columns:
   first-occurrence selection vector, and **select** decodes values only to
   feed the user-supplied predicate.
 
-Multi-attribute keys are packed into a single ``int64``
-(``(id0 << w) | id1`` with ``w`` the dictionary's current id width) when
-they fit; wider keys fall back to an iterative combine that re-densifies
-through ``np.unique`` before every step that could overflow, and join
-kernels always derive both sides' keys from one shared packing so they can
-never alias.
+Multi-attribute keys are packed into a single integer key
+(``(id0 << w) | id1`` with ``w`` derived from the ids actually present)
+held in the smallest sufficient dtype when they fit; wider keys fall back
+to an iterative combine that re-densifies through ``np.unique`` before
+every step that could overflow, and join kernels always derive both
+sides' keys from one shared packing so they can never alias.
+
+**Packed (frame-of-reference) columns.**  Columns may be narrower than
+``int64``: the storage plane (:mod:`repro.db.storage`) persists each
+column as ``ids - reference`` in the smallest of uint8/16/32/int64, and
+the kernels here operate on those packed arrays *without decoding*.  Each
+column carries its integer ``reference``; within one relation the offset
+is constant per column, so packed equality is id equality and every
+within-relation kernel (distinct, project, local key packing) runs on the
+narrow dtype untouched.  Across two relations a shared attribute's
+references may differ; :func:`_aligned_pair` then *rebases* the smaller
+reference side by the delta -- widening only as far as the shifted maximum
+requires, never all the way to decoded ids unless necessary.  FOR is
+order- and equality-preserving, which is exactly what sort/searchsorted,
+``np.isin`` membership and ``np.unique`` dedup need.  Ids are only
+widened back (``column + reference``) at the dictionary/value boundary.
+Join/semijoin/project output row order depends only on key *equality
+classes* (stable sorts keep original order among equal keys), so packed
+execution is byte-identical -- answers, row order and ``OperatorStats``
+-- to the int64 oracle.
 
 The string/value-at-the-boundary invariant of the decomposition core holds
 here too: ids never escape.  :attr:`ColumnarRelation.rows` and every other
@@ -44,12 +63,25 @@ peak size of the intermediate index arrays changes.  Callers derive
 :func:`repro.db.algebra.chunk_rows_for_budget`; ``None`` (the default)
 keeps the historical single-batch kernels, which remain the oracle.
 
+The join kernel additionally sizes its own materialisation morsels: it
+knows the exact per-probe-row emit counts before materialising anything,
+so with a ``memory_budget_bytes`` it resizes each emit chunk online
+toward the budget (bounded by the exact transient-cost formula rather
+than a fixed dual row bound), and with *no* budget at all it auto-enables
+chunking once the emit count crosses ``REPRO_DB_AUTO_CHUNK_MIN_EMIT``
+(default 4M rows; ``0`` disables) against a default budget of
+``REPRO_DB_AUTO_CHUNK_BUDGET_BYTES`` (64 MiB).  All sizing decisions are
+computed from element counts only -- never dtypes -- so packed and raw
+runs of the same query make identical chunking decisions and report
+identical ``peak_transient_elements``.
+
 The module requires numpy; :mod:`repro.db.database` degrades to the
 row-based engine when it is unavailable.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -63,26 +95,111 @@ from repro.exceptions import DatabaseError
 #: Largest bit budget for a packed int64 key (signed, one bit of slack).
 _PACK_BITS = 62
 
+#: Column dtypes the kernels accept natively (anything else is widened to
+#: int64 at construction).  All are non-negative under the
+#: frame-of-reference offset, so cross-dtype comparisons promote exactly.
+_ID_DTYPES = (
+    np.dtype(np.uint8),
+    np.dtype(np.uint16),
+    np.dtype(np.uint32),
+    np.dtype(np.int64),
+)
+
+#: Auto-chunking knobs of the join kernel (see module docstring): the emit
+#: count that switches materialisation to emit-bounded chunks even with no
+#: memory budget, and the byte budget those auto chunks aim for.
+AUTO_CHUNK_MIN_EMIT_ENV = "REPRO_DB_AUTO_CHUNK_MIN_EMIT"
+AUTO_CHUNK_BUDGET_ENV = "REPRO_DB_AUTO_CHUNK_BUDGET_BYTES"
+_AUTO_CHUNK_MIN_EMIT = 1 << 22
+_AUTO_CHUNK_BUDGET_BYTES = 64 << 20
+#: Floor of the adaptive chunk budget, in int64 words: below this the
+#: per-chunk Python overhead swamps any memory saving.
+_MIN_BUDGET_WORDS = 512
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _key_dtype(bits: int) -> np.dtype:
+    """The smallest kernel dtype holding ``bits`` unsigned bits."""
+    if bits <= 8:
+        return _ID_DTYPES[0]
+    if bits <= 16:
+        return _ID_DTYPES[1]
+    if bits <= 32:
+        return _ID_DTYPES[2]
+    return _ID_DTYPES[3]
+
+
+def _as_id_array(column) -> np.ndarray:
+    """A kernel-ready column: narrow unsigned / int64 arrays pass through
+    untouched (memmaps stay mapped), everything else widens to int64."""
+    if (
+        isinstance(column, np.ndarray)
+        and column.ndim == 1
+        and column.dtype in _ID_DTYPES
+    ):
+        return column
+    return np.asarray(column, dtype=np.int64)
+
+
+def _rebased(col: np.ndarray, delta: int) -> np.ndarray:
+    """``col + delta`` in the smallest dtype that holds the shifted maximum
+    (the cross-reference alignment step: rebase, not decode)."""
+    if delta == 0:
+        return col
+    top = (int(col.max()) if col.size else 0) + delta
+    dtype = _key_dtype(max(top.bit_length(), 1)) if top >= 0 else np.dtype(np.int64)
+    return col.astype(dtype) + dtype.type(delta)
+
+
+def _aligned_pair(
+    lcol: np.ndarray, lref: int, rcol: np.ndarray, rref: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two key columns over one shared attribute, made comparable as
+    stored: equal references need nothing (FOR preserves order and
+    equality), otherwise both sides are rebased onto the smaller
+    reference."""
+    if lref == rref:
+        return lcol, rcol
+    base = min(lref, rref)
+    return _rebased(lcol, lref - base), _rebased(rcol, rref - base)
+
 
 class ColumnarRelation(Relation):
-    """A relation stored as dictionary-encoded ``int64`` columns.
+    """A relation stored as dictionary-encoded integer columns.
 
     Parameters
     ----------
     name, attributes:
         As for :class:`Relation`.
     dictionary:
-        The shared value interner; all ids in ``columns`` index into it.
+        The shared value interner; all ids in ``columns`` index into it
+        (after the per-column reference offset).
     columns:
         One flat array (or list) of int ids per attribute, all of the same
-        length (the *base* length).
+        length (the *base* length).  Arrays of dtype uint8/16/32/int64 are
+        kept as-is (the packed fast path); anything else widens to int64.
     selection:
         Optional array of base row indices: the relation's logical rows, in
         order.  ``None`` means "all base rows".  Treated as immutable by
-        every kernel.
+        every kernel.  Narrow unsigned index arrays are accepted (fancy
+        indexing works on them directly); selections never carry a
+        reference -- their values are real indices.
     base_length:
         Length of the base columns; required when there are no columns
         (zero-arity relations still have a cardinality).
+    references:
+        Optional per-column frame-of-reference offsets: the stored value
+        ``v`` of column ``i`` denotes dictionary id ``v + references[i]``.
+        ``None`` means all zero (plain id columns).
     """
 
     __slots__ = (
@@ -90,6 +207,7 @@ class ColumnarRelation(Relation):
         "_columns",
         "_selection",
         "_base_length",
+        "_references",
         "_positions",
         "_decoded",
         "_known_distinct",
@@ -103,11 +221,12 @@ class ColumnarRelation(Relation):
         columns: Sequence[Sequence[int]],
         selection=None,
         base_length: Optional[int] = None,
+        references: Optional[Sequence[int]] = None,
     ) -> None:
         attrs = tuple(str(a) for a in attributes)
         if len(set(attrs)) != len(attrs):
             raise DatabaseError(f"relation {name!r} has duplicate attributes: {attrs}")
-        cols = tuple(np.asarray(column, dtype=np.int64) for column in columns)
+        cols = tuple(_as_id_array(column) for column in columns)
         if len(cols) != len(attrs):
             raise DatabaseError(
                 f"relation {name!r}: {len(cols)} columns for {len(attrs)} attributes"
@@ -124,13 +243,21 @@ class ColumnarRelation(Relation):
                 raise DatabaseError(
                     f"relation {name!r}: ragged columns ({len(col)} vs {base_length})"
                 )
+        if references is None:
+            refs = (0,) * len(cols)
+        else:
+            refs = tuple(int(r) for r in references)
+            if len(refs) != len(cols):
+                raise DatabaseError(
+                    f"relation {name!r}: {len(refs)} references for "
+                    f"{len(cols)} columns"
+                )
         self.name = name
         self.attributes = attrs
         self.dictionary = dictionary
         self._columns = cols
-        self._selection = (
-            None if selection is None else np.asarray(selection, dtype=np.int64)
-        )
+        self._selection = None if selection is None else _as_id_array(selection)
+        self._references = refs
         self._base_length = base_length
         self._positions = {a: i for i, a in enumerate(attrs)}
         self._decoded: Optional[Tuple[Row, ...]] = None
@@ -200,10 +327,10 @@ class ColumnarRelation(Relation):
             if not cols:
                 self._decoded = ((),) * self.cardinality
             else:
-                values = self.dictionary.values
+                decode_ids = self.dictionary.decode_ids
                 decoded_columns = [
-                    map(values.__getitem__, self._logical(col).tolist())
-                    for col in cols
+                    decode_ids(self._decoded_logical(position).tolist())
+                    for position in range(len(cols))
                 ]
                 self._decoded = tuple(zip(*decoded_columns))
         return self._decoded
@@ -214,9 +341,8 @@ class ColumnarRelation(Relation):
         return len(selection) if selection is not None else self._base_length
 
     def column(self, attribute: str) -> Tuple[Value, ...]:
-        col = self._logical(self._columns[self.position(attribute)])
-        values = self.dictionary.values
-        return tuple(map(values.__getitem__, col.tolist()))
+        ids = self._decoded_logical(self.position(attribute))
+        return tuple(self.dictionary.decode_ids(ids.tolist()))
 
     def distinct_count(self, attribute: str) -> int:
         col = self._logical(self._columns[self.position(attribute)])
@@ -239,6 +365,7 @@ class ColumnarRelation(Relation):
             self._columns,
             selection,
             self._base_length,
+            references=self._references,
         )
         result._known_distinct = True
         return result
@@ -254,6 +381,7 @@ class ColumnarRelation(Relation):
             self._columns,
             self._selection,
             self._base_length,
+            references=self._references,
         )
         result._known_distinct = self._known_distinct
         return result
@@ -289,11 +417,13 @@ class ColumnarRelation(Relation):
     def column_nbytes(self) -> int:
         """Bytes held by the base column arrays plus the selection vector --
         also the exact on-disk size of the relation's binary files under
-        :mod:`repro.db.storage` (the format is the raw little-endian int64
-        columns, so saving is a plain dump and opening is ``np.memmap``).
-        Columns loaded from storage are read-only memmaps; every kernel
-        treats input columns as immutable, so they execute on mapped
-        relations unchanged.
+        :mod:`repro.db.storage` (the format stores each column's packed
+        little-endian representation verbatim, so saving is a plain dump
+        and opening is ``np.memmap``; packed columns count their narrow
+        dtype here, which is what the compression ratio of ``db info``
+        measures).  Columns loaded from storage are read-only memmaps;
+        every kernel treats input columns as immutable, so they execute on
+        mapped relations unchanged.
         """
         total = sum(col.nbytes for col in self._columns)
         if self._selection is not None:
@@ -319,10 +449,28 @@ class ColumnarRelation(Relation):
         selection = self._selection
         return column if selection is None else column[selection]
 
+    def _decoded_logical(self, position: int) -> np.ndarray:
+        """The logical column at ``position`` widened back to dictionary
+        ids (int64) -- the value-boundary decode, the only place a packed
+        column's reference is re-applied."""
+        col = self._logical(self._columns[position])
+        ref = self._references[position]
+        if ref == 0 and col.dtype == np.int64:
+            return col
+        col = col.astype(np.int64)
+        if ref:
+            col += ref
+        return col
+
     def _gathered(self, attrs: Sequence[str]) -> List[np.ndarray]:
-        """The id columns of ``attrs``, in logical row order."""
+        """The (packed) id columns of ``attrs``, in logical row order."""
         positions = self._positions
         return [self._logical(self._columns[positions[a]]) for a in attrs]
+
+    def _gathered_refs(self, attrs: Sequence[str]) -> List[int]:
+        """The frame-of-reference offsets of ``attrs``' columns."""
+        positions = self._positions
+        return [self._references[positions[a]] for a in attrs]
 
 
 # ----------------------------------------------------------------------
@@ -342,9 +490,10 @@ def _column_bits(columns: Sequence[np.ndarray]) -> int:
 def _combine_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
     """Fold id columns into one injective int64 key per row, re-densifying
     through ``np.unique`` before any step that could overflow."""
-    keys = columns[0]
+    keys = columns[0].astype(np.int64, copy=False)
     key_limit = int(keys.max()) + 1 if keys.size else 1
     for col in columns[1:]:
+        col = col.astype(np.int64, copy=False)
         col_limit = int(col.max()) + 1 if col.size else 1
         if key_limit > (1 << _PACK_BITS) // col_limit:
             _, keys = np.unique(keys, return_inverse=True)
@@ -355,24 +504,32 @@ def _combine_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
 
 
 def _shift_pack(
-    columns: Sequence[np.ndarray], width: int, chunk_rows: Optional[int] = None
+    columns: Sequence[np.ndarray],
+    width: int,
+    chunk_rows: Optional[int] = None,
+    total_bits: Optional[int] = None,
 ) -> np.ndarray:
-    """Fold id columns into one key per row by shift-and-or.  With
-    ``chunk_rows`` the fold runs over morsels into a preallocated output, so
-    the per-step temporaries are morsel-sized instead of column-sized; the
-    resulting keys are byte-identical."""
+    """Fold id columns into one key per row by shift-and-or, in the
+    smallest dtype holding ``total_bits`` (int64 when not given).  With
+    ``chunk_rows`` the fold runs over morsels into a preallocated output,
+    so the per-step temporaries are morsel-sized instead of column-sized;
+    the resulting keys are byte-identical."""
+    dtype = np.dtype(np.int64) if total_bits is None else _key_dtype(total_bits)
+    shift = dtype.type(width)
     length = columns[0].shape[0]
     if chunk_rows is None or length <= chunk_rows:
-        keys = columns[0]
+        keys = columns[0].astype(dtype)
         for col in columns[1:]:
-            keys = (keys << width) | col
+            keys <<= shift
+            keys |= col.astype(dtype, copy=False)
         return keys
-    out = np.empty(length, dtype=np.int64)
+    out = np.empty(length, dtype=dtype)
     for start in range(0, length, chunk_rows):
         stop = min(start + chunk_rows, length)
-        keys = columns[0][start:stop]
+        keys = columns[0][start:stop].astype(dtype)
         for col in columns[1:]:
-            keys = (keys << width) | col[start:stop]
+            keys <<= shift
+            keys |= col[start:stop].astype(dtype, copy=False)
         out[start:stop] = keys
     return out
 
@@ -382,8 +539,9 @@ def _local_keys(
     attrs: Sequence[str],
     chunk_rows: Optional[int] = None,
 ) -> np.ndarray:
-    """One int64 key per logical row over ``attrs`` (keys comparable only
-    within this relation)."""
+    """One packed key per logical row over ``attrs`` (keys comparable only
+    within this relation).  References need no handling here: a column's
+    offset is constant, so packed equality is id equality."""
     cols = relation._gathered(attrs)
     if not cols:
         return np.zeros(relation.cardinality, dtype=np.int64)
@@ -393,8 +551,9 @@ def _local_keys(
     # size, so a dictionary bloated by other relations (or fresh-variable
     # surrogates) never pushes a narrow key off the shift fast path.
     width = max(_column_bits([col]) for col in cols[1:])
-    if _column_bits([cols[0]]) + width * (len(cols) - 1) <= _PACK_BITS:
-        return _shift_pack(cols, width, chunk_rows)
+    total = _column_bits([cols[0]]) + width * (len(cols) - 1)
+    if total <= _PACK_BITS:
+        return _shift_pack(cols, width, chunk_rows, total_bits=total)
     return _combine_columns(cols)
 
 
@@ -418,8 +577,12 @@ def _joint_keys(
     shared: Sequence[str],
     chunk_rows: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Int64 keys for the shared columns of two relations, built from one
-    packing so equal rows get equal keys on both sides."""
+    """Packed keys for the shared columns of two relations, built from one
+    packing so equal rows get equal keys on both sides.  Each shared
+    column pair is first *aligned*: sides whose frame-of-reference offsets
+    differ are rebased onto the smaller reference (staying narrow), after
+    which stored equality is id equality and the usual width derivation
+    applies."""
     if not shared:
         return (
             np.zeros(left.cardinality, dtype=np.int64),
@@ -427,6 +590,15 @@ def _joint_keys(
         )
     left_cols = left._gathered(shared)
     right_cols = right._gathered(shared)
+    aligned = [
+        _aligned_pair(lcol, lref, rcol, rref)
+        for lcol, lref, rcol, rref in zip(
+            left_cols, left._gathered_refs(shared),
+            right_cols, right._gathered_refs(shared),
+        )
+    ]
+    left_cols = [pair[0] for pair in aligned]
+    right_cols = [pair[1] for pair in aligned]
     if len(shared) == 1:
         return left_cols[0], right_cols[0]
     # One width for both sides, derived from the ids actually present (see
@@ -436,10 +608,11 @@ def _joint_keys(
         for lcol, rcol in zip(left_cols[1:], right_cols[1:])
     )
     lead = _column_bits([left_cols[0], right_cols[0]])
-    if lead + width * (len(shared) - 1) <= _PACK_BITS:
+    total = lead + width * (len(shared) - 1)
+    if total <= _PACK_BITS:
         return (
-            _shift_pack(left_cols, width, chunk_rows),
-            _shift_pack(right_cols, width, chunk_rows),
+            _shift_pack(left_cols, width, chunk_rows, total_bits=total),
+            _shift_pack(right_cols, width, chunk_rows, total_bits=total),
         )
     # Too wide for a shift pack: combine over the concatenation so the
     # data-dependent densify steps are shared by both sides.
@@ -464,8 +637,9 @@ def columnar_natural_join(
     name: Optional[str] = None,
     keep=None,
     chunk_rows: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> ColumnarRelation:
-    """Sort-and-probe hash-equivalent join on int64 keys.
+    """Sort-and-probe hash-equivalent join on packed keys.
 
     The smaller side is stable-sorted by key; ``searchsorted`` turns every
     probe row into a [lo, hi) range of matches whose sizes are known before
@@ -490,6 +664,16 @@ def columnar_natural_join(
     materialised, so the budget stop, the output (values **and** row
     order) and all ``OperatorStats`` counters are byte-identical to the
     unchunked path.
+
+    ``memory_budget_bytes`` switches materialisation to *adaptive* morsel
+    sizing: each chunk is grown to the largest probe-row prefix whose
+    transient cost ``5*chunk_emit + 3*chunk_probe`` fits the budget (in
+    8-byte words), computed exactly from the per-row emit counts.  With
+    neither ``chunk_rows`` nor a budget, chunking auto-enables when the
+    exact emit count reaches ``REPRO_DB_AUTO_CHUNK_MIN_EMIT`` (the
+    default budget is ``REPRO_DB_AUTO_CHUNK_BUDGET_BYTES``).  All sizing
+    decisions are element counts, never bytes-of-dtype, so packed and raw
+    runs chunk identically and ``peak_transient_elements`` stays pinned.
     """
     positions = right._positions
     shared = tuple(a for a in left.attributes if a in positions)
@@ -559,14 +743,36 @@ def columnar_natural_join(
 
     left_columns = left._columns
     right_columns = right._columns
+    left_refs = left._references
+    right_refs = right._references
     # (source column, comes-from-left) per output attribute; gathering
-    # happens per materialisation batch below.
+    # happens per materialisation batch below.  Gathered columns keep
+    # their stored dtype and reference -- the join never decodes.
     gather = [(left_columns[left_positions[a]], True) for a in out_left]
     gather += [(right_columns[positions[a]], False) for a in out_right]
+    out_references = [left_refs[left_positions[a]] for a in out_left]
+    out_references += [right_refs[positions[a]] for a in out_right]
     build_selection = build._selection
     probe_rows = probe._row_indices()
 
-    if chunk_rows is None or emitted <= chunk_rows:
+    # Materialisation strategy.  All quantities are element counts (dtype
+    # independent), so packed and raw runs make identical decisions.
+    budget_words = None
+    if memory_budget_bytes is not None and memory_budget_bytes > 0:
+        budget_words = max(int(memory_budget_bytes) // 8, _MIN_BUDGET_WORDS)
+    elif chunk_rows is None and memory_budget_bytes is None:
+        min_emit = _env_int(AUTO_CHUNK_MIN_EMIT_ENV, _AUTO_CHUNK_MIN_EMIT)
+        if min_emit > 0 and emitted >= min_emit:
+            budget_words = max(
+                _env_int(AUTO_CHUNK_BUDGET_ENV, _AUTO_CHUNK_BUDGET_BYTES) // 8,
+                _MIN_BUDGET_WORDS,
+            )
+    if budget_words is not None:
+        single_batch = 5 * emitted + 3 * probe_card <= budget_words
+    else:
+        single_batch = chunk_rows is None or emitted <= chunk_rows
+
+    if single_batch:
         # Single-batch materialisation (the oracle path).
         probe_idx = np.repeat(probe_rows, counts)
         # Expand every [lo, hi) range: start offset per output row plus its
@@ -584,21 +790,46 @@ def columnar_natural_join(
             column[left_idx if from_left else right_idx] for column, from_left in gather
         ]
         if stats is not None:
-            stats.note_transient(5 * emitted + 3 * probe_card)
+            elements = 5 * emitted + 3 * probe_card
+            stats.note_transient(
+                elements, 8 * elements + sorted_keys.nbytes + probe_keys.nbytes
+            )
     else:
-        # Emit-bounded chunks: walk the probe rows so each chunk emits at
-        # most chunk_rows output rows (a single exploding probe row may
-        # exceed that on its own) and covers at most chunk_rows probe rows,
-        # writing the gathered ids straight into the preallocated output.
+        # Emit-bounded chunks, written straight into the preallocated
+        # output columns (which keep each source column's packed dtype).
         cum = np.cumsum(counts)
-        out_columns = [np.empty(emitted, dtype=np.int64) for _ in gather]
+        out_columns = [
+            np.empty(emitted, dtype=column.dtype) for column, _ in gather
+        ]
+        if budget_words is not None:
+            # Adaptive morsels: the largest prefix of remaining probe rows
+            # whose transient cost 5*chunk_emit + 3*chunk_probe fits the
+            # budget, found on a strictly increasing cost curve (cum is
+            # non-decreasing, the 3-per-row term strictly increases).
+            cost = 5 * cum + 3 * np.arange(1, probe_card + 1, dtype=np.int64)
+
+            def next_stop(start_row: int, offset: int) -> int:
+                limit = 5 * offset + 3 * start_row + budget_words
+                stop = int(np.searchsorted(cost, limit, side="right"))
+                return max(start_row + 1, min(stop, probe_card))
+
+        else:
+            # Legacy fixed-size morsels (explicit chunk_rows): each chunk
+            # emits at most chunk_rows rows (a single exploding probe row
+            # may exceed that on its own) and covers at most chunk_rows
+            # probe rows.
+            def next_stop(start_row: int, offset: int) -> int:
+                stop = int(
+                    np.searchsorted(cum, offset + chunk_rows, side="right")
+                )
+                stop = max(stop, start_row + 1)
+                return min(stop, start_row + chunk_rows, probe_card)
+
         peak = 0
         start_row = 0
         offset = 0
         while start_row < probe_card:
-            stop_row = int(np.searchsorted(cum, offset + chunk_rows, side="right"))
-            stop_row = max(stop_row, start_row + 1)
-            stop_row = min(stop_row, start_row + chunk_rows, probe_card)
+            stop_row = next_stop(start_row, offset)
             chunk_counts = counts[start_row:stop_row]
             chunk_emit = int(cum[stop_row - 1] - offset)
             if chunk_emit:
@@ -624,7 +855,9 @@ def columnar_natural_join(
             offset += chunk_emit
             start_row = stop_row
         if stats is not None:
-            stats.note_transient(peak)
+            stats.note_transient(
+                peak, 8 * peak + sorted_keys.nbytes + probe_keys.nbytes
+            )
 
     result = ColumnarRelation(
         name or f"({left.name}⋈{right.name})",
@@ -632,6 +865,7 @@ def columnar_natural_join(
         left.dictionary,
         out_columns,
         base_length=emitted,
+        references=out_references,
     )
     if stats is not None:
         stats.record("join", reads, result.cardinality)
@@ -681,8 +915,12 @@ def columnar_semijoin(
                 hit[hit] = sorted_right[found[hit]] == morsel[hit]
                 mask[start:stop] = hit
             if stats is not None:
+                elements = right_keys.shape[0] + 4 * min(chunk_rows, filter_card)
                 stats.note_transient(
-                    right_keys.shape[0] + 4 * min(chunk_rows, filter_card)
+                    elements,
+                    sorted_right.nbytes
+                    + min(chunk_rows, filter_card)
+                    * (left_keys.itemsize + 3 * 8),
                 )
         else:
             # np.isin picks table- vs sort-based internally; when the build
@@ -695,7 +933,10 @@ def columnar_semijoin(
             )
             mask = np.isin(left_keys, right_keys, kind=kind)
             if stats is not None:
-                stats.note_transient(2 * filter_card + right_keys.shape[0])
+                stats.note_transient(
+                    2 * filter_card + right_keys.shape[0],
+                    left_keys.nbytes + right_keys.nbytes + 2 * filter_card,
+                )
         selection = left._row_indices()[mask]
     result = ColumnarRelation(
         left.name,
@@ -704,6 +945,7 @@ def columnar_semijoin(
         left._columns,
         selection,
         left._base_length,
+        references=left._references,
     )
     if stats is not None:
         stats.record("semijoin", reads, result.cardinality)
@@ -724,6 +966,7 @@ def columnar_project(
     positions = relation._positions
     wanted = [a for a in attributes if a in positions]
     columns = tuple(relation._columns[positions[a]] for a in wanted)
+    references = [relation._references[positions[a]] for a in wanted]
     if stats is not None:
         stats.check(relation.cardinality)
     if distinct:
@@ -737,6 +980,7 @@ def columnar_project(
         columns,
         selection,
         relation._base_length,
+        references=references,
     )
     if distinct:
         result._known_distinct = True
@@ -748,11 +992,14 @@ def columnar_project(
 def columnar_select(relation: ColumnarRelation, predicate, stats=None) -> ColumnarRelation:
     """``σ_predicate``: decode per row only to feed the predicate, keep the
     result as a selection vector over the same columns."""
-    values = relation.dictionary.values
+    dictionary = relation.dictionary
     attrs = relation.attributes
     decoded = [
-        list(map(values.__getitem__, relation._logical(col).tolist()))
-        for col in relation._columns
+        dictionary.decode_ids(
+            relation._logical(relation._columns[position]).tolist(),
+            relation._references[position],
+        )
+        for position in range(len(relation._columns))
     ]
     kept = [
         bool(predicate(dict(zip(attrs, row_values))))
@@ -767,6 +1014,7 @@ def columnar_select(relation: ColumnarRelation, predicate, stats=None) -> Column
         relation._columns,
         selection,
         relation._base_length,
+        references=relation._references,
     )
     if stats is not None:
         stats.record("select", relation.cardinality, result.cardinality)

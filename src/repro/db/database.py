@@ -101,13 +101,16 @@ class Database:
         return sum(r.cardinality for r in self._relations.values())
 
     # ------------------------------------------------------------------
-    def save(self, path) -> "Database":
+    def save(self, path, encoding: Optional[str] = None) -> "Database":
         """Persist this database to ``path`` in the mmap-able columnar
         storage format (see :mod:`repro.db.storage`): a JSON catalog plus
-        one raw int64 file per column.  Returns ``self`` for chaining."""
+        one binary file per column.  ``encoding`` picks the column codec
+        (``"packed"`` frame-of-reference, ``"raw"`` int64 oracle; ``None``
+        defers to ``REPRO_STORAGE_ENCODING``).  Returns ``self`` for
+        chaining."""
         from repro.db.storage import save_database
 
-        save_database(self, path)
+        save_database(self, path, encoding=encoding)
         return self
 
     @classmethod
@@ -220,38 +223,72 @@ class Database:
     ) -> ColumnarRelation:
         """Columnar atom binding: share the stored column arrays, apply
         constant/repeated-variable selections as a selection vector, and add
-        surrogate columns for fresh variables."""
+        surrogate columns for fresh variables.  Packed columns are compared
+        as stored: a constant's id is shifted by the column's reference, and
+        a repeated-variable check aligns the two columns' references."""
         import numpy as np
 
+        from repro.db.columnar import _aligned_pair
+
         columns = stored._columns
+        references = stored._references
         # Selection conditions implied by the atom's terms.  A constant the
         # dictionary has never seen matches no stored row at all.
-        constant_checks = []  # (column, id or None)
-        repeat_checks = []  # (first column, repeated column)
+        constant_checks = []  # (column, reference, id or None)
+        repeat_checks = []  # (first column+ref, repeated column+ref)
         for position, term in enumerate(real_terms):
             if not is_variable(term):
                 constant_checks.append(
-                    (columns[position], self.dictionary.id_of(_coerce_constant(term)))
+                    (
+                        columns[position],
+                        references[position],
+                        self.dictionary.id_of(_coerce_constant(term)),
+                    )
                 )
             elif seen_positions[term] != position:
-                repeat_checks.append((columns[seen_positions[term]], columns[position]))
+                first = seen_positions[term]
+                repeat_checks.append(
+                    (
+                        columns[first],
+                        references[first],
+                        columns[position],
+                        references[position],
+                    )
+                )
 
         selection = stored._selection
         if constant_checks or repeat_checks:
-            if any(wanted is None for _, wanted in constant_checks):
+            if any(wanted is None for _, _, wanted in constant_checks):
                 selection = np.empty(0, dtype=np.int64)
             else:
                 rows = stored._row_indices()
                 mask = None
-                for column, wanted in constant_checks:
-                    hits = column[rows] == wanted
+                for column, reference, wanted in constant_checks:
+                    # Compare in the column's stored frame.  A target outside
+                    # the narrow dtype's range cannot occur in the column, so
+                    # branch explicitly instead of leaning on numpy's
+                    # (version-dependent) out-of-range scalar comparison.
+                    target = wanted - reference
+                    info = (
+                        np.iinfo(column.dtype)
+                        if column.dtype != np.int64
+                        else None
+                    )
+                    if info is not None and not (info.min <= target <= info.max):
+                        hits = np.zeros(len(rows), dtype=bool)
+                    else:
+                        hits = column[rows] == column.dtype.type(target)
                     mask = hits if mask is None else (mask & hits)
-                for first, repeated in repeat_checks:
-                    hits = first[rows] == repeated[rows]
+                for first, first_ref, repeated, repeated_ref in repeat_checks:
+                    fcol, rcol = _aligned_pair(
+                        first[rows], first_ref, repeated[rows], repeated_ref
+                    )
+                    hits = fcol == rcol
                     mask = hits if mask is None else (mask & hits)
                 selection = rows[mask]
 
         kept_columns = [columns[p] for p in keep_positions]
+        kept_references = [references[p] for p in keep_positions]
         base_length = stored._base_length
         if fresh_terms:
             # Materialise the selection so the surrogate column aligns with
@@ -268,6 +305,7 @@ class Database:
                 count=cardinality,
             )
             kept_columns = kept_columns + [fresh_ids] * len(fresh_terms)
+            kept_references = kept_references + [0] * len(fresh_terms)
             out_attributes = out_attributes + fresh_terms
             selection = None
             base_length = cardinality
@@ -278,6 +316,7 @@ class Database:
             kept_columns,
             selection,
             base_length,
+            references=kept_references,
         )
 
     def bind_query(self, query: ConjunctiveQuery) -> Dict[str, Relation]:

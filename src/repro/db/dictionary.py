@@ -86,6 +86,19 @@ class Dictionary:
     def decode(self, index: int) -> Any:
         return self._values[index]
 
+    def decode_ids(self, ids: Iterable[int], reference: int = 0) -> List[Any]:
+        """Decode a batch of ids (optionally frame-of-reference offset).
+
+        ``reference`` is the offset a packed column stores its ids relative
+        to (see :mod:`repro.db.storage`); the true id of a stored value ``v``
+        is ``v + reference``.  This is the single widening point where packed
+        columns meet the value domain — the kernels themselves never decode.
+        """
+        if reference:
+            values = self._values
+            return [values[index + reference] for index in ids]
+        return list(map(self._values.__getitem__, ids))
+
     @property
     def values(self) -> Sequence[Any]:
         """The id-indexed value list (read-only by convention); indexing it

@@ -27,10 +27,12 @@ The execution plane is parallel and memory-bounded:
   (answers, row order, ``OperatorStats``).
 * ``memory_budget_bytes`` (same defaulting chain, env var
   ``REPRO_DB_MEMORY_BUDGET_BYTES``) caps each columnar kernel's transient
-  index arrays by deriving a morsel size
-  (:func:`repro.db.algebra.chunk_rows_for_budget`) for the chunked
-  probe/membership kernels of :mod:`repro.db.columnar` -- results, emit
-  counts and the evaluation-budget stop are unchanged.
+  index arrays: the probe/membership kernels of :mod:`repro.db.columnar`
+  get a fixed morsel size
+  (:func:`repro.db.algebra.chunk_rows_for_budget`) and the join's
+  materialisation phase sizes its morsels *adaptively* from the exact
+  per-chunk emit counts against the byte budget -- results, emit counts
+  and the evaluation-budget stop are unchanged.
 """
 
 from __future__ import annotations
@@ -146,6 +148,8 @@ def execute_plan(
     threads = resolve_threads(threads, default=getattr(database, "threads", 1))
     if memory_budget_bytes is None:
         memory_budget_bytes = getattr(database, "memory_budget_bytes", None)
+    if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+        memory_budget_bytes = None
     chunk_rows = chunk_rows_for_budget(memory_budget_bytes)
     scheduler = TaskScheduler(threads)
 
@@ -171,7 +175,7 @@ def execute_plan(
             )
         return join_all(
             relations, stats=stats, order=order, needed=needed,
-            chunk_rows=chunk_rows,
+            chunk_rows=chunk_rows, memory_budget_bytes=memory_budget_bytes,
         )
 
     def run(node, needed=None) -> Relation:
@@ -197,7 +201,8 @@ def execute_plan(
     if isinstance(root, YannakakisNode):
         if scheduler.parallel:
             return _execute_yannakakis_parallel(
-                root, scan, run, stats, scheduler, chunk_rows
+                root, scan, run, stats, scheduler, chunk_rows,
+                memory_budget_bytes,
             )
         relations = {node_id: run(expr) for node_id, expr in root.expressions}
         tree = TreeQuery(
@@ -209,7 +214,8 @@ def execute_plan(
             answer = evaluate_boolean(tree, stats=stats, chunk_rows=chunk_rows)
             return ExecutionResult(relation=None, boolean=answer, stats=stats)
         result = evaluate(
-            tree, list(root.output_variables), stats=stats, chunk_rows=chunk_rows
+            tree, list(root.output_variables), stats=stats, chunk_rows=chunk_rows,
+            memory_budget_bytes=memory_budget_bytes,
         )
         return ExecutionResult(relation=result, boolean=None, stats=stats)
 
@@ -271,7 +277,8 @@ def _run_root_parallel(
 
 
 def _execute_yannakakis_parallel(
-    root: YannakakisNode, scan, run, stats, scheduler: TaskScheduler, chunk_rows
+    root: YannakakisNode, scan, run, stats, scheduler: TaskScheduler, chunk_rows,
+    memory_budget_bytes=None,
 ) -> ExecutionResult:
     """Run one Yannakakis plan as its per-subtree task DAG.
 
@@ -319,7 +326,8 @@ def _execute_yannakakis_parallel(
     plan = fold_plan(tree, list(root.output_variables))
     folded = dict(relations)
     fold_functions = fold_task_functions(
-        tree, folded, plan, stats=stats, chunk_rows=chunk_rows
+        tree, folded, plan, stats=stats, chunk_rows=chunk_rows,
+        memory_budget_bytes=memory_budget_bytes,
     )
     fold_specs = [spec for spec in specs if spec.key[0] == "fold"]
     scheduler.run([(s.key, s.deps, fold_functions[s.key]) for s in fold_specs])

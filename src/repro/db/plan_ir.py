@@ -108,7 +108,14 @@ class QueryPlanIR:
         memory_budget_bytes: Optional[int] = None,
     ):
         """Interpret the plan against ``database`` (see
-        :func:`repro.db.executor.execute_plan`)."""
+        :func:`repro.db.executor.execute_plan`).
+
+        ``memory_budget_bytes`` drives the adaptive morsel sizing of the
+        chunked join kernels.  The resulting ``OperatorStats`` stay
+        representation-blind: every work counter and
+        ``peak_transient_elements`` are byte-identical across column
+        encodings, thread counts and chunkings; only the dtype-aware
+        ``peak_transient_bytes`` reflects the actual packed widths."""
         from repro.db.executor import execute_plan
 
         return execute_plan(

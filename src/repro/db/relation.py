@@ -184,6 +184,14 @@ class Relation:
                 cache.popitem(last=False)
         return index
 
+    def column_nbytes(self) -> int:
+        """Estimated column bytes of the relation at the storage plane's raw
+        encoding: 8 bytes (one int64 id) per cell.  The columnar subclass
+        overrides this with the exact bytes of its (possibly packed) arrays;
+        the pair is what ``repro db info`` compares to report a store's
+        compression ratio."""
+        return 8 * self.arity * self.cardinality
+
     # ------------------------------------------------------------------
     def distinct(self, name: str | None = None) -> "Relation":
         """The relation with duplicate rows removed (explicit ``DISTINCT``)."""

@@ -58,6 +58,15 @@ class TableStatistics:
         value)."""
         return int(self.distinct_counts.get(attribute, max(self.cardinality, 1)))
 
+    @property
+    def estimated_raw_bytes(self) -> int:
+        """The relation's column footprint at the raw (int64) encoding:
+        8 bytes per cell over the analysed attributes.  A statistics-only
+        stand-in for :meth:`~repro.db.relation.Relation.column_nbytes` --
+        what a memory budget is compared against to decide whether a
+        workload even fits unpacked."""
+        return 8 * len(self.distinct_counts) * self.cardinality
+
     def attributes(self) -> Iterable[str]:
         return self.distinct_counts.keys()
 
@@ -140,6 +149,13 @@ class CatalogStatistics:
 
     def selectivity(self, relation_name: str, attribute: str) -> int:
         return self.table(relation_name).selectivity(attribute)
+
+    def estimated_raw_bytes(self) -> int:
+        """Catalog-wide raw int64 column footprint (the sum of every table's
+        :attr:`TableStatistics.estimated_raw_bytes`)."""
+        return sum(
+            table.estimated_raw_bytes for table in self._tables.values()
+        )
 
     # ------------------------------------------------------------------
     @classmethod

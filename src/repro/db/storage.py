@@ -12,22 +12,43 @@ columns, both of which serialise trivially.  This module defines:
 directory per database::
 
     <dir>/catalog.json        # format marker+version, relation metadata,
-                              # statistics, dictionary reference
+                              # per-column encoding, statistics, dictionary
     <dir>/dictionary.json     # the interner as typed value segments
-    <dir>/cols/r<i>_c<j>.i64  # one raw little-endian int64 file per column
-    <dir>/cols/r<i>_sel.i64   # optional selection vector
+    <dir>/cols/r<i>_c<j>.<dt> # one little-endian column file per column
+    <dir>/cols/r<i>_sel.<dt>  # optional selection vector
+
+``<dt>`` names the column's storage dtype: ``u1``/``u2``/``u4`` for
+frame-of-reference packed columns (codec ``"for"``: the file holds
+``id - reference`` in the smallest unsigned dtype covering the column's id
+span; the reference is recorded in the catalog) and ``i64`` for raw int64
+columns (codec ``"raw"``, reference 0 -- byte-identical to a version-1
+store).  :func:`pack_ids` / :func:`unpack_ids` are the codec;
+:func:`resolve_encoding` picks the store-wide mode (``"packed"`` by
+default, ``"raw"`` as the oracle, overridable per save or via the
+``REPRO_STORAGE_ENCODING`` environment variable).
+
+**Version compatibility (v1 -> v2).**  Version 2 added the encoding layer.
+A column meta without an ``"encoding"`` key denotes a raw int64 file with
+reference 0 -- exactly what version 1 wrote -- so v2 readers open v1
+stores unchanged (:data:`_SUPPORTED_READ_VERSIONS`).  Writers always
+produce version 2; version 1 is never written again.  Any future
+incompatible change must bump :data:`FORMAT_VERSION` and either extend
+the read set or drop v1 support explicitly.
 
 Opening maps every column file with ``np.memmap(mode="r")`` straight into
-:class:`~repro.db.columnar.ColumnarRelation` columns: no interning, no row
-materialisation, near-zero allocation.  The maps are **read-only** (writes
-raise), which is safe because every kernel treats input columns as
-immutable.  Without numpy the same files are decoded through the row
-engine (:meth:`Relation.from_value_columns`), so a stored database opens
-on either engine.  Because join/semijoin/project output order is
-id-independent (matches surface in probe-row then base-row order), a
-round-tripped database yields byte-identical answers, row order and
-``OperatorStats`` to the in-memory original -- the invariant the Hypothesis
-suite in ``tests/test_storage.py`` pins.
+:class:`~repro.db.columnar.ColumnarRelation` columns **at its stored
+width**: no interning, no row materialisation, no decode -- the kernels
+run on the packed ids (frame-of-reference preserves order and equality)
+and widen only at the Dictionary value boundary.  The maps are
+**read-only** (writes raise), which is safe because every kernel treats
+input columns as immutable.  Without numpy the same files are decoded
+through the row engine (:meth:`Relation.from_value_columns`), so a stored
+database opens on either engine.  Because join/semijoin/project output
+order is id-independent (matches surface in probe-row then base-row
+order), a round-tripped database yields byte-identical answers, row order
+and ``OperatorStats`` to the in-memory original -- whichever encoding it
+was saved under -- the invariant the Hypothesis suites in
+``tests/test_storage.py`` and ``tests/test_packed_encoding.py`` pin.
 
 **The workload cache** (:func:`cached_database`) -- a content-addressed
 store of generated databases keyed by ``(generator kind, params)`` digests.
@@ -75,13 +96,22 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 
 #: Format marker + version of the on-disk layout.  Bump the version on any
 #: incompatible change; readers raise :class:`StorageFormatError` on both an
-#: unknown marker and a version they do not understand.
+#: unknown marker and a version they do not understand.  Version 2 added
+#: per-column frame-of-reference encoding; version-1 stores (raw int64, no
+#: ``"encoding"`` metadata) remain readable -- see the module docstring.
 FORMAT_NAME = "repro-columnar-db"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_SUPPORTED_READ_VERSIONS = (1, 2)
 
 _CATALOG_FILE = "catalog.json"
 _DICTIONARY_FILE = "dictionary.json"
 _COLUMN_DIR = "cols"
+
+#: Store-wide encoding modes and the environment override consulted when a
+#: save does not pick one explicitly.
+ENCODING_ENV = "REPRO_STORAGE_ENCODING"
+_ENCODINGS = ("packed", "raw")
+_DEFAULT_ENCODING = "packed"
 
 #: Environment knobs of the workload cache: the directory that activates it
 #: and the kill switch that beats an explicitly passed directory.
@@ -90,61 +120,197 @@ CACHE_DISABLE_ENV = "REPRO_WORKLOAD_CACHE"
 
 
 # ----------------------------------------------------------------------
-# Raw int64 column files.
+# Column codec: frame-of-reference + bit-width packing.
 # ----------------------------------------------------------------------
 
+#: Storage dtype tags: ``tag -> (array typecode, itemsize, numpy dtype)``.
+#: The tag doubles as the column file extension; ``i64`` is the raw codec's
+#: dtype and the only one a version-1 store contains.
+_DTYPE_TAGS = {
+    "u1": ("B", 1, "<u1"),
+    "u2": ("H", 2, "<u2"),
+    "u4": ("I", 4, "<u4"),
+    "i64": ("q", 8, "<i8"),
+}
 
-def _write_i64(path: Path, ids) -> int:
-    """Dump one id column as raw little-endian int64; returns byte count."""
+
+def resolve_encoding(encoding: Optional[str] = None) -> str:
+    """The effective store-wide encoding mode: an explicit argument wins,
+    else the ``REPRO_STORAGE_ENCODING`` environment variable, else
+    ``"packed"``.  Unknown names raise :class:`StorageFormatError`."""
+    if encoding is None:
+        encoding = os.environ.get(ENCODING_ENV, "").strip() or _DEFAULT_ENCODING
+    encoding = str(encoding).lower()
+    if encoding not in _ENCODINGS:
+        raise StorageFormatError(
+            f"unknown storage encoding {encoding!r}; expected one of "
+            f"{', '.join(_ENCODINGS)}"
+        )
+    return encoding
+
+
+def _id_bounds(ids, reference: int = 0):
+    """``(lo, hi)`` of a column's true ids (stored value + reference);
+    ``(0, 0)`` for an empty column."""
     if np is not None and isinstance(ids, np.ndarray):
-        payload = np.ascontiguousarray(ids, dtype=np.dtype("<i8")).tobytes()
+        if ids.size == 0:
+            return 0, 0
+        return int(ids.min()) + reference, int(ids.max()) + reference
+    ids = list(ids)
+    if not ids:
+        return 0, 0
+    return int(min(ids)) + reference, int(max(ids)) + reference
+
+
+def _span_tag(lo: int, hi: int) -> str:
+    """The smallest unsigned tag whose range covers ``hi - lo``; ``i64``
+    when the span needs more than 32 bits."""
+    span = hi - lo
+    if span < 1 << 8:
+        return "u1"
+    if span < 1 << 16:
+        return "u2"
+    if span < 1 << 32:
+        return "u4"
+    return "i64"
+
+
+def pack_ids(
+    ids,
+    mode: str = "packed",
+    reference: int = 0,
+    frame_of_reference: bool = True,
+) -> "tuple[bytes, Dict[str, Any]]":
+    """Encode one id column into its on-disk bytes plus encoding metadata
+    ``{"codec", "dtype", "reference"}``.
+
+    ``reference`` is the frame the *input* ids are already stored in (their
+    true value is ``stored + reference``); the encoder re-frames from
+    scratch, so re-saving a packed store re-packs optimally.  With
+    ``frame_of_reference=False`` (selection vectors: the values are real
+    row indices that fancy indexing consumes directly) the new reference is
+    pinned to 0 and only the width narrows.  ``mode="raw"`` always yields
+    codec ``"raw"``: int64, reference 0 -- byte-identical to a version-1
+    file.  Negative ids (never produced by the dictionary, but legal int64
+    input) fall back to the raw codec unless a frame shift absorbs them.
+    """
+    lo, hi = _id_bounds(ids, reference)
+    if mode == "raw":
+        tag, new_reference = "i64", 0
+    elif frame_of_reference:
+        tag = _span_tag(lo, hi)
+        new_reference = lo if tag != "i64" else 0
+    else:
+        tag = _span_tag(0, hi) if lo >= 0 else "i64"
+        new_reference = 0
+    typecode, _, np_dtype = _DTYPE_TAGS[tag]
+    if np is not None and isinstance(ids, np.ndarray):
+        true_ids = ids.astype(np.int64)
+        if reference:
+            true_ids += reference
+        if new_reference:
+            true_ids -= new_reference
+        payload = np.ascontiguousarray(true_ids, dtype=np.dtype(np_dtype)).tobytes()
     else:
         import array
 
-        arr = array.array("q", [int(v) for v in ids])
+        arr = array.array(
+            typecode, [int(v) + reference - new_reference for v in ids]
+        )
         if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
             arr.byteswap()
         payload = arr.tobytes()
-    path.write_bytes(payload)
-    return len(payload)
+    meta = {
+        "codec": "raw" if tag == "i64" else "for",
+        "dtype": tag,
+        "reference": int(new_reference),
+    }
+    return payload, meta
 
 
-def _check_i64_file(path: Path, length: int) -> None:
+def unpack_ids(payload: bytes, meta: Mapping, length: int) -> List[int]:
+    """Decode one column file's bytes back to true ids (the numpy-free
+    inverse of :func:`pack_ids`; the mmap path never calls this)."""
+    tag = str(meta.get("dtype", "i64"))
+    if tag not in _DTYPE_TAGS:
+        raise StorageFormatError(f"unknown column dtype tag {tag!r}")
+    typecode, itemsize, _ = _DTYPE_TAGS[tag]
+    if len(payload) != itemsize * length:
+        raise StorageFormatError(
+            f"column payload holds {len(payload)} bytes, expected "
+            f"{itemsize * length} ({length} {tag} values)"
+        )
+    import array
+
+    arr = array.array(typecode)
+    arr.frombytes(payload)
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        arr.byteswap()
+    reference = int(meta.get("reference", 0))
+    if reference:
+        return [value + reference for value in arr]
+    return arr.tolist()
+
+
+def _column_encoding(meta: Mapping) -> "tuple[str, int]":
+    """``(dtype tag, reference)`` of a column meta; a missing ``"encoding"``
+    key is a version-1 raw int64 column (the compatibility rule)."""
+    encoding = meta.get("encoding")
+    if not encoding:
+        return "i64", 0
+    tag = str(encoding.get("dtype", "i64"))
+    if tag not in _DTYPE_TAGS:
+        raise StorageFormatError(f"unknown column dtype tag {tag!r}")
+    return tag, int(encoding.get("reference", 0))
+
+
+def _check_column_file(path: Path, length: int, tag: str) -> int:
+    typecode, itemsize, _ = _DTYPE_TAGS[tag]
     try:
         size = path.stat().st_size
     except OSError as exc:
         raise StorageFormatError(f"missing column file {path}") from exc
-    if size != 8 * length:
+    if size != itemsize * length:
         raise StorageFormatError(
-            f"column file {path} holds {size} bytes, expected {8 * length} "
-            f"({length} int64 values)"
+            f"column file {path} holds {size} bytes, expected "
+            f"{itemsize * length} ({length} {tag} values)"
         )
+    return itemsize
 
 
-def _memmap_i64(path: Path, length: int):
-    """Map one column file read-only (zero rows need no file mapping)."""
-    _check_i64_file(path, length)
+def _memmap_column(path: Path, length: int, tag: str = "i64"):
+    """Map one column file read-only at its stored width (zero rows need no
+    file mapping)."""
+    _check_column_file(path, length, tag)
+    np_dtype = np.dtype(_DTYPE_TAGS[tag][2])
     if length == 0:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np_dtype.newbyteorder("="))
     try:
-        return np.memmap(path, dtype=np.dtype("<i8"), mode="r")
+        return np.memmap(path, dtype=np_dtype, mode="r")
     except (OSError, ValueError) as exc:
         raise StorageFormatError(f"cannot map column file {path}: {exc}") from exc
 
 
-def _read_i64_fallback(path: Path, length: int) -> List[int]:
-    """Decode one column file without numpy (the row-engine open path)."""
-    import array
+def _read_column_fallback(
+    path: Path, length: int, meta: Mapping
+) -> List[int]:
+    """Decode one column file to true ids without numpy (the row-engine
+    open path).  ``meta`` is the column's catalog entry; a missing
+    ``"encoding"`` key reads as v1 raw int64."""
+    tag, reference = _column_encoding(meta)
+    _check_column_file(path, length, tag)
+    return unpack_ids(
+        path.read_bytes(), {"dtype": tag, "reference": reference}, length
+    )
 
-    _check_i64_file(path, length)
-    arr = array.array("q")
-    arr.frombytes(path.read_bytes())
-    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
-        arr.byteswap()
-    return arr.tolist()
 
-
-def _checked_ids(column, limit: int, relation: str, what: str = "dictionary id"):
+def _checked_ids(
+    column,
+    limit: int,
+    relation: str,
+    what: str = "dictionary id",
+    reference: int = 0,
+):
     """Range-check a loaded id column against ``[0, limit)``.
 
     Bit-level corruption that survives the byte-length check would otherwise
@@ -152,16 +318,17 @@ def _checked_ids(column, limit: int, relation: str, what: str = "dictionary id")
     values; a single min/max scan turns it into a loud
     :class:`StorageFormatError`.  (For memmaps this is the one sequential
     read an open performs -- no allocation, and orders of magnitude cheaper
-    than regeneration.)
+    than regeneration.)  ``reference`` is the column's frame offset: the
+    check runs on true ids, the stored values stay packed.
     """
     if np is not None and isinstance(column, np.ndarray):
         if column.size == 0:
             return column
-        lo, hi = int(column.min()), int(column.max())
+        lo, hi = int(column.min()) + reference, int(column.max()) + reference
     else:
         if not column:
             return column
-        lo, hi = min(column), max(column)
+        lo, hi = min(column) + reference, max(column) + reference
     if lo < 0 or hi >= limit:
         raise StorageFormatError(
             f"relation {relation!r}: stored {what} out of range "
@@ -176,14 +343,16 @@ def _checked_ids(column, limit: int, relation: str, what: str = "dictionary id")
 
 
 def _encoded_relations(database: Database):
-    """``(dictionary, [(relation, base_columns, selection, base_length,
-    known_distinct)])`` -- the id-space view of every stored relation.
+    """``(dictionary, [(relation, base_columns, references, selection,
+    base_length, known_distinct)])`` -- the id-space view of every stored
+    relation.
 
     Columnar relations are already in id space over the database's shared
-    dictionary.  Row relations (the ``columnar=False`` engine) are encoded
-    column-major into a fresh dictionary at save time, in relation order --
-    the same interning order the columnar generator produces, so the stored
-    bytes are identical whichever engine generated the data.
+    dictionary (their columns may be packed with per-column references).
+    Row relations (the ``columnar=False`` engine) are encoded column-major
+    into a fresh dictionary at save time, in relation order -- the same
+    interning order the columnar generator produces, so the stored bytes
+    are identical whichever engine generated the data.
     """
     columnar = [
         relation
@@ -194,7 +363,14 @@ def _encoded_relations(database: Database):
         for r in columnar
     ):
         encoded = [
-            (r, r._columns, r._selection, r._base_length, r._known_distinct)
+            (
+                r,
+                r._columns,
+                r._references,
+                r._selection,
+                r._base_length,
+                r._known_distinct,
+            )
             for r in columnar
         ]
         return database.dictionary, encoded
@@ -206,15 +382,19 @@ def _encoded_relations(database: Database):
             dictionary.encode_column(row[position] for row in rows)
             for position in range(len(relation.attributes))
         ]
-        encoded.append((relation, columns, None, len(rows), False))
+        references = [0] * len(relation.attributes)
+        encoded.append((relation, columns, references, None, len(rows), False))
     return dictionary, encoded
 
 
-def save_database(database: Database, path) -> Path:
+def save_database(database: Database, path, encoding: Optional[str] = None) -> Path:
     """Write ``database`` to ``path`` (a directory, created as needed) in
     the mmap-able columnar format.  Existing contents are replaced.  The
     statistics catalog is stored verbatim, so opening restores it without
-    re-analysis.  Returns the directory path."""
+    re-analysis.  ``encoding`` picks the column codec (``"packed"`` /
+    ``"raw"``; ``None`` defers to :func:`resolve_encoding`).  Returns the
+    directory path."""
+    mode = resolve_encoding(encoding)
     root = Path(path)
     column_dir = root / _COLUMN_DIR
     if column_dir.exists():
@@ -224,30 +404,44 @@ def save_database(database: Database, path) -> Path:
     dictionary, encoded = _encoded_relations(database)
     relations_meta = []
     total_bytes = 0
-    for index, (relation, columns, selection, base_length, known_distinct) in enumerate(
-        encoded
-    ):
+    for index, (
+        relation, columns, references, selection, base_length, known_distinct
+    ) in enumerate(encoded):
         column_files = []
         for position, column in enumerate(columns):
-            file_name = f"{_COLUMN_DIR}/r{index}_c{position}.i64"
-            nbytes = _write_i64(root / file_name, column)
+            payload, col_encoding = pack_ids(
+                column, mode=mode, reference=references[position]
+            )
+            file_name = (
+                f"{_COLUMN_DIR}/r{index}_c{position}.{col_encoding['dtype']}"
+            )
+            (root / file_name).write_bytes(payload)
+            nbytes = len(payload)
             total_bytes += nbytes
             column_files.append(
                 {
                     "attribute": relation.attributes[position],
                     "file": file_name,
                     "bytes": nbytes,
+                    "encoding": col_encoding,
                 }
             )
         selection_meta = None
         if selection is not None:
-            file_name = f"{_COLUMN_DIR}/r{index}_sel.i64"
-            nbytes = _write_i64(root / file_name, selection)
+            # Selection values are real row indices consumed by fancy
+            # indexing, so they pack width-only (reference pinned to 0).
+            payload, sel_encoding = pack_ids(
+                selection, mode=mode, frame_of_reference=False
+            )
+            file_name = f"{_COLUMN_DIR}/r{index}_sel.{sel_encoding['dtype']}"
+            (root / file_name).write_bytes(payload)
+            nbytes = len(payload)
             total_bytes += nbytes
             selection_meta = {
                 "file": file_name,
                 "length": int(len(selection)),
                 "bytes": nbytes,
+                "encoding": sel_encoding,
             }
         relations_meta.append(
             {
@@ -306,10 +500,10 @@ def _checked_format(payload: Mapping, path: Path) -> Mapping:
             f"{path} has format marker {marker!r}, expected {FORMAT_NAME!r} "
             "(not a stored repro database?)"
         )
-    if version != FORMAT_VERSION:
+    if version not in _SUPPORTED_READ_VERSIONS:
         raise StorageFormatError(
             f"{path} is format version {version!r}; this build reads only "
-            f"version {FORMAT_VERSION}"
+            f"versions {', '.join(str(v) for v in _SUPPORTED_READ_VERSIONS)}"
         )
     return payload
 
@@ -388,10 +582,16 @@ def open_database(
             )
         try:
             column_files = [root / column["file"] for column in column_metas]
+            column_encodings = [
+                _column_encoding(column) for column in column_metas
+            ]
             selection_file = (
                 (root / selection_meta["file"], int(selection_meta["length"]))
                 if selection_meta
                 else None
+            )
+            selection_encoding = (
+                _column_encoding(selection_meta) if selection_meta else ("i64", 0)
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StorageFormatError(
@@ -399,15 +599,27 @@ def open_database(
             ) from exc
         if use_columnar:
             columns = [
-                _checked_ids(_memmap_i64(path, base_length), len(dictionary), name)
-                for path in column_files
+                _checked_ids(
+                    _memmap_column(path, base_length, tag),
+                    len(dictionary),
+                    name,
+                    reference=reference,
+                )
+                for path, (tag, reference) in zip(column_files, column_encodings)
             ]
+            references = [reference for _, reference in column_encodings]
             selection = None
             if selection_file is not None:
+                sel_tag, sel_reference = selection_encoding
                 selection = _checked_ids(
-                    _memmap_i64(*selection_file), base_length, name,
+                    _memmap_column(selection_file[0], selection_file[1], sel_tag),
+                    base_length,
+                    name,
                     what="selection index",
+                    reference=sel_reference,
                 )
+                if sel_reference:  # defensive: writers always pin this to 0
+                    selection = selection.astype(np.int64) + sel_reference
             relation = ColumnarRelation(
                 name,
                 attributes,
@@ -415,6 +627,7 @@ def open_database(
                 columns,
                 selection,
                 base_length,
+                references=references,
             )
             relation._known_distinct = known_distinct
             database.add_relation(relation)
@@ -422,13 +635,19 @@ def open_database(
             values = dictionary.values
             id_columns = [
                 _checked_ids(
-                    _read_i64_fallback(path, base_length), len(dictionary), name
+                    _read_column_fallback(path, base_length, column_meta),
+                    len(dictionary),
+                    name,
                 )
-                for path in column_files
+                for path, column_meta in zip(column_files, column_metas)
             ]
             if selection_file is not None:
                 selection = _checked_ids(
-                    _read_i64_fallback(*selection_file), base_length, name,
+                    _read_column_fallback(
+                        selection_file[0], selection_file[1], selection_meta
+                    ),
+                    base_length,
+                    name,
                     what="selection index",
                 )
                 id_columns = [[col[i] for i in selection] for col in id_columns]
@@ -447,25 +666,50 @@ def open_database(
 
 def storage_info(path) -> Dict[str, Any]:
     """Catalog summary of a stored database without opening any column:
-    relation count/rows/bytes and the dictionary size (the ``db info``
-    subcommand prints this)."""
+    relation count/rows/bytes, per-column encoding, and the whole-store
+    compression ratio against raw int64 (the ``db info`` subcommand prints
+    this)."""
     catalog = load_catalog(path)
     relations = []
     total_rows = 0
     total_bytes = 0
+    total_raw_bytes = 0
     for meta in catalog.get("relations", ()):
-        nbytes = sum(int(c.get("bytes", 0)) for c in meta.get("columns", ()))
+        base_length = int(meta.get("base_length", 0))
+        columns = []
+        nbytes = 0
+        raw_bytes = 0
+        for column_meta in meta.get("columns", ()):
+            tag, reference = _column_encoding(column_meta)
+            column_bytes = int(column_meta.get("bytes", 0))
+            nbytes += column_bytes
+            raw_bytes += 8 * base_length
+            columns.append(
+                {
+                    "attribute": column_meta.get("attribute"),
+                    "codec": "raw" if tag == "i64" else "for",
+                    "dtype": tag,
+                    "reference": reference,
+                    "bytes": column_bytes,
+                    "raw_bytes": 8 * base_length,
+                }
+            )
         if meta.get("selection"):
-            nbytes += int(meta["selection"].get("bytes", 0))
+            selection_bytes = int(meta["selection"].get("bytes", 0))
+            nbytes += selection_bytes
+            raw_bytes += 8 * int(meta["selection"].get("length", 0))
         cardinality = int(meta.get("cardinality", 0))
         total_rows += cardinality
         total_bytes += nbytes
+        total_raw_bytes += raw_bytes
         relations.append(
             {
                 "name": meta.get("name"),
                 "attributes": list(meta.get("attributes", ())),
                 "rows": cardinality,
                 "bytes": nbytes,
+                "raw_bytes": raw_bytes,
+                "columns": columns,
             }
         )
     return {
@@ -475,6 +719,10 @@ def storage_info(path) -> Dict[str, Any]:
         "relations": relations,
         "total_rows": total_rows,
         "total_column_bytes": total_bytes,
+        "total_raw_column_bytes": total_raw_bytes,
+        "compression_ratio": (
+            total_raw_bytes / total_bytes if total_bytes else 1.0
+        ),
         "dictionary_entries": int(catalog.get("dictionary", {}).get("entries", 0)),
     }
 
@@ -552,13 +800,20 @@ def cached_database(
     """Generate-or-reuse a workload database.
 
     ``kind`` names the generator and ``params`` its JSON-safe parameters
-    (include the seed and a :func:`query_fingerprint`); together with the
-    format version they form the content address.  On a hit the stored
+    (include the seed and a :func:`query_fingerprint`); they form the
+    content address.  The storage format version is deliberately *not*
+    part of the key: an entry written by an older format version would
+    otherwise be orphaned forever under its old digest instead of being
+    regenerated in place.  Instead the catalog's version is checked on
+    lookup -- an entry whose version differs from the current
+    :data:`FORMAT_VERSION` (even one this build could still *read*) is
+    treated as a miss, removed, and rebuilt at the current version, so the
+    cache converges to freshly-encoded stores.  On a hit the stored
     database is opened (mmap'd under the columnar engine); on a miss --
-    including a corrupt or version-mismatched entry -- ``builder()`` runs
-    and its result is saved atomically (temp sibling + rename, so
-    concurrent processes never observe a half-written entry).  With no
-    cache directory configured this is exactly ``builder()``.
+    including a corrupt or stale-version entry -- ``builder()`` runs and
+    its result is saved atomically (temp sibling + rename, so concurrent
+    processes never observe a half-written entry).  With no cache
+    directory configured this is exactly ``builder()``.
 
     The ``columnar`` flag selects the *representation* of the returned
     database only; it is deliberately not part of the key, because both
@@ -567,12 +822,17 @@ def cached_database(
     root = workload_cache_dir(cache_dir)
     if root is None:
         return builder()
-    digest = canonical_digest(
-        {"kind": kind, "params": dict(params), "format_version": FORMAT_VERSION}
-    )
+    digest = canonical_digest({"kind": kind, "params": dict(params)})
     entry = root / f"{kind}-{digest[:20]}"
     if not refresh and (entry / _CATALOG_FILE).exists():
         try:
+            catalog = load_catalog(entry)
+            if catalog.get("version") != FORMAT_VERSION:
+                raise StorageFormatError(
+                    f"cache entry {entry} is format version "
+                    f"{catalog.get('version')!r}, regenerating at "
+                    f"{FORMAT_VERSION}"
+                )
             database = open_database(entry, columnar=columnar)
             _workload_cache_counters["hits"] += 1
             return database

@@ -211,6 +211,7 @@ def evaluate(
     output_variables: Sequence[str],
     stats: Optional[OperatorStats] = None,
     chunk_rows: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Relation:
     """Full evaluation: the projection of the join of all node relations onto
     ``output_variables`` (all variables of the tree if empty).
@@ -232,7 +233,8 @@ def evaluate(
         )
         up = plan.parent[node]
         folded[up] = natural_join(
-            folded[up], contribution, stats=stats, chunk_rows=chunk_rows
+            folded[up], contribution, stats=stats, chunk_rows=chunk_rows,
+            memory_budget_bytes=memory_budget_bytes,
         )
 
     return project(
@@ -294,6 +296,7 @@ def fold_task_functions(
     plan: FoldPlan,
     stats: Optional[OperatorStats] = None,
     chunk_rows: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Dict[Tuple[str, object], Callable[[], None]]:
     """The join pass as per-subtree tasks: ``("fold", v)`` projects each
     child's completed fold onto its keep list and joins it into ``v``, in
@@ -308,7 +311,9 @@ def fold_task_functions(
                     chunk_rows=chunk_rows,
                 )
                 folded[node] = natural_join(
-                    folded[node], contribution, stats=stats, chunk_rows=chunk_rows
+                    folded[node], contribution, stats=stats,
+                    chunk_rows=chunk_rows,
+                    memory_budget_bytes=memory_budget_bytes,
                 )
         return run
 

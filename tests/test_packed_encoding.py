@@ -1,0 +1,778 @@
+"""The frame-of-reference encoding layer and its order-preserving kernels.
+
+Four invariants are pinned here:
+
+* **Codec round trips.**  ``pack_ids``/``unpack_ids`` are exact inverses at
+  every bit-width boundary (1/8/9/32/33 bits), for negative references,
+  empty and single-value columns -- and the numpy and numpy-free encoders
+  produce byte-identical payloads.
+* **Packed == raw oracle.**  A database saved under ``encoding="packed"``
+  answers every plan byte-identically (rows, order, ``OperatorStats``) to
+  the same database saved raw -- serially, on the row engine, and under
+  ``threads=4`` plus a tiny memory budget.  ``peak_transient_elements`` is
+  pinned equal; only ``peak_transient_bytes`` may shrink.
+* **Version compatibility.**  A hand-built version-1 store (no
+  ``"encoding"`` metadata, raw ``.i64`` files) still opens on both engines,
+  and a ``cached_database`` entry at a stale format version is regenerated
+  in place, not reused.
+* **Adaptive morsel sizing.**  ``memory_budget_bytes`` (and the auto-chunk
+  environment knobs) bound the join's transient footprint without changing
+  a single output byte, and packed/raw runs chunk identically.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.db.algebra import OperatorStats
+from repro.db.columnar import (
+    AUTO_CHUNK_BUDGET_ENV,
+    AUTO_CHUNK_MIN_EMIT_ENV,
+    ColumnarRelation,
+    columnar_natural_join,
+    columnar_project,
+    columnar_semijoin,
+)
+from repro.db.database import Database
+from repro.db.dictionary import Dictionary
+from repro.db.generator import uniform_database
+from repro.db.relation import Relation
+from repro.db.storage import (
+    FORMAT_VERSION,
+    cached_database,
+    load_catalog,
+    open_database,
+    pack_ids,
+    reset_workload_cache_stats,
+    resolve_encoding,
+    save_database,
+    storage_info,
+    unpack_ids,
+    workload_cache_stats,
+)
+from repro.exceptions import StorageFormatError
+from repro.planner.baseline import baseline_plan
+from repro.planner.cost_k_decomp import cost_k_decomp
+from repro.query.atoms import Atom
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import chain_query, cycle_query, star_query
+
+ROUND_TRIP_SETTINGS = dict(
+    deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+# Values a dictionary must round-trip exactly (mirrors test_storage.py).
+MIXED_VALUES = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.sampled_from(["", "a", "β", "naïve", "日本語", "-7", "0"]),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.none(),
+)
+
+RELATION = st.lists(
+    st.tuples(MIXED_VALUES, MIXED_VALUES, MIXED_VALUES), min_size=0, max_size=20
+)
+
+
+def fresh_dir(tmp_path) -> Path:
+    """A unique directory per Hypothesis example (tmp_path is per-test)."""
+    return Path(tempfile.mkdtemp(dir=tmp_path))
+
+
+def assert_same_database(original: Database, reopened: Database) -> None:
+    """Schema, rows (exact order), cardinalities and statistics all match."""
+    assert sorted(original.relation_names()) == sorted(reopened.relation_names())
+    for name in original.relation_names():
+        ours, theirs = original.relation(name), reopened.relation(name)
+        assert ours.attributes == theirs.attributes
+        assert ours.cardinality == theirs.cardinality
+        assert ours.rows == theirs.rows  # tuple-for-tuple, in order
+    assert original.statistics.to_payload() == reopened.statistics.to_payload()
+
+
+def assert_same_execution(plan, original: Database, reopened: Database, **knobs):
+    """Executing one plan on both databases is byte-identical: answer rows
+    in order, Boolean answers, and every ``OperatorStats`` counter."""
+    ours = plan.execute(original, **knobs)
+    theirs = plan.execute(reopened, **knobs)
+    assert ours.cardinality == theirs.cardinality
+    assert ours.boolean == theirs.boolean
+    if ours.relation is not None:
+        assert ours.relation.attributes == theirs.relation.attributes
+        assert ours.relation.rows == theirs.relation.rows
+    assert ours.stats.snapshot() == theirs.stats.snapshot()
+    assert ours.stats.operations == theirs.stats.operations
+    assert (
+        ours.stats.peak_transient_elements == theirs.stats.peak_transient_elements
+    )
+    return ours, theirs
+
+
+# ----------------------------------------------------------------------
+# Codec: bit-width boundaries and frame-of-reference framing.
+# ----------------------------------------------------------------------
+
+
+class TestCodecBoundaries:
+    @pytest.mark.parametrize(
+        "span, tag, itemsize",
+        [
+            (0, "u1", 1),  # single distinct value
+            (1, "u1", 1),  # 1-bit span
+            ((1 << 8) - 1, "u1", 1),  # widest 8-bit span
+            (1 << 8, "u2", 2),  # 9 bits
+            ((1 << 16) - 1, "u2", 2),
+            (1 << 16, "u4", 4),  # 17 bits
+            ((1 << 32) - 1, "u4", 4),  # widest 32-bit span
+            (1 << 32, "i64", 8),  # 33 bits: falls back to raw int64
+        ],
+    )
+    def test_span_picks_smallest_dtype(self, span, tag, itemsize):
+        for base in (0, 7, 10**6):
+            ids = [base, base + span]
+            payload, meta = pack_ids(ids)
+            assert meta["dtype"] == tag
+            assert len(payload) == itemsize * len(ids)
+            if tag == "i64":
+                assert meta == {"codec": "raw", "dtype": "i64", "reference": 0}
+            else:
+                assert meta["codec"] == "for"
+                assert meta["reference"] == base  # reference is the min
+            assert unpack_ids(payload, meta, len(ids)) == ids
+
+    def test_reference_shift_beats_absolute_magnitude(self):
+        # Large ids with a tiny span still pack to one byte per value.
+        ids = [10**12 + delta for delta in (3, 0, 200, 77)]
+        payload, meta = pack_ids(ids)
+        assert meta == {"codec": "for", "dtype": "u1", "reference": 10**12}
+        assert list(payload) == [3, 0, 200, 77]
+        assert unpack_ids(payload, meta, 4) == ids
+
+    def test_negative_reference_round_trips(self):
+        ids = [-5, -3, -5, -1]
+        payload, meta = pack_ids(ids)
+        assert meta == {"codec": "for", "dtype": "u1", "reference": -5}
+        assert unpack_ids(payload, meta, 4) == ids
+
+    def test_wide_negative_span_falls_back_to_raw(self):
+        ids = [-(1 << 40), 1 << 40]
+        payload, meta = pack_ids(ids)
+        assert meta == {"codec": "raw", "dtype": "i64", "reference": 0}
+        assert unpack_ids(payload, meta, 2) == ids
+
+    def test_empty_column(self):
+        payload, meta = pack_ids([])
+        assert payload == b""
+        assert meta["reference"] == 0
+        assert unpack_ids(payload, meta, 0) == []
+
+    def test_single_value_column_packs_to_one_byte(self):
+        payload, meta = pack_ids([123456])
+        assert meta == {"codec": "for", "dtype": "u1", "reference": 123456}
+        assert payload == b"\x00"
+        assert unpack_ids(payload, meta, 1) == [123456]
+
+    def test_raw_mode_is_v1_byte_identical(self):
+        ids = [0, 300, 5, 2**40]
+        payload, meta = pack_ids(ids, mode="raw")
+        assert meta == {"codec": "raw", "dtype": "i64", "reference": 0}
+        assert payload == np.array(ids, dtype="<i8").tobytes()
+
+    def test_selection_mode_never_shifts(self):
+        # Selection values are real row indices: width narrows, reference
+        # stays 0 so fancy indexing can consume the stored values directly.
+        payload, meta = pack_ids([500, 502, 501], frame_of_reference=False)
+        assert meta == {"codec": "for", "dtype": "u2", "reference": 0}
+        assert unpack_ids(payload, meta, 3) == [500, 502, 501]
+
+    def test_repacking_an_already_packed_column_reframes(self):
+        stored = np.array([0, 1, 10], dtype=np.uint8)  # frame reference=500
+        payload, meta = pack_ids(stored, reference=500)
+        assert meta == {"codec": "for", "dtype": "u1", "reference": 500}
+        assert unpack_ids(payload, meta, 3) == [500, 501, 510]
+
+    def test_unknown_dtype_tag_raises(self):
+        with pytest.raises(StorageFormatError, match="dtype tag"):
+            unpack_ids(b"", {"dtype": "u8"}, 0)
+
+    def test_payload_length_mismatch_raises(self):
+        payload, meta = pack_ids([1, 2, 3])
+        with pytest.raises(StorageFormatError, match="expected"):
+            unpack_ids(payload, meta, 4)
+
+    def test_resolve_encoding(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE_ENCODING", raising=False)
+        assert resolve_encoding() == "packed"
+        assert resolve_encoding("raw") == "raw"
+        monkeypatch.setenv("REPRO_STORAGE_ENCODING", "raw")
+        assert resolve_encoding() == "raw"
+        assert resolve_encoding("packed") == "packed"  # argument wins
+        with pytest.raises(StorageFormatError, match="unknown storage encoding"):
+            resolve_encoding("zstd")
+
+
+class TestCodecProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62), max_size=40
+        ),
+        mode=st.sampled_from(["packed", "raw"]),
+    )
+    def test_round_trip_and_encoder_parity(self, ids, mode):
+        # The numpy and numpy-free encoders agree byte for byte, and
+        # unpack inverts pack exactly.
+        list_payload, list_meta = pack_ids(list(ids), mode=mode)
+        np_payload, np_meta = pack_ids(np.array(ids, dtype=np.int64), mode=mode)
+        assert list_meta == np_meta
+        assert list_payload == np_payload
+        assert unpack_ids(np_payload, np_meta, len(ids)) == ids
+        itemsize = {"u1": 1, "u2": 2, "u4": 4, "i64": 8}[np_meta["dtype"]]
+        assert len(np_payload) == itemsize * len(ids)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=0, max_value=2**40), min_size=1, max_size=40
+        )
+    )
+    def test_packed_never_larger_than_raw(self, ids):
+        packed, packed_meta = pack_ids(ids, mode="packed")
+        raw, _ = pack_ids(ids, mode="raw")
+        assert len(packed) <= len(raw)
+        if packed_meta["codec"] == "for":
+            assert min(ids) == packed_meta["reference"]
+
+
+# ----------------------------------------------------------------------
+# Packed stores: round trips, compression, execution equivalence.
+# ----------------------------------------------------------------------
+
+
+class TestPackedStoreRoundTrip:
+    @settings(max_examples=20, **ROUND_TRIP_SETTINGS)
+    @given(rows_r=RELATION, rows_s=RELATION)
+    def test_random_mixed_relations_packed(self, tmp_path, rows_r, rows_s):
+        original = Database(
+            relations={
+                "r": Relation("r", ["a", "b", "c"], rows_r),
+                "s": Relation("s", ["c", "d", "e"], rows_s),
+            }
+        )
+        original.analyze()
+        target = fresh_dir(tmp_path)
+        save_database(original, target, encoding="packed")
+        assert_same_database(original, open_database(target))
+        assert_same_database(original, open_database(target, columnar=False))
+
+    def test_packed_and_raw_stores_open_identically(self, tmp_path):
+        query = cycle_query(4, name="enc_cycle")
+        original = uniform_database(
+            query, tuples_per_relation=60, domain_size=6, seed=3
+        )
+        packed_dir, raw_dir = fresh_dir(tmp_path), fresh_dir(tmp_path)
+        save_database(original, packed_dir, encoding="packed")
+        save_database(original, raw_dir, encoding="raw")
+        packed, raw = open_database(packed_dir), open_database(raw_dir)
+        assert_same_database(original, packed)
+        assert_same_database(raw, packed)
+        # The packed reopen really holds narrow columns with references.
+        dtypes = {
+            column.dtype.itemsize
+            for name in packed.relation_names()
+            for column in packed.relation(name)._columns
+        }
+        assert dtypes and max(dtypes) < 8
+        raw_info, packed_info = storage_info(raw_dir), storage_info(packed_dir)
+        assert packed_info["total_column_bytes"] < raw_info["total_column_bytes"]
+        assert raw_info["compression_ratio"] == 1.0
+
+    def test_fig5_scale_store_compresses_at_least_4x(self, tmp_path):
+        # The acceptance bar: at fig5-ish scale the packed store is >= 4x
+        # smaller than raw int64 columns.
+        query = chain_query(3, name="enc_fig5")
+        original = uniform_database(
+            query, tuples_per_relation=1000, domain_size=100, seed=0
+        )
+        target = fresh_dir(tmp_path)
+        save_database(original, target, encoding="packed")
+        info = storage_info(target)
+        assert info["compression_ratio"] >= 4.0
+        assert info["total_raw_column_bytes"] == sum(
+            relation["raw_bytes"] for relation in info["relations"]
+        )
+
+    def test_selection_vector_relation_packs(self, tmp_path):
+        base = Database(
+            relations={
+                "r": Relation(
+                    "r", ["a", "b"], [(1, "x"), (2, "y"), (3, "x"), (2, "x")]
+                ),
+                "s": Relation("s", ["b"], [("x",)]),
+            }
+        )
+        filtered = columnar_semijoin(base.relation("r"), base.relation("s"))
+        assert filtered._selection is not None
+        base.add_relation(filtered.rename({}, name="rf"))
+        base.analyze()
+        target = fresh_dir(tmp_path)
+        save_database(base, target, encoding="packed")
+        for columnar in (True, False):
+            reopened = open_database(target, columnar=columnar)
+            assert reopened.relation("rf").rows == filtered.rows
+            assert_same_database(base, reopened)
+        mapped = open_database(target).relation("rf")
+        assert mapped._selection is not None
+        assert mapped._selection.tolist() == filtered._selection.tolist()
+
+    def test_resaving_a_packed_store_is_stable(self, tmp_path):
+        # save -> open -> save again: the second store re-frames from the
+        # packed columns and must be byte-identical to the first.
+        query = star_query(3, name="enc_resave")
+        original = uniform_database(
+            query, tuples_per_relation=40, domain_size=5, seed=1
+        )
+        first, second = fresh_dir(tmp_path), fresh_dir(tmp_path)
+        save_database(original, first, encoding="packed")
+        save_database(open_database(first), second, encoding="packed")
+        first_cols = {
+            f.name: f.read_bytes() for f in sorted((first / "cols").iterdir())
+        }
+        second_cols = {
+            f.name: f.read_bytes() for f in sorted((second / "cols").iterdir())
+        }
+        assert first_cols == second_cols
+
+
+QUERIES = (
+    chain_query(3, name="pk_chain3"),
+    cycle_query(4, name="pk_cycle4"),
+    star_query(3, name="pk_star3"),
+)
+
+
+class TestPackedExecutionEquivalence:
+    """The oracle pin: packed stores answer every plan byte-identically to
+    raw int64 stores -- serially and on the parallel, memory-bounded plane."""
+
+    @settings(max_examples=8, **ROUND_TRIP_SETTINGS)
+    @given(index=st.integers(0, len(QUERIES) - 1), seed=st.integers(0, 3))
+    def test_packed_vs_raw_plans_byte_identical(self, tmp_path, index, seed):
+        query = QUERIES[index]
+        original = uniform_database(
+            query, tuples_per_relation=50, domain_size=6, seed=seed
+        )
+        packed_dir, raw_dir = fresh_dir(tmp_path), fresh_dir(tmp_path)
+        save_database(original, packed_dir, encoding="packed")
+        save_database(original, raw_dir, encoding="raw")
+        packed, raw = open_database(packed_dir), open_database(raw_dir)
+        base = baseline_plan(query, original.statistics)
+        structural = cost_k_decomp(query, original.statistics, k=2)
+        for plan in (base, structural):
+            # Serial oracle, then the parallel + memory-bounded plane.
+            assert_same_execution(plan, raw, packed)
+            assert_same_execution(
+                plan, raw, packed, threads=4, memory_budget_bytes=16384
+            )
+
+    def test_packed_transient_bytes_never_exceed_raw(self, tmp_path):
+        query = cycle_query(4, name="pk_bytes")
+        original = uniform_database(
+            query, tuples_per_relation=80, domain_size=4, seed=2
+        )
+        packed_dir, raw_dir = fresh_dir(tmp_path), fresh_dir(tmp_path)
+        save_database(original, packed_dir, encoding="packed")
+        save_database(original, raw_dir, encoding="raw")
+        plan = baseline_plan(query, original.statistics)
+        packed_run, raw_run = (
+            plan.execute(open_database(packed_dir)),
+            plan.execute(open_database(raw_dir)),
+        )
+        assert (
+            packed_run.stats.peak_transient_elements
+            == raw_run.stats.peak_transient_elements
+        )
+        assert packed_run.stats.peak_transient_bytes > 0
+        assert (
+            packed_run.stats.peak_transient_bytes
+            <= raw_run.stats.peak_transient_bytes
+        )
+
+    def test_packed_row_engine_matches_columnar(self, tmp_path):
+        query = chain_query(3, name="pk_roweng")
+        original = uniform_database(
+            query, tuples_per_relation=40, domain_size=6, seed=0
+        )
+        target = fresh_dir(tmp_path)
+        save_database(original, target, encoding="packed")
+        row_db = open_database(target, columnar=False)
+        assert not isinstance(
+            next(iter(row_db._relations.values())), ColumnarRelation
+        )
+        plan = baseline_plan(query, original.statistics)
+        ours = plan.execute(open_database(target))
+        theirs = plan.execute(row_db)
+        assert ours.cardinality == theirs.cardinality
+        assert ours.boolean == theirs.boolean
+        if ours.relation is not None:
+            assert ours.relation.rows == theirs.relation.rows
+        assert ours.stats.snapshot() == theirs.stats.snapshot()
+
+
+class TestPackedAtomBinding:
+    """Constant and repeated-variable selections on packed (reference-
+    shifted) columns match the row-engine oracle."""
+
+    def _stores(self, tmp_path):
+        # Column "a" interns first (ids from 0), column "b" introduces one
+        # later value, so its id span starts above 0 and the packed store
+        # gives it a non-zero reference.
+        original = Database(
+            relations={
+                "r": Relation(
+                    "r",
+                    ["a", "b"],
+                    [(5, 7), (7, 7), (9, 9), (7, 11), (9, 7), (5, 11)],
+                ),
+            }
+        )
+        original.analyze()
+        target = fresh_dir(tmp_path)
+        save_database(original, target, encoding="packed")
+        packed = open_database(target)
+        stored = packed.relation("r")
+        assert any(stored._references), "expected a reference-shifted column"
+        return packed, open_database(target, columnar=False)
+
+    @pytest.mark.parametrize(
+        "terms",
+        [
+            ("X", "7"),  # constant inside the shifted column's frame
+            ("X", "5"),  # id exists but falls below the column's reference
+            ("5", "Y"),  # constant on the unshifted column
+            ("X", "X"),  # repeated variable across differently-framed columns
+            ("7", "7"),  # constant + constant
+            ("X", "12345"),  # constant the dictionary has never seen
+        ],
+    )
+    def test_bound_atom_matches_row_engine(self, tmp_path, terms):
+        packed, row_db = self._stores(tmp_path)
+        atom = Atom(name="r", predicate="r", terms=tuple(terms))
+        ours = packed.bind_atom(atom)
+        theirs = row_db.bind_atom(atom)
+        assert ours.attributes == theirs.attributes
+        assert ours.rows == theirs.rows
+
+
+# ----------------------------------------------------------------------
+# Version compatibility: v1 stores and stale cache entries.
+# ----------------------------------------------------------------------
+
+
+def _downgrade_to_v1(target: Path) -> None:
+    """Rewrite a store's version markers back to 1 and strip the
+    ``"encoding"`` metadata.  Applied to a ``encoding="raw"`` store this
+    produces an exact version-1 store (raw ``.i64`` files, no encoding
+    keys); applied to a packed one it merely *claims* version 1, which is
+    all the cache staleness test needs."""
+    for file_name in ("catalog.json", "dictionary.json"):
+        payload = json.loads((target / file_name).read_text())
+        assert payload["version"] == FORMAT_VERSION
+        payload["version"] = 1
+        if file_name == "catalog.json":
+            for relation in payload["relations"]:
+                for column in relation["columns"]:
+                    column.pop("encoding", None)
+                if relation.get("selection"):
+                    relation["selection"].pop("encoding", None)
+        (target / file_name).write_text(json.dumps(payload))
+
+
+class TestV1BackwardCompatibility:
+    def _v1_store(self, tmp_path):
+        base = Database(
+            relations={
+                "r": Relation(
+                    "r", ["a", "b"], [(1, "x"), (2, "y"), (3, "x"), (2, "x")]
+                ),
+                "s": Relation("s", ["b"], [("x",)]),
+            }
+        )
+        base.add_relation(
+            columnar_semijoin(base.relation("r"), base.relation("s")).rename(
+                {}, name="rf"
+            )
+        )
+        base.analyze()
+        target = fresh_dir(tmp_path)
+        save_database(base, target, encoding="raw")
+        _downgrade_to_v1(target)
+        return base, target
+
+    def test_v1_store_opens_on_both_engines(self, tmp_path):
+        original, target = self._v1_store(tmp_path)
+        assert load_catalog(target)["version"] == 1
+        for columnar in (True, False):
+            reopened = open_database(target, columnar=columnar)
+            assert_same_database(original, reopened)
+
+    def test_v1_columns_read_as_raw_int64(self, tmp_path):
+        _, target = self._v1_store(tmp_path)
+        info = storage_info(target)
+        assert info["version"] == 1
+        assert info["compression_ratio"] == 1.0
+        for relation in info["relations"]:
+            for column in relation["columns"]:
+                assert (column["codec"], column["dtype"]) == ("raw", "i64")
+                assert column["reference"] == 0
+
+    def test_future_version_still_rejected(self, tmp_path):
+        _, target = self._v1_store(tmp_path)
+        payload = json.loads((target / "catalog.json").read_text())
+        payload["version"] = 999
+        (target / "catalog.json").write_text(json.dumps(payload))
+        with pytest.raises(StorageFormatError, match="version"):
+            open_database(target)
+
+
+class TestCacheStaleVersionRegeneration:
+    def test_stale_format_version_entry_is_regenerated(self, tmp_path):
+        query = chain_query(3, name="cache_stale")
+        builds = []
+
+        def builder():
+            database = uniform_database(
+                query, tuples_per_relation=30, domain_size=5, seed=4
+            )
+            builds.append(1)
+            return database
+
+        params = {"seed": 4, "q": query.name}
+        reset_workload_cache_stats()
+        first = cached_database("stale", params, builder, cache_dir=tmp_path)
+        assert len(builds) == 1
+        (entry,) = [p for p in Path(tmp_path).iterdir() if p.is_dir()]
+        assert load_catalog(entry)["version"] == FORMAT_VERSION
+
+        # Age the entry: a store claiming an older format version -- even
+        # one this build could still read -- must regenerate, not survive.
+        _downgrade_to_v1(entry)
+        assert load_catalog(entry)["version"] == 1
+
+        second = cached_database("stale", params, builder, cache_dir=tmp_path)
+        assert len(builds) == 2  # regenerated, not reused
+        assert load_catalog(entry)["version"] == FORMAT_VERSION
+        assert_same_database(first, second)
+
+        third = cached_database("stale", params, builder, cache_dir=tmp_path)
+        assert len(builds) == 2  # fresh entry now hits
+        assert_same_database(first, third)
+        stats = workload_cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Adaptive morsel sizing and auto-chunking.
+# ----------------------------------------------------------------------
+
+
+def _skewed_pair(pack: bool):
+    """A deliberately skewed join: a few hot keys emit most of the output.
+    With ``pack=True`` the same logical columns are stored narrow with a
+    non-zero reference (as a packed store would hold them)."""
+    rng = np.random.default_rng(7)
+    n = 400
+    keys = rng.choice(np.arange(8), size=n, p=[0.4, 0.3, 0.1, 0.05, 0.05, 0.04, 0.03, 0.03])
+    payload_l = rng.integers(0, 50, size=n)
+    payload_r = rng.integers(0, 50, size=n)
+    dictionary = Dictionary(range(64))
+    if pack:
+        left = ColumnarRelation(
+            "l", ["k", "x"], dictionary,
+            [keys.astype(np.uint8), payload_l.astype(np.uint8)],
+            references=[0, 0],
+        )
+        right = ColumnarRelation(
+            "r", ["k", "y"], dictionary,
+            [keys[::-1].astype(np.uint8), payload_r.astype(np.uint8)],
+            references=[0, 0],
+        )
+    else:
+        left = ColumnarRelation(
+            "l", ["k", "x"], dictionary,
+            [keys.astype(np.int64), payload_l.astype(np.int64)],
+        )
+        right = ColumnarRelation(
+            "r", ["k", "y"], dictionary,
+            [keys[::-1].astype(np.int64), payload_r.astype(np.int64)],
+        )
+    return left, right
+
+
+class TestAdaptiveMorsels:
+    def test_budget_bounds_transients_without_changing_output(self):
+        left, right = _skewed_pair(pack=False)
+        oracle_stats = OperatorStats()
+        oracle = columnar_natural_join(left, right, stats=oracle_stats)
+        assert oracle.cardinality > 10_000  # the join really explodes
+
+        budget_bytes = 64 * 1024
+        budget_stats = OperatorStats()
+        bounded = columnar_natural_join(
+            left, right, stats=budget_stats, memory_budget_bytes=budget_bytes
+        )
+        assert bounded.rows == oracle.rows  # values AND order
+        assert budget_stats.snapshot() == oracle_stats.snapshot()
+        # The adaptive morsels honour the cost bound 5*emit + 3*probe <=
+        # budget words whenever a chunk covers more than one probe row.
+        budget_words = budget_bytes // 8
+        assert budget_stats.peak_transient_elements <= budget_words
+        assert (
+            budget_stats.peak_transient_elements
+            < oracle_stats.peak_transient_elements
+        )
+
+    def test_packed_and_raw_chunk_identically(self):
+        raw_left, raw_right = _skewed_pair(pack=False)
+        packed_left, packed_right = _skewed_pair(pack=True)
+        for budget in (None, 32 * 1024, 512):
+            raw_stats, packed_stats = OperatorStats(), OperatorStats()
+            raw_out = columnar_natural_join(
+                raw_left, raw_right, stats=raw_stats, memory_budget_bytes=budget
+            )
+            packed_out = columnar_natural_join(
+                packed_left,
+                packed_right,
+                stats=packed_stats,
+                memory_budget_bytes=budget,
+            )
+            assert packed_out.rows == raw_out.rows
+            assert packed_stats.snapshot() == raw_stats.snapshot()
+            assert (
+                packed_stats.peak_transient_elements
+                == raw_stats.peak_transient_elements
+            )
+            assert (
+                packed_stats.peak_transient_bytes
+                <= raw_stats.peak_transient_bytes
+            )
+
+    def test_mixed_reference_join_matches_int64_oracle(self):
+        # Two sides framed differently (references 100 vs 40) join exactly
+        # like the same logical ids stored plain.
+        dictionary = Dictionary(range(160))
+        lk = np.array([100, 101, 103, 105, 101], dtype=np.int64)
+        rk = np.array([101, 103, 103, 150, 100], dtype=np.int64)
+        plain_left = ColumnarRelation(
+            "l", ["k", "x"], dictionary, [lk, np.arange(5, dtype=np.int64)]
+        )
+        plain_right = ColumnarRelation(
+            "r", ["k", "y"], dictionary, [rk, np.arange(5, dtype=np.int64)]
+        )
+        framed_left = ColumnarRelation(
+            "l", ["k", "x"], dictionary,
+            [(lk - 100).astype(np.uint8), np.arange(5, dtype=np.uint8)],
+            references=[100, 0],
+        )
+        framed_right = ColumnarRelation(
+            "r", ["k", "y"], dictionary,
+            [(rk - 40).astype(np.uint8), np.arange(5, dtype=np.uint8)],
+            references=[40, 0],
+        )
+        oracle = columnar_natural_join(plain_left, plain_right)
+        framed = columnar_natural_join(framed_left, framed_right)
+        assert framed.rows == oracle.rows
+        # Semijoin and project preserve the frames too.
+        assert columnar_semijoin(framed_left, framed_right).rows == (
+            columnar_semijoin(plain_left, plain_right).rows
+        )
+        assert columnar_project(framed, ["k"], distinct=True).rows == (
+            columnar_project(oracle, ["k"], distinct=True).rows
+        )
+
+    def test_auto_chunk_env_knobs(self, monkeypatch):
+        left, right = _skewed_pair(pack=False)
+        monkeypatch.delenv(AUTO_CHUNK_MIN_EMIT_ENV, raising=False)
+        monkeypatch.delenv(AUTO_CHUNK_BUDGET_ENV, raising=False)
+        oracle_stats = OperatorStats()
+        oracle = columnar_natural_join(left, right, stats=oracle_stats)
+
+        # Force auto-chunking on: any emit count triggers a small budget.
+        monkeypatch.setenv(AUTO_CHUNK_MIN_EMIT_ENV, "1")
+        monkeypatch.setenv(AUTO_CHUNK_BUDGET_ENV, str(32 * 1024))
+        auto_stats = OperatorStats()
+        auto = columnar_natural_join(left, right, stats=auto_stats)
+        assert auto.rows == oracle.rows
+        assert auto_stats.snapshot() == oracle_stats.snapshot()
+        assert (
+            auto_stats.peak_transient_elements
+            < oracle_stats.peak_transient_elements
+        )
+
+        # The kill switch (<= 0) disables auto-chunking entirely.
+        monkeypatch.setenv(AUTO_CHUNK_MIN_EMIT_ENV, "0")
+        off_stats = OperatorStats()
+        off = columnar_natural_join(left, right, stats=off_stats)
+        assert off.rows == oracle.rows
+        assert (
+            off_stats.peak_transient_elements
+            == oracle_stats.peak_transient_elements
+        )
+
+    def test_explicit_chunk_rows_path_unchanged(self):
+        # The legacy fixed-size morsel path (explicit chunk_rows) must keep
+        # producing the oracle output -- it is pinned independently of the
+        # adaptive path.
+        left, right = _skewed_pair(pack=False)
+        oracle = columnar_natural_join(left, right)
+        chunked = columnar_natural_join(left, right, chunk_rows=37)
+        assert chunked.rows == oracle.rows
+
+
+# ----------------------------------------------------------------------
+# CLI: db save --encoding / db info encoding report.
+# ----------------------------------------------------------------------
+
+
+class TestDbInfoCli:
+    def _save(self, tmp_path, capsys, encoding=None):
+        target = str(Path(tmp_path) / f"cli-{encoding or 'default'}")
+        argv = [
+            "db", "save", target,
+            "--query", "ans <- r(X,Y), s(Y,Z)",
+            "--tuples", "80", "--domain", "9", "--seed", "1",
+        ]
+        if encoding:
+            argv += ["--encoding", encoding]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        return target
+
+    def test_info_reports_packed_encoding(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE_ENCODING", raising=False)
+        target = self._save(tmp_path, capsys)  # default is packed
+        assert cli_main(["db", "info", target]) == 0
+        out = capsys.readouterr().out
+        assert "raw int64 bytes:" in out
+        assert "compression:" in out
+        assert "for/u1" in out
+        info = storage_info(target)
+        assert f"compression: {info['compression_ratio']:.2f}x" in out
+        assert info["compression_ratio"] >= 4.0
+
+    def test_info_reports_raw_encoding(self, tmp_path, capsys):
+        target = self._save(tmp_path, capsys, encoding="raw")
+        assert cli_main(["db", "info", target]) == 0
+        out = capsys.readouterr().out
+        assert "compression: 1.00x" in out
+        assert "raw/i64 ref=0" in out
+        assert "for/" not in out

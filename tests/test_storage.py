@@ -460,12 +460,15 @@ class TestWorkloadCache:
 
 class TestStorageFormatErrors:
     def _stored(self, tmp_path) -> Path:
+        # Saved raw so the corruption tests can poke at well-known .i64
+        # files; packed-store corruption is covered in
+        # tests/test_packed_encoding.py.
         database = Database(
             relations={"r": Relation("r", ["a", "b"], [(1, 2), (3, 4)])}
         )
         database.analyze()
         target = fresh_dir(tmp_path)
-        save_database(database, target)
+        save_database(database, target, encoding="raw")
         return target
 
     def test_version_mismatch(self, tmp_path):
