@@ -13,7 +13,9 @@ Rows whose ``extra`` carries a ``peak_rss_kb`` measurement (the
 memory-bounded execution benches record it via ``resource.getrusage``)
 get a peak-RSS column; note ``ru_maxrss`` is a process-lifetime high-water
 mark, so within one session it can only grow -- it is an upper bound per
-bench, meaningful across sessions.
+bench, meaningful across sessions.  Rows whose ``extra`` carries a
+``qps`` measurement (the serving benches record sustained
+queries/second) get a QPS column -- higher is better, unlike seconds.
 
 ``--bench PREFIX`` restricts the table to benchmarks whose key starts
 with the prefix (e.g. ``--bench benchmarks/bench_storage.py`` prints only
@@ -68,6 +70,16 @@ def _format_rss(value) -> str:
     return f"{value / 1024:.0f}M" if value is not None else "-"
 
 
+def qps(row):
+    extra = row.get("extra") or {}
+    value = extra.get("qps")
+    return value if isinstance(value, (int, float)) else None
+
+
+def _format_qps(value) -> str:
+    return f"{value:.1f}" if value is not None else "-"
+
+
 def delta_table(rows, bench_filter: str | None = None) -> str:
     if not rows:
         return "BENCH_core.json is empty or missing -- nothing to compare."
@@ -81,15 +93,18 @@ def delta_table(rows, bench_filter: str | None = None) -> str:
         )
     history: dict = {}
     any_rss = False
+    any_qps = False
     for row in rows:
         if bench_filter and not bench_key(row).startswith(bench_filter):
             continue
         seconds = row.get("seconds")
         if isinstance(seconds, (int, float)):
             rss = peak_rss_kb(row)
+            throughput = qps(row)
             any_rss = any_rss or rss is not None
+            any_qps = any_qps or throughput is not None
             history.setdefault(bench_key(row), []).append(
-                (run_key(row), seconds, rss)
+                (run_key(row), seconds, rss, throughput)
             )
     if not history:
         return (
@@ -97,32 +112,35 @@ def delta_table(rows, bench_filter: str | None = None) -> str:
             "(keys are pytest nodeids, e.g. benchmarks/bench_storage.py)."
         )
     rss_header = f" {'peak RSS':>9}" if any_rss else ""
+    qps_header = f" {'QPS':>8}" if any_qps else ""
     lines = [
         f"{'benchmark':<76} {'previous':>12} {'latest':>12} {'delta':>8}"
-        f"{rss_header}  previous run"
+        f"{rss_header}{qps_header}  previous run"
     ]
     for name in sorted(history):
         entries = history[name]
-        latest_run, latest, latest_rss = entries[-1]
+        latest_run, latest, latest_rss, latest_qps = entries[-1]
         rss_cell = f" {_format_rss(latest_rss):>9}" if any_rss else ""
+        qps_cell = f" {_format_qps(latest_qps):>8}" if any_qps else ""
         previous = next(
             (
                 (run, seconds)
-                for run, seconds, _ in reversed(entries)
+                for run, seconds, _, _ in reversed(entries)
                 if run != latest_run
             ),
             None,
         )
         if previous is None:
             lines.append(
-                f"{name:<76} {'-':>12} {latest:>12.3f} {'-':>8}{rss_cell}  (new)"
+                f"{name:<76} {'-':>12} {latest:>12.3f} {'-':>8}"
+                f"{rss_cell}{qps_cell}  (new)"
             )
             continue
         (previous_ts, _), previous_seconds = previous
         change = (latest - previous_seconds) / previous_seconds * 100.0
         lines.append(
             f"{name:<76} {previous_seconds:>12.3f} {latest:>12.3f} "
-            f"{change:+7.1f}%{rss_cell}  {previous_ts[:19]}"
+            f"{change:+7.1f}%{rss_cell}{qps_cell}  {previous_ts[:19]}"
         )
     lines.append(
         "(negative delta = faster than the previous recorded run; '(new)' = "

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Smoke test: the process-parallel serving plane end to end.
+
+Generates a small workload, stores it, prewarms the plan cache twice (the
+second pass must be pure replay: ``planning_seconds == 0.0`` on every
+payload), then serves the warm batch through a 2-worker
+:class:`~repro.db.serving.ServingPool` and asserts that
+
+* every worker opened the *identical* store (same catalog content digest)
+  and holds **every** column as a read-only ``np.memmap`` view -- shared
+  pages, never pickled copies,
+* every pooled response -- answers, row order, cardinality and the full
+  ``stats`` payload -- is byte-identical to the serial in-process oracle,
+  including a budget-aborted request, and
+* admission under a one-slice global memory budget degrades to queuing
+  (every request still answered, still byte-identical), never to failure.
+
+CI wraps this in a hard timeout so a hung pool fails the job fast.  Run
+with::
+
+    python examples/serving_smoke.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.db.serving import ServingPool, execute_payload, prewarm
+from repro.db.storage import PlanCache
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import workload_database
+
+
+def main() -> None:
+    query = build_query(
+        [(f"r{i}", [f"X{i}", f"X{(i + 1) % 5}"]) for i in range(5)],
+        output_variables=["X0", "X2"],
+        name="cycle5",
+    )
+    scratch = Path(tempfile.mkdtemp(prefix="repro-serving-smoke-"))
+    store = scratch / "store"
+    workload_database(
+        query, tuples_per_relation=150, domain_size=12, seed=9
+    ).save(store)
+
+    serving_db = Database.open(store)
+    cache = PlanCache(scratch / "plans")
+    cold = prewarm(serving_db, [query], k_values=(2, 3), plan_cache=cache)
+    warm = prewarm(serving_db, [query], k_values=(2, 3), plan_cache=cache)
+    assert all(p["planning_seconds"] == 0.0 for p in warm), (
+        "second prewarm must replay the plan cache without planning"
+    )
+    print(
+        f"prewarm: cold {sum(p['planning_seconds'] for p in cold):.4f}s, "
+        "warm 0.0000s (pure plan replay)"
+    )
+
+    batch = warm * 4
+    aborting = dict(warm[0], budget=200, threads=1)  # deterministic abort
+    batch.append(aborting)
+    oracle = [execute_payload(p, serving_db) for p in batch]
+    assert oracle[-1]["status"] == "budget_exceeded"
+
+    with ServingPool(store, workers=2) as pool:
+        for worker_id, report in sorted(pool.worker_reports.items()):
+            assert report["mmap_columns"] == report["total_columns"], (
+                "workers must mmap-share the store, not pickle columns"
+            )
+            print(
+                f"worker {worker_id}: pid {report['pid']}, "
+                f"{report['mmap_columns']}/{report['total_columns']} columns "
+                f"mmap-shared, digest {report['store_digest'][:12]}..."
+            )
+        digests = {r["store_digest"] for r in pool.worker_reports.values()}
+        assert len(digests) == 1, "workers must open the identical store"
+        responses = pool.run(batch)
+    assert responses == oracle, (
+        "pooled responses must be byte-identical to the serial oracle"
+    )
+    print(
+        f"{len(batch)} pooled responses byte-identical to the serial oracle "
+        f"(answers, row order, stats; incl. a budget abort at "
+        f"work_so_far={oracle[-1]['work_so_far']})"
+    )
+
+    slice_bytes = 1 << 18
+    bounded = [dict(p, memory_budget_bytes=slice_bytes) for p in warm * 4]
+    bounded_oracle = [execute_payload(p, serving_db) for p in bounded]
+    with ServingPool(
+        store,
+        workers=2,
+        global_memory_budget_bytes=slice_bytes,
+        default_memory_budget_bytes=slice_bytes,
+    ) as pool:
+        assert pool.run(bounded) == bounded_oracle, (
+            "budget-admitted responses must match the serial oracle"
+        )
+    print(
+        f"{len(bounded)} requests served through a one-slice global budget "
+        f"({slice_bytes:,}B): queued, never failed, still byte-identical"
+    )
+    print("serving smoke test passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,7 @@ Four subcommands mirror the library's main entry points::
     python -m repro.cli decompose QUERY_OR_FILE [--k K] [--taf lex|width|nodes]
     python -m repro.cli plan QUERY [--k K] [--tuples N] [--seed S]
     python -m repro.cli experiments [--fast]
-    python -m repro.cli db {save,open,info} PATH [...]
+    python -m repro.cli db {save,open,info,serve} PATH [...]
 
 * ``decompose`` parses a datalog query (or a hypergraph file in the
   benchmark format when the argument is a path ending in ``.hg``) and prints
@@ -20,7 +20,12 @@ Four subcommands mirror the library's main entry points::
   stores it in the mmap-able columnar format, ``db open PATH`` reopens it
   (zero interning) and prints the schema, ``db info PATH`` prints the
   catalog summary -- relations, rows, bytes, dictionary size -- without
-  touching a single column file.
+  touching a single column file (``--json`` emits the same report
+  machine-readably, plus the store digest and the process's
+  workload-cache counters), and ``db serve PATH --query Q`` spins up the
+  process-parallel serving pool (:mod:`repro.db.serving`): prewarm the
+  plan cache, serve the query set across N worker processes sharing the
+  store via mmap, and report sustained throughput.
 """
 
 from __future__ import annotations
@@ -108,6 +113,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "info", help="print the catalog summary without loading any column"
     )
     db_info.add_argument("path", help="directory of a stored database")
+    db_info.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report (per-column codec/dtype/"
+        "bytes, compression ratio, store digest, workload-cache counters)",
+    )
+
+    db_serve = db_commands.add_parser(
+        "serve",
+        help="serve a stored database through the multi-process worker pool",
+    )
+    db_serve.add_argument("path", help="directory of a stored database")
+    db_serve.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="datalog query text (repeatable; the served query set)",
+    )
+    db_serve.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    db_serve.add_argument(
+        "--repeat", type=int, default=1, help="times to serve the query set"
+    )
+    db_serve.add_argument(
+        "--k", type=int, action="append", default=None,
+        help="width bounds to prewarm (repeatable; default 2 3)",
+    )
+    db_serve.add_argument(
+        "--memory-budget-bytes", type=int, default=None,
+        help="per-query transient-memory slice (also the admission charge)",
+    )
+    db_serve.add_argument(
+        "--global-memory-budget-bytes", type=int, default=None,
+        help="cap on the sum of admitted per-query slices",
+    )
+    db_serve.add_argument(
+        "--answer",
+        choices=("rows", "digest"),
+        default="digest",
+        help="ship decoded rows or a content digest (default digest)",
+    )
+    db_serve.add_argument(
+        "--json", action="store_true", help="emit the serving report as JSON"
+    )
     return parser
 
 
@@ -213,6 +263,14 @@ def _command_db(args) -> int:
         return 0
     if args.db_command == "info":
         info = storage_info(args.path)
+        if args.json:
+            import json
+
+            from repro.db.storage import workload_cache_stats
+
+            info["workload_cache"] = workload_cache_stats()
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
         print(
             f"stored database {info['name']!r} "
             f"(format {info['format']} v{info['version']})"
@@ -238,7 +296,73 @@ def _command_db(args) -> int:
                     f"{column['bytes']:,}B (raw {column['raw_bytes']:,}B)"
                 )
         return 0
+    if args.db_command == "serve":
+        return _command_db_serve(args)
     return 1
+
+
+def _command_db_serve(args) -> int:
+    import json
+    import time
+
+    from repro.db.database import Database
+    from repro.db.serving import ServingPool, execute_payload, prewarm
+    from repro.db.storage import PlanCache
+
+    queries = [parse_query(text) for text in args.query]
+    database = Database.open(args.path)
+    plan_cache = PlanCache(os.path.join(args.path, "plans"))
+    k_values = tuple(args.k) if args.k else (2, 3)
+    payloads = prewarm(
+        database,
+        queries,
+        k_values=k_values,
+        plan_cache=plan_cache,
+        memory_budget_bytes=args.memory_budget_bytes,
+        answer=args.answer,
+    )
+    oracle = [execute_payload(payload, database) for payload in payloads]
+    batch = payloads * max(1, args.repeat)
+    started = time.perf_counter()
+    with ServingPool(
+        args.path,
+        workers=args.workers,
+        global_memory_budget_bytes=args.global_memory_budget_bytes,
+        default_memory_budget_bytes=args.memory_budget_bytes,
+    ) as pool:
+        reports = dict(sorted(pool.worker_reports.items()))
+        responses = pool.run(batch)
+    elapsed = time.perf_counter() - started
+    matches = sum(
+        1 for i, response in enumerate(responses)
+        if response == oracle[i % len(payloads)]
+    )
+    summary = {
+        "store": args.path,
+        "workers": args.workers,
+        "queries": [query.name for query in queries],
+        "requests": len(batch),
+        "matches_serial_oracle": matches,
+        "seconds": round(elapsed, 4),
+        "qps": round(len(batch) / elapsed, 2) if elapsed > 0 else None,
+        "planning_seconds": [payload["planning_seconds"] for payload in payloads],
+        "worker_reports": reports,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"served {summary['requests']} requests over {args.workers} workers "
+            f"in {summary['seconds']}s ({summary['qps']} q/s); "
+            f"{matches}/{len(batch)} responses byte-identical to the serial oracle"
+        )
+        for worker_id, report in reports.items():
+            print(
+                f"  worker {worker_id}: pid {report['pid']}, "
+                f"{report['mmap_columns']}/{report['total_columns']} columns "
+                f"mmap-shared, store digest {report['store_digest'][:12]}..."
+            )
+    return 0 if matches == len(batch) else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

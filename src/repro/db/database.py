@@ -68,6 +68,11 @@ class Database:
         elif memory_budget_bytes <= 0:
             memory_budget_bytes = None
         self.memory_budget_bytes = memory_budget_bytes
+        #: Directory this database was opened from (set by the storage
+        #: plane).  The serving pool's worker processes re-open -- and
+        #: content-digest -- the store through this path; ``None`` for
+        #: purely in-memory databases, which cannot be served.
+        self.source_path: Optional[str] = None
         self.dictionary = dictionary if dictionary is not None else Dictionary()
         self._relations: Dict[str, Relation] = {
             key: self._intern(relation) for key, relation in (relations or {}).items()

@@ -94,6 +94,31 @@ class ExecutionResult:
             return 1 if self.boolean else 0
         return self.relation.cardinality
 
+    def answer_rows(self) -> Optional[list]:
+        """The decoded answer rows as a JSON-safe list of lists (``None``
+        for Boolean queries), preserving the engine's row order exactly --
+        the form the serving plane ships back to clients and the
+        equivalence suites compare byte-for-byte."""
+        if self.relation is None:
+            return None
+        return [list(row) for row in self.relation.rows]
+
+    def stats_payload(self) -> Dict[str, object]:
+        """A JSON-safe rendering of the work counters: the representation-
+        blind :meth:`OperatorStats.snapshot` plus the per-operator counts
+        and ``peak_transient_elements``.  Every field is deterministic
+        across engines, encodings, chunkings and thread counts, so two
+        executions of the same plan against the same data must produce
+        equal payloads (the serving plane's determinism contract).  The
+        dtype-aware ``peak_transient_bytes`` is deliberately excluded."""
+        payload = dict(self.stats.snapshot())
+        payload["operations"] = {
+            key: self.stats.operations[key]
+            for key in sorted(self.stats.operations)
+        }
+        payload["peak_transient_elements"] = self.stats.peak_transient_elements
+        return payload
+
 
 def build_tree_query(
     query: ConjunctiveQuery,

@@ -248,6 +248,44 @@ def scan_order(node: PlanNode) -> Tuple[str, ...]:
 # ----------------------------------------------------------------------
 
 
+def plan_ir_from_payload(query: ConjunctiveQuery, plan_meta) -> QueryPlanIR:
+    """Rebuild an executable plan IR from a compact plan payload.
+
+    ``plan_meta`` is the wire format the serving plane ships and the plan
+    cache stores: ``{"kind": "join_order", "order": [...]}`` or ``{"kind":
+    "hypertree", "decomposition": <decomposition_to_payload(...)>}`` (the
+    PlanCache's decomposition-payload format -- no pickles, key-echoed).
+    A malformed payload raises :class:`~repro.exceptions.StorageFormatError`
+    (via the decomposition codec) or :class:`DatabaseError`.
+    """
+    try:
+        kind = plan_meta["kind"]
+    except (TypeError, KeyError) as exc:
+        raise DatabaseError(f"plan payload has no kind: {plan_meta!r}") from exc
+    if kind == "join_order":
+        try:
+            order = [str(name) for name in plan_meta["order"]]
+        except (KeyError, TypeError) as exc:
+            raise DatabaseError(
+                f"malformed join-order plan payload: {plan_meta!r}"
+            ) from exc
+        return join_order_plan_ir(query, order)
+    if kind == "hypertree":
+        # Local import: repro.db.storage sits above this module in the
+        # import graph (it pulls in the database layer).
+        from repro.db.storage import decomposition_from_payload
+
+        try:
+            payload = plan_meta["decomposition"]
+        except (KeyError, TypeError) as exc:
+            raise DatabaseError(
+                f"malformed hypertree plan payload: {plan_meta!r}"
+            ) from exc
+        decomposition = decomposition_from_payload(query.hypergraph(), payload)
+        return hypertree_plan_ir(query, decomposition)
+    raise DatabaseError(f"unknown plan payload kind {kind!r}")
+
+
 def join_order_plan_ir(
     query: ConjunctiveQuery, order: Optional[Sequence[str]] = None
 ) -> QueryPlanIR:

@@ -21,8 +21,16 @@ the shared :class:`~repro.db.algebra.OperatorStats` accumulator is
 thread-safe with purely commutative counters -- so answers, row orderings
 and work counters are identical to the serial run regardless of the
 interleaving.  Exceptions (including the evaluation-budget watchdog)
-propagate to the caller: the first failing task wins, no further tasks are
-started, and already-running tasks are drained before re-raising.
+propagate to the caller under the **first-error contract**: once any task
+fails, no further task is started (queued-but-unstarted futures are
+cancelled), already-running tasks are drained, and the error surfaced is
+that of the failing task with the *earliest submission order* -- i.e. the
+same task whose error the serial run would have raised first among the
+tasks that actually failed.  Which error a caller sees is therefore
+independent of thread timing.  The multi-process serving pool
+(:mod:`repro.db.serving`) honours the same contract for a worker process
+dying mid-query: in-flight work is abandoned, queued requests are not
+dispatched, and the first detected failure is raised.
 """
 
 from __future__ import annotations
@@ -98,6 +106,9 @@ class TaskScheduler:
             raise ValueError("duplicate task keys in DAG")
         pending = {key: {d for d in deps if d in keys} for key, deps, _ in tasks}
         functions = {key: fn for key, _, fn in tasks}
+        # Tasks arrive in the serial engine's canonical order; the list
+        # index below makes the first-error choice deterministic.
+        order = {key: index for index, (key, _, _) in enumerate(tasks)}
         dependents: dict = {}
         for key, deps, _ in tasks:
             for dep in pending[key]:
@@ -105,7 +116,7 @@ class TaskScheduler:
 
         ready = [key for key, _, _ in tasks if not pending[key]]
         completed = 0
-        first_error = None
+        errors: dict = {}  # canonical task index -> exception
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
             futures = {pool.submit(functions[key]): key for key in ready}
             while futures:
@@ -114,21 +125,30 @@ class TaskScheduler:
                 for future in done:
                     key = futures.pop(future)
                     completed += 1
+                    if future.cancelled():
+                        continue
                     error = future.exception()
                     if error is not None:
-                        if first_error is None:
-                            first_error = error
+                        errors[order[key]] = error
                         continue
                     for dependent in dependents.get(key, ()):
                         remaining = pending[dependent]
                         remaining.discard(key)
                         if not remaining:
                             newly_ready.append(dependent)
-                if first_error is None:
+                if errors:
+                    # Cancel everything the executor has not started yet;
+                    # running tasks are drained by the surrounding loop.
+                    for future in futures:
+                        future.cancel()
+                else:
                     for key in newly_ready:
                         futures[pool.submit(functions[key])] = key
-        if first_error is not None:
-            raise first_error
+        if errors:
+            # Among the tasks that actually failed, surface the one the
+            # serial run would have reached first -- deterministic no matter
+            # which future happened to complete first.
+            raise errors[min(errors)]
         if completed != len(tasks):
             unrun = [key for key, deps, _ in tasks if pending[key]]
             raise ValueError(f"task DAG is not schedulable; blocked tasks: {unrun}")

@@ -1,0 +1,710 @@
+"""Process-parallel serving plane: an mmap-shared worker pool with
+budget-aware admission and plan-replay warm-up.
+
+The storage plane (:mod:`repro.db.storage`) already lets any number of
+processes ``Database.open()`` one stored workload and map every column
+file read-only with ``np.memmap`` -- one physical copy of the data, no
+column pickling, page cache shared by the kernel.  This module builds the
+serving tier on top of that property:
+
+**Wire format.**  A request is a compact JSON-safe *payload* -- the query
+fingerprint (:func:`~repro.db.storage.query_fingerprint`: atom names,
+predicates, term tuples, output variables) plus a plan in the PlanCache's
+stored format (``{"kind": "join_order", "order": [...]}`` or ``{"kind":
+"hypertree", "decomposition": <decomposition_to_payload(...)>}``) plus the
+execution knobs (``budget``, ``threads``, ``memory_budget_bytes``) and the
+answer mode (``"rows"`` ships decoded rows, ``"digest"`` a SHA-256 over
+the canonical answer rendering).  No pickled plan object, column or
+relation ever crosses the process boundary; a payload round-trips through
+``json.dumps`` unchanged.  Responses carry the answer (or digest), the
+cardinality and the :meth:`ExecutionResult.stats_payload` work counters.
+
+**Determinism.**  Worker processes run :func:`execute_payload` -- the very
+function the serial oracle runs in-process.  The payload rebuilds the
+query with :func:`query_from_payload`, the plan IR with
+:func:`~repro.db.plan_ir.plan_ir_from_payload` (hypertree payloads
+reconstruct against the *original* query hypergraph, exactly the
+plan-cache replay path), and executes on the shared kernels.  Because
+answers, row order and every :meth:`stats_payload` field are functions of
+(store bytes, payload) alone -- pinned by the storage and serving
+Hypothesis suites -- a pooled response is byte-identical to the serial
+in-process response, worker count and scheduling notwithstanding.  A
+budget abort is equally deterministic at ``threads == 1``: the response
+reports ``work_so_far`` and abort-time counters equal to the serial
+abort's.
+
+**Admission.**  :meth:`ServingPool.submit` admits a request under a slice
+of the pool's global memory budget: the payload's own
+``memory_budget_bytes`` if set, else the pool's per-query default.  The
+sum of admitted slices never exceeds ``global_memory_budget_bytes`` and
+at most ``max_pending`` requests may be in flight, so a burst of heavy
+joins degrades to :class:`AdmissionRejected` backpressure (callers
+re-submit after collecting) instead of memory exhaustion.  The admitted
+slice is written into the payload, so the same number that gated
+admission also bounds the kernels' transient allocations during
+execution.
+
+**Failure.**  The pool honours the scheduler's first-error contract
+(:mod:`repro.db.scheduler`): a worker that raises reports an ``"error"``
+response for that request only; a worker *process* that dies mid-query
+breaks the pool -- :meth:`collect` raises :class:`ServingError`, queued
+requests are not dispatched, and the first detected death is the error
+surfaced.
+
+**Warm-up.**  :func:`prewarm` refreshes statistics (optionally) and runs
+the planner once per (query, k) through a :class:`PlanCache`, returning
+ready-to-ship payloads.  A second prewarm over the same cache replays
+stored plans and reports ``planning_seconds == 0.0`` on every payload, so
+steady-state serving does no planning at all.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.db.database import Database
+from repro.db.executor import execute_plan
+from repro.db.plan_ir import plan_ir_from_payload
+from repro.db.storage import (
+    PlanCache,
+    canonical_digest,
+    decomposition_to_payload,
+    query_fingerprint,
+    store_digest,
+)
+from repro.exceptions import DatabaseError
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+
+#: Wire-format marker + version carried by every serving payload.  Workers
+#: reject payloads they do not understand instead of guessing -- the same
+#: policy as the storage format.
+SERVING_FORMAT = "repro-serving"
+SERVING_VERSION = 1
+
+#: Environment override for the multiprocessing start method ("fork" by
+#: default where available: workers then inherit the imported modules and
+#: start in milliseconds; "spawn"/"forkserver" work identically, just
+#: slower to boot, because workers share nothing but the store path).
+MP_CONTEXT_ENV = "REPRO_SERVE_MP_CONTEXT"
+
+_ANSWER_MODES = ("rows", "digest")
+
+#: How long (seconds) collect()/startup wait between liveness checks.  Only
+#: a latency knob: correctness never depends on it.
+_POLL_SECONDS = 0.1
+
+
+class ServingError(DatabaseError):
+    """The serving pool is broken: a worker process died, disagreed about
+    the store content, or spoke the wrong protocol."""
+
+
+class AdmissionRejected(DatabaseError):
+    """Backpressure: the request was *not* admitted (queue full, or its
+    memory slice does not fit the remaining global budget).  Re-submit
+    after collecting responses; nothing was partially executed."""
+
+
+# ----------------------------------------------------------------------
+# Wire format: queries, plans, execution.
+# ----------------------------------------------------------------------
+
+
+def query_to_payload(query: ConjunctiveQuery) -> Dict[str, object]:
+    """The JSON-safe query wire format -- exactly the structural
+    fingerprint the caches key on, so one rendering serves both."""
+    return query_fingerprint(query)
+
+
+def query_from_payload(payload: Mapping) -> ConjunctiveQuery:
+    """Rebuild a query from :func:`query_to_payload` output."""
+    try:
+        atoms = tuple(
+            Atom(str(name), str(predicate), tuple(str(t) for t in terms))
+            for name, predicate, terms in payload["atoms"]
+        )
+        return ConjunctiveQuery(
+            atoms=atoms,
+            output_variables=tuple(str(v) for v in payload["output"]),
+            name=str(payload.get("name", "Q")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatabaseError(f"malformed query payload: {exc!r}") from exc
+
+
+def plan_to_payload(
+    plan,
+    *,
+    budget: Optional[int] = None,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+    answer: str = "rows",
+) -> Dict[str, object]:
+    """One complete serving payload for a planned query.
+
+    ``plan`` is a :class:`~repro.planner.plans.HypertreePlan` or
+    :class:`~repro.planner.plans.JoinOrderPlan`; its decomposition /
+    join order serialises through the PlanCache's payload format.
+    ``planning_seconds`` rides along for reporting only (``0.0`` when the
+    plan came out of a warm cache) -- workers never read it.
+    """
+    if answer not in _ANSWER_MODES:
+        raise DatabaseError(
+            f"unknown answer mode {answer!r}; expected one of {_ANSWER_MODES}"
+        )
+    if hasattr(plan, "decomposition"):
+        plan_meta: Dict[str, object] = {
+            "kind": "hypertree",
+            "decomposition": decomposition_to_payload(plan.decomposition),
+        }
+    elif hasattr(plan, "order"):
+        plan_meta = {"kind": "join_order", "order": list(plan.order)}
+    else:
+        raise DatabaseError(
+            f"cannot serialise plan of type {type(plan).__name__}"
+        )
+    payload: Dict[str, object] = {
+        "format": SERVING_FORMAT,
+        "version": SERVING_VERSION,
+        "query": query_to_payload(plan.query),
+        "plan": plan_meta,
+        "answer": answer,
+        "planning_seconds": float(plan.planning_seconds),
+    }
+    if budget is not None:
+        payload["budget"] = int(budget)
+    if threads is not None:
+        payload["threads"] = int(threads)
+    if memory_budget_bytes is not None:
+        payload["memory_budget_bytes"] = int(memory_budget_bytes)
+    return payload
+
+
+def _check_payload(payload: Mapping) -> None:
+    if not isinstance(payload, Mapping):
+        raise DatabaseError(f"serving payload must be a mapping, got {payload!r}")
+    if payload.get("format") != SERVING_FORMAT:
+        raise DatabaseError(
+            f"payload has format marker {payload.get('format')!r}, "
+            f"expected {SERVING_FORMAT!r}"
+        )
+    if payload.get("version") != SERVING_VERSION:
+        raise DatabaseError(
+            f"payload is serving-format version {payload.get('version')!r}; "
+            f"this build speaks version {SERVING_VERSION}"
+        )
+    if payload.get("answer", "rows") not in _ANSWER_MODES:
+        raise DatabaseError(
+            f"unknown answer mode {payload.get('answer')!r}; "
+            f"expected one of {_ANSWER_MODES}"
+        )
+
+
+def answer_digest(result_payload: Mapping) -> str:
+    """Content digest of a response's answer: canonical JSON over the
+    attributes and rows (or the Boolean verdict).  Stable across engines,
+    encodings and worker counts because the rows themselves are."""
+    if result_payload.get("boolean") is not None:
+        return canonical_digest({"boolean": result_payload["boolean"]})
+    return canonical_digest(
+        {
+            "attributes": list(result_payload.get("attributes", ())),
+            "rows": [list(row) for row in result_payload.get("rows", ())],
+        }
+    )
+
+
+def execute_payload(payload: Mapping, database: Database) -> Dict[str, object]:
+    """Run one serving payload against an open database and render the
+    response payload.
+
+    This single function is both the worker loop's body and the serial
+    in-process oracle the test suites compare against -- by construction
+    the pool cannot drift from the oracle.  A budget abort is a normal
+    response (``status == "budget_exceeded"``) carrying the deterministic
+    abort counters; only protocol violations raise.
+    """
+    from repro.db.algebra import EvaluationBudgetExceeded
+
+    _check_payload(payload)
+    query = query_from_payload(payload["query"])
+    plan_ir = plan_ir_from_payload(query, payload["plan"])
+    answer_mode = payload.get("answer", "rows")
+    try:
+        result = execute_plan(
+            plan_ir,
+            database,
+            budget=payload.get("budget"),
+            threads=payload.get("threads"),
+            memory_budget_bytes=payload.get("memory_budget_bytes"),
+        )
+    except EvaluationBudgetExceeded as exc:
+        return {
+            "status": "budget_exceeded",
+            "query": query.name,
+            "work_so_far": exc.work_so_far,
+            "budget": exc.budget,
+        }
+    response: Dict[str, object] = {
+        "status": "ok",
+        "query": query.name,
+        "boolean": result.boolean,
+        "cardinality": result.cardinality,
+        "stats": result.stats_payload(),
+    }
+    rows = result.answer_rows()
+    if rows is not None:
+        response["attributes"] = list(result.relation.attributes)
+    if answer_mode == "rows":
+        if rows is not None:
+            response["rows"] = rows
+    else:
+        probe = dict(response)
+        if rows is not None:
+            probe["rows"] = rows
+        response["digest"] = answer_digest(probe)
+    return response
+
+
+def aggregate_stats(responses: Iterable[Mapping]) -> Dict[str, object]:
+    """Fold the ``stats`` payloads of many responses into one: counters
+    sum, peaks max -- the same commutative merge
+    :class:`~repro.db.algebra.OperatorStats` uses across threads, so the
+    aggregate over any partition of a workload is partition-independent."""
+    totals: Dict[str, int] = {}
+    operations: Dict[str, int] = {}
+    peak = 0
+    for response in responses:
+        stats = response.get("stats")
+        if not stats:
+            continue
+        for key, value in stats.items():
+            if key == "operations":
+                for op, count in value.items():
+                    operations[op] = operations.get(op, 0) + int(count)
+            elif key == "peak_transient_elements":
+                peak = max(peak, int(value))
+            else:
+                totals[key] = totals.get(key, 0) + int(value)
+    totals["operations"] = {key: operations[key] for key in sorted(operations)}
+    totals["peak_transient_elements"] = peak
+    return totals
+
+
+# ----------------------------------------------------------------------
+# The worker process.
+# ----------------------------------------------------------------------
+
+
+def _store_report(database: Database) -> Dict[str, object]:
+    """What a worker tells the pool about the store it opened: the catalog
+    content digest (all workers must agree) and how many of its columns
+    arrived as read-only ``np.memmap`` views (the bench asserts this is
+    every column -- shared pages, not pickled copies)."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - row-engine fallback
+        np = None
+    total_columns = 0
+    mmap_columns = 0
+    for name in database.relation_names():
+        relation = database.relation(name)
+        columns = list(getattr(relation, "_columns", ()))
+        selection = getattr(relation, "_selection", None)
+        if selection is not None:
+            columns.append(selection)
+        for column in columns:
+            total_columns += 1
+            if np is not None and isinstance(column, np.memmap):
+                mmap_columns += 1
+    return {
+        "pid": os.getpid(),
+        "store_digest": store_digest(database.source_path),
+        "relations": len(list(database.relation_names())),
+        "total_columns": total_columns,
+        "mmap_columns": mmap_columns,
+    }
+
+
+def _worker_main(worker_id, store_path, request_queue, response_queue, options):
+    """Worker loop: open the store once, then serve payloads until told to
+    stop.  Runs in a child process; communicates only via the two queues.
+    Top-level (not nested) so ``spawn``-style contexts can import it."""
+    try:
+        database = Database.open(
+            store_path,
+            columnar=options.get("columnar", True),
+            threads=options.get("threads"),
+            memory_budget_bytes=options.get("memory_budget_bytes"),
+        )
+        response_queue.put(("hello", worker_id, _store_report(database)))
+    except BaseException as exc:  # noqa: BLE001 - must report, not vanish
+        response_queue.put(("fatal", worker_id, repr(exc)))
+        return
+    while True:
+        message = request_queue.get()
+        if message[0] == "stop":
+            response_queue.put(("bye", worker_id, None))
+            return
+        _, request_id, payload = message
+        try:
+            result = execute_payload(payload, database)
+        except Exception as exc:  # noqa: BLE001 - ship the error, keep serving
+            result = {"status": "error", "error": repr(exc)}
+        response_queue.put(("result", worker_id, request_id, result))
+
+
+# ----------------------------------------------------------------------
+# The pool.
+# ----------------------------------------------------------------------
+
+
+class ServingPool:
+    """A pool of worker processes serving one stored database.
+
+    Parameters
+    ----------
+    store_path:
+        Directory of a stored database (:meth:`Database.save` output).
+        Every worker ``Database.open()``'s it independently; the pool
+        checks all workers report the same catalog content digest.
+    workers:
+        Number of worker processes.
+    global_memory_budget_bytes:
+        Cap on the *sum* of admitted requests' memory slices.  ``None``
+        disables budget-based admission (queue-length backpressure still
+        applies).
+    default_memory_budget_bytes:
+        Slice charged to (and written into) a payload that does not set
+        its own ``memory_budget_bytes``.  ``None`` means an unbudgeted
+        payload claims the whole global budget -- heavy strangers
+        serialise instead of overcommitting.
+    max_pending:
+        Most requests admitted but not yet collected.  Defaults to
+        ``4 * workers``.
+    mp_context:
+        ``multiprocessing`` start-method name; defaults to
+        ``REPRO_SERVE_MP_CONTEXT`` or ``"fork"`` where available.
+    worker_threads / worker_memory_budget_bytes / columnar:
+        Execution knobs each worker opens its database with (a payload's
+        own knobs still override per request, exactly as in-process).
+    startup_timeout:
+        Seconds to wait for every worker's hello before declaring the
+        pool broken.
+    """
+
+    def __init__(
+        self,
+        store_path,
+        workers: int = 2,
+        *,
+        global_memory_budget_bytes: Optional[int] = None,
+        default_memory_budget_bytes: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        worker_threads: Optional[int] = None,
+        worker_memory_budget_bytes: Optional[int] = None,
+        columnar: bool = True,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        import multiprocessing as mp
+
+        self.store_path = str(store_path)
+        self.workers = max(1, int(workers))
+        self.global_memory_budget_bytes = global_memory_budget_bytes
+        self.default_memory_budget_bytes = default_memory_budget_bytes
+        self.max_pending = (
+            4 * self.workers if max_pending is None else max(1, int(max_pending))
+        )
+        if mp_context is None:
+            mp_context = os.environ.get(MP_CONTEXT_ENV, "").strip() or None
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else None
+        context = mp.get_context(mp_context)
+        self._request_queue = context.Queue()
+        self._response_queue = context.Queue()
+        self._processes = []
+        self._next_request_id = 0
+        self._pending: Dict[int, int] = {}  # request id -> admitted slice
+        self._admitted_bytes = 0
+        self._results: Dict[int, Dict[str, object]] = {}
+        self._broken: Optional[str] = None
+        self._closed = False
+        self.worker_reports: Dict[int, Dict[str, object]] = {}
+        options = {
+            "columnar": columnar,
+            "threads": worker_threads,
+            "memory_budget_bytes": worker_memory_budget_bytes,
+        }
+        for worker_id in range(self.workers):
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self.store_path,
+                    self._request_queue,
+                    self._response_queue,
+                    options,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        self._await_hellos(startup_timeout)
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _await_hellos(self, timeout: float) -> None:
+        import time
+
+        deadline = time.monotonic() + timeout
+        while len(self.worker_reports) < self.workers:
+            try:
+                message = self._response_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                self._check_alive()
+                if time.monotonic() > deadline:
+                    self._fail(
+                        f"workers did not report within {timeout:.0f}s "
+                        f"({len(self.worker_reports)}/{self.workers} hellos)"
+                    )
+                continue
+            if message[0] == "fatal":
+                self._fail(f"worker {message[1]} failed to open the store: {message[2]}")
+            if message[0] != "hello":
+                self._fail(f"protocol violation during startup: {message!r}")
+            self.worker_reports[message[1]] = message[2]
+        digests = {report["store_digest"] for report in self.worker_reports.values()}
+        if len(digests) != 1:
+            self._fail(f"workers opened differing stores: digests {sorted(digests)}")
+
+    def _fail(self, reason: str):
+        self._broken = reason
+        self.close()
+        raise ServingError(f"serving pool over {self.store_path!r} broken: {reason}")
+
+    def _check_alive(self) -> None:
+        for worker_id, process in enumerate(self._processes):
+            if not process.is_alive() and process.exitcode != 0:
+                self._fail(
+                    f"worker {worker_id} (pid {process.pid}) died with "
+                    f"exit code {process.exitcode}"
+                )
+
+    def close(self) -> None:
+        """Stop every worker and reap the processes.  Idempotent; called
+        automatically on context-manager exit and on pool breakage."""
+        if self._closed:
+            return
+        self._closed = True
+        for process in self._processes:
+            if process.is_alive():
+                try:
+                    self._request_queue.put(("stop",))
+                except (OSError, ValueError):  # pragma: no cover - queue gone
+                    break
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+
+    # -- admission and dispatch ----------------------------------------
+    def _admission_slice(self, payload: Mapping) -> Optional[int]:
+        slice_bytes = payload.get("memory_budget_bytes")
+        if slice_bytes is None:
+            slice_bytes = self.default_memory_budget_bytes
+        if slice_bytes is None:
+            # Unbudgeted request under a global budget: claim it all, so
+            # it runs alone rather than overcommitting the budget.
+            return self.global_memory_budget_bytes
+        return int(slice_bytes)
+
+    def submit(self, payload: Mapping) -> int:
+        """Admit one payload and dispatch it to the pool.
+
+        Returns the request id (collect order is the submission order).
+        Raises :class:`AdmissionRejected` -- without side effects -- when
+        the pending queue is full or the payload's memory slice does not
+        fit the remaining global budget; and :class:`ServingError` when
+        the pool is broken or closed.
+        """
+        if self._broken:
+            raise ServingError(f"serving pool is broken: {self._broken}")
+        if self._closed:
+            raise ServingError("serving pool is closed")
+        _check_payload(payload)
+        if len(self._pending) >= self.max_pending:
+            raise AdmissionRejected(
+                f"{len(self._pending)} requests pending (max {self.max_pending}); "
+                "collect responses before submitting more"
+            )
+        slice_bytes = self._admission_slice(payload)
+        budget = self.global_memory_budget_bytes
+        if budget is not None:
+            needed = budget if slice_bytes is None else slice_bytes
+            if needed > budget:
+                raise AdmissionRejected(
+                    f"request needs a {needed:,}-byte memory slice; the "
+                    f"global budget is {budget:,} bytes"
+                )
+            if self._admitted_bytes + needed > budget:
+                raise AdmissionRejected(
+                    f"admitting a {needed:,}-byte slice would exceed the "
+                    f"global budget ({self._admitted_bytes:,} of {budget:,} "
+                    "bytes already admitted); collect responses first"
+                )
+        shipped = dict(payload)
+        if slice_bytes is not None:
+            # The number that gated admission also bounds execution.
+            shipped["memory_budget_bytes"] = int(slice_bytes)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        charged = 0
+        if budget is not None:
+            charged = budget if slice_bytes is None else slice_bytes
+        self._pending[request_id] = charged
+        self._admitted_bytes += charged
+        self._request_queue.put(("run", request_id, shipped))
+        return request_id
+
+    def collect(self, request_id: int, timeout: Optional[float] = None) -> Dict[str, object]:
+        """The response for one admitted request (blocks until it arrives).
+
+        Releases the request's admitted memory slice.  Raises
+        :class:`ServingError` if a worker process dies before the response
+        arrives (first detected death wins; queued requests are then never
+        dispatched -- the scheduler's first-error contract).
+        """
+        import time
+
+        if request_id not in self._pending and request_id not in self._results:
+            raise ServingError(f"unknown or already-collected request {request_id}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while request_id not in self._results:
+            if self._broken:
+                raise ServingError(f"serving pool is broken: {self._broken}")
+            try:
+                message = self._response_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                self._check_alive()
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServingError(
+                        f"request {request_id} not answered within {timeout}s"
+                    )
+                continue
+            if message[0] == "result":
+                _, _, answered_id, result = message
+                self._results[answered_id] = result
+            elif message[0] == "fatal":
+                self._fail(f"worker {message[1]} failed: {message[2]}")
+        self._admitted_bytes -= self._pending.pop(request_id, 0)
+        return self._results.pop(request_id)
+
+    def run(self, payloads: Sequence[Mapping]) -> List[Dict[str, object]]:
+        """Serve a batch: submit everything (waiting out backpressure by
+        collecting), return responses in submission order."""
+        ids: List[int] = []
+        responses: Dict[int, Dict[str, object]] = {}
+        for payload in payloads:
+            while True:
+                try:
+                    ids.append(self.submit(payload))
+                    break
+                except AdmissionRejected:
+                    if not self._pending:
+                        raise  # cannot ever fit: surface the rejection
+                    oldest = min(self._pending)
+                    responses[oldest] = self.collect(oldest)
+        for request_id in ids:
+            if request_id not in responses:
+                responses[request_id] = self.collect(request_id)
+        return [responses[request_id] for request_id in ids]
+
+
+# ----------------------------------------------------------------------
+# Warm-up: statistics refresh + plan-cache pre-warming.
+# ----------------------------------------------------------------------
+
+
+def prewarm(
+    database: Database,
+    queries: Sequence[ConjunctiveQuery],
+    *,
+    k_values: Sequence[int] = (2, 3, 4),
+    plan_cache: Optional[PlanCache] = None,
+    completion: str = "fresh",
+    analyze: bool = False,
+    budget: Optional[int] = None,
+    threads: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+    answer: str = "rows",
+) -> List[Dict[str, object]]:
+    """Plan the known query set once and return ready-to-ship payloads.
+
+    For each query the best structural plan over ``k_values`` wins (by
+    estimated cost, smallest ``k`` breaking ties -- the planner's own
+    preference); a query no ``k`` admits falls back to the baseline
+    join-order plan.  All planning goes through ``plan_cache`` when given,
+    so a *second* prewarm over an unchanged store replays stored plans and
+    every returned payload reports ``planning_seconds == 0.0`` -- the
+    steady-state the serving bench measures.  ``analyze=True`` refreshes
+    the statistics catalog first (which changes the statistics digest and
+    thereby invalidates stale cache entries, never replaying plans against
+    outdated cardinalities).
+    """
+    # Planner imports stay lazy: db.serving must not pull the planner layer
+    # in at import time (layering: planner -> db, not db -> planner).
+    from repro.exceptions import PlanningError
+    from repro.planner.compare import _cached_baseline_plan, _cached_structural_plan
+    from repro.planner.cost_k_decomp import planning_family
+
+    if analyze:
+        database.analyze()
+    statistics = database.statistics
+    payloads: List[Dict[str, object]] = []
+    for query in queries:
+        # One shared CostPlanningFamily per query (memoised: built only if
+        # some k actually misses the cache), matching compare_planners.
+        shared: list = []
+
+        def family_factory(query=query, shared=shared):
+            if not shared:
+                shared.append(
+                    planning_family(query, statistics, completion=completion)
+                )
+            return shared[0]
+
+        best = None
+        planning_seconds = 0.0
+        for k in k_values:
+            try:
+                plan = _cached_structural_plan(
+                    query, statistics, int(k), completion, family_factory, plan_cache
+                )
+            except PlanningError:
+                continue
+            planning_seconds += plan.planning_seconds
+            if best is None or plan.estimated_cost < best.estimated_cost:
+                best = plan
+        if best is None:
+            best = _cached_baseline_plan(query, statistics, plan_cache)
+            planning_seconds += best.planning_seconds
+        payload = plan_to_payload(
+            best,
+            budget=budget,
+            threads=threads,
+            memory_budget_bytes=memory_budget_bytes,
+            answer=answer,
+        )
+        payload["planning_seconds"] = planning_seconds
+        payloads.append(payload)
+    return payloads

@@ -515,6 +515,16 @@ def load_catalog(path) -> Mapping:
     return _checked_format(_load_json(root / _CATALOG_FILE), root / _CATALOG_FILE)
 
 
+def store_digest(path) -> str:
+    """Content digest of a stored database's catalog (canonical JSON of
+    the validated payload, so whitespace never matters).  The catalog names
+    every column file with its byte size and encoding, so two stores with
+    equal digests hold the same relations over the same physical layout --
+    the check the serving pool uses to assert every worker process opened
+    the *identical* store."""
+    return canonical_digest(dict(load_catalog(path)))
+
+
 def open_database(
     path,
     columnar: bool = True,
@@ -661,6 +671,9 @@ def open_database(
                 )
             )
     database.statistics = statistics
+    # Remember where the columns live: the serving plane re-opens (and
+    # digests) the store per worker process through this path.
+    database.source_path = str(root)
     return database
 
 
@@ -670,6 +683,7 @@ def storage_info(path) -> Dict[str, Any]:
     compression ratio against raw int64 (the ``db info`` subcommand prints
     this)."""
     catalog = load_catalog(path)
+    digest = canonical_digest(dict(catalog))
     relations = []
     total_rows = 0
     total_bytes = 0
@@ -716,6 +730,7 @@ def storage_info(path) -> Dict[str, Any]:
         "name": catalog.get("name"),
         "format": catalog.get("format"),
         "version": catalog.get("version"),
+        "digest": digest,
         "relations": relations,
         "total_rows": total_rows,
         "total_column_bytes": total_bytes,

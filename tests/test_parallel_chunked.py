@@ -398,6 +398,57 @@ class TestKnobsAndScheduler:
         with pytest.raises(ValueError, match="boom"):
             TaskScheduler(2).run(tasks)
 
+    def test_scheduler_surfaces_earliest_submitted_error(self):
+        # Two independent failures: the later-submitted one finishes first
+        # (the earlier sleeps), yet the error surfaced must be the earlier
+        # task's -- the one the serial run would have raised -- no matter
+        # which future the executor completed first.
+        import time
+
+        def slow_first():
+            time.sleep(0.2)
+            raise ValueError("submitted first")
+
+        def fast_second():
+            raise RuntimeError("finished first")
+
+        tasks = [
+            (("slow", 0), (), slow_first),
+            (("fast", 0), (), fast_second),
+        ]
+        for _ in range(3):  # repeat: the choice must not depend on timing
+            with pytest.raises(ValueError, match="submitted first"):
+                TaskScheduler(2).run(tasks)
+
+    def test_scheduler_stops_dispatch_after_error(self):
+        # Once a task has failed, tasks that become ready afterwards are
+        # never started: here the failing task completes while a slow
+        # sibling runs, so the sibling's dependent must not execute.
+        import threading
+        import time
+
+        ran = []
+        started = threading.Event()
+
+        def boom():
+            started.wait(5)  # fail only once the sibling is mid-flight
+            raise ValueError("boom")
+
+        def slow_ok():
+            started.set()
+            time.sleep(0.2)
+            ran.append("slow")
+
+        tasks = [
+            (("bad", 0), (), boom),
+            (("slow", 0), (), slow_ok),
+            (("dep", 0), (("slow", 0),), lambda: ran.append("dep")),
+        ]
+        with pytest.raises(ValueError, match="boom"):
+            TaskScheduler(2).run(tasks)
+        assert "slow" in ran  # already-running work is drained, not killed
+        assert "dep" not in ran  # newly-ready work is not dispatched
+
     def test_scheduler_serial_mode_runs_in_list_order(self):
         order = []
         tasks = [

@@ -1,0 +1,429 @@
+"""Determinism and robustness tests for the process-parallel serving plane.
+
+The contract under test: for any serving payload, a worker-pool response is
+**byte-identical** to :func:`repro.db.serving.execute_payload` run serially
+in-process against the same store -- answers, row order, cardinality and
+the full ``stats`` payload -- including under per-query memory budgets,
+evaluation-budget aborts and warm plan-cache replay (where every payload
+must report ``planning_seconds == 0.0``).  Hypothesis drives randomised
+plan payloads (join-order permutations, answer modes, knob combinations)
+through one long-lived pool; deterministic cases cover the admission
+controller, the protocol edges (empty relation, zero answers, Boolean
+queries, v1 stores) and the first-error contract for a dying worker.
+"""
+
+import itertools
+import json
+import shutil
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.db.serving import (
+    AdmissionRejected,
+    ServingError,
+    ServingPool,
+    aggregate_stats,
+    execute_payload,
+    plan_to_payload,
+    prewarm,
+    query_from_payload,
+    query_to_payload,
+)
+from repro.db.storage import PlanCache, store_digest
+from repro.exceptions import DatabaseError
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import workload_database
+
+ATOMS = ["r0", "r1", "r2", "r3", "r4"]
+
+
+def _query():
+    body = [(f"r{i}", [f"X{i}", f"X{(i + 1) % 5}"]) for i in range(5)]
+    return build_query(body, output_variables=["X0", "X2"], name="cycle_out")
+
+
+def _boolean_query():
+    body = [(f"r{i}", [f"X{i}", f"X{(i + 1) % 5}"]) for i in range(5)]
+    return build_query(body, output_variables=[], name="cycle_bool")
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    target = tmp_path_factory.mktemp("serving") / "store"
+    database = workload_database(
+        _query(), tuples_per_relation=120, domain_size=10, seed=5
+    )
+    database.save(target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def serial_db(store):
+    return Database.open(store)
+
+
+@pytest.fixture(scope="module")
+def pool(store):
+    with ServingPool(store, workers=2) as serving_pool:
+        yield serving_pool
+
+
+def _payload(query=None, plan=None, **knobs):
+    """A hand-built join-order payload (no planner in the loop)."""
+    query = query or _query()
+    base = {
+        "format": "repro-serving",
+        "version": 1,
+        "query": query_to_payload(query),
+        "plan": plan or {"kind": "join_order", "order": list(ATOMS)},
+        "answer": knobs.pop("answer", "rows"),
+        "planning_seconds": 0.0,
+    }
+    base.update({k: v for k, v in knobs.items() if v is not None})
+    return base
+
+
+def _roundtrip(payload):
+    """Payloads are pure JSON: shipping one through text must be lossless."""
+    return json.loads(json.dumps(payload))
+
+
+class TestPoolMatchesSerialOracle:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        order=st.permutations(ATOMS),
+        answer=st.sampled_from(["rows", "digest"]),
+        memory_budget=st.sampled_from([None, 2_048, 1 << 20]),
+    )
+    def test_join_order_payloads(self, pool, serial_db, order, answer, memory_budget):
+        payload = _roundtrip(
+            _payload(
+                plan={"kind": "join_order", "order": list(order)},
+                answer=answer,
+                memory_budget_bytes=memory_budget,
+            )
+        )
+        oracle = execute_payload(payload, serial_db)
+        request = pool.submit(payload)
+        assert pool.collect(request, timeout=60.0) == oracle
+
+    def test_hypertree_payload(self, pool, serial_db):
+        from repro.planner.cost_k_decomp import cost_k_decomp
+
+        query = _query()
+        plan = cost_k_decomp(query, serial_db.statistics, 2, completion="fresh")
+        payload = _roundtrip(plan_to_payload(plan, answer="rows"))
+        oracle = execute_payload(payload, serial_db)
+        assert oracle["status"] == "ok"
+        responses = pool.run([payload] * 3)
+        assert responses == [oracle] * 3
+
+    def test_boolean_query(self, pool, serial_db):
+        payload = _roundtrip(
+            _payload(
+                query=_boolean_query(),
+                plan={"kind": "join_order", "order": list(ATOMS)},
+            )
+        )
+        oracle = execute_payload(payload, serial_db)
+        assert oracle["boolean"] in (True, False)
+        assert "rows" not in oracle
+        assert pool.run([payload]) == [oracle]
+
+    def test_budget_abort_counters_match_serial(self, pool, serial_db):
+        # threads pinned to 1: work_so_far at raise time is scheduling-
+        # dependent above that, deterministic at the serial setting.
+        payload = _roundtrip(_payload(budget=200, threads=1))
+        oracle = execute_payload(payload, serial_db)
+        assert oracle["status"] == "budget_exceeded"
+        assert oracle["budget"] == 200
+        assert oracle["work_so_far"] > 200
+        assert pool.run([payload] * 2) == [oracle] * 2
+
+    def test_digest_mode_matches_rows_mode(self, pool, serial_db):
+        from repro.db.serving import answer_digest
+
+        rows_payload = _roundtrip(_payload(answer="rows"))
+        digest_payload = _roundtrip(_payload(answer="digest"))
+        [rows_response, digest_response] = pool.run([rows_payload, digest_payload])
+        assert "rows" not in digest_response
+        assert digest_response["digest"] == answer_digest(rows_response)
+        assert digest_response["cardinality"] == rows_response["cardinality"]
+        assert digest_response["stats"] == rows_response["stats"]
+
+    def test_interleaved_batch_preserves_submission_order(self, pool, serial_db):
+        payloads = [
+            _roundtrip(_payload(plan={"kind": "join_order", "order": list(order)}))
+            for order in itertools.islice(itertools.permutations(ATOMS), 6)
+        ]
+        oracles = [execute_payload(p, serial_db) for p in payloads]
+        assert pool.run(payloads) == oracles
+
+    def test_aggregate_stats_is_partition_independent(self, pool, serial_db):
+        payloads = [
+            _roundtrip(_payload(plan={"kind": "join_order", "order": list(order)}))
+            for order in itertools.islice(itertools.permutations(ATOMS), 4)
+        ]
+        responses = pool.run(payloads)
+        forward = aggregate_stats(responses)
+        assert forward == aggregate_stats(reversed(responses))
+        assert forward["total_work"] == sum(
+            r["stats"]["total_work"] for r in responses
+        )
+
+
+class TestWarmup:
+    def test_prewarm_replays_at_zero_planning_seconds(self, store, serial_db, tmp_path):
+        cache = PlanCache(tmp_path / "plans")
+        queries = [_query(), _boolean_query()]
+        cold = prewarm(serial_db, queries, k_values=(2, 3), plan_cache=cache)
+        assert any(p["planning_seconds"] > 0 for p in cold)
+        warm = prewarm(serial_db, queries, k_values=(2, 3), plan_cache=cache)
+        assert all(p["planning_seconds"] == 0.0 for p in warm)
+        # The warm payloads are the cold ones: identical wire bytes.
+        strip = lambda p: {k: v for k, v in p.items() if k != "planning_seconds"}  # noqa: E731
+        assert [strip(p) for p in warm] == [strip(p) for p in cold]
+
+    def test_warm_payloads_serve_identically(self, store, pool, serial_db, tmp_path):
+        cache = PlanCache(tmp_path / "warm-plans")
+        prewarm(serial_db, [_query()], k_values=(2,), plan_cache=cache)
+        [payload] = prewarm(serial_db, [_query()], k_values=(2,), plan_cache=cache)
+        assert payload["planning_seconds"] == 0.0
+        oracle = execute_payload(_roundtrip(payload), serial_db)
+        assert pool.run([_roundtrip(payload)] * 3) == [oracle] * 3
+
+    def test_analyze_refreshes_statistics(self, serial_db, tmp_path):
+        cache = PlanCache(tmp_path / "analyze-plans")
+        before = serial_db.statistics
+        prewarm(serial_db, [_query()], k_values=(2,), plan_cache=cache, analyze=True)
+        assert serial_db.statistics is not before
+
+
+class TestAdmission:
+    def test_global_budget_backpressure(self, store):
+        with ServingPool(
+            store,
+            workers=1,
+            global_memory_budget_bytes=1 << 20,
+            default_memory_budget_bytes=1 << 19,
+        ) as pool:
+            first = pool.submit(_payload())
+            second = pool.submit(_payload())
+            with pytest.raises(AdmissionRejected):
+                pool.submit(_payload())
+            pool.collect(first, timeout=60.0)
+            third = pool.submit(_payload())  # slice released: admitted again
+            pool.collect(second, timeout=60.0)
+            pool.collect(third, timeout=60.0)
+
+    def test_admitted_slice_bounds_execution(self, store, serial_db):
+        # The slice that gated admission is written into the payload, so
+        # the response must equal the serial run under that same budget.
+        slice_bytes = 4_096
+        payload = _payload()
+        with ServingPool(
+            store,
+            workers=1,
+            global_memory_budget_bytes=1 << 20,
+            default_memory_budget_bytes=slice_bytes,
+        ) as pool:
+            request = pool.submit(payload)
+            response = pool.collect(request, timeout=60.0)
+        bounded = dict(payload)
+        bounded["memory_budget_bytes"] = slice_bytes
+        assert response == execute_payload(bounded, serial_db)
+
+    def test_unbudgeted_request_claims_whole_budget(self, store):
+        with ServingPool(
+            store, workers=2, global_memory_budget_bytes=1 << 20
+        ) as pool:
+            first = pool.submit(_payload())
+            with pytest.raises(AdmissionRejected):
+                pool.submit(_payload())  # serialised, not overcommitted
+            pool.collect(first, timeout=60.0)
+
+    def test_oversized_slice_rejected_without_side_effects(self, store):
+        with ServingPool(
+            store, workers=1, global_memory_budget_bytes=1 << 16
+        ) as pool:
+            with pytest.raises(AdmissionRejected):
+                pool.submit(_payload(memory_budget_bytes=1 << 20))
+            assert pool._pending == {}
+            request = pool.submit(_payload(memory_budget_bytes=1 << 10))
+            pool.collect(request, timeout=60.0)
+
+    def test_max_pending_backpressure(self, store):
+        with ServingPool(store, workers=1, max_pending=2) as pool:
+            ids = [pool.submit(_payload()) for _ in range(2)]
+            with pytest.raises(AdmissionRejected):
+                pool.submit(_payload())
+            for request in ids:
+                pool.collect(request, timeout=60.0)
+
+    def test_run_waits_out_backpressure(self, store, serial_db):
+        payloads = [_roundtrip(_payload()) for _ in range(6)]
+        oracle = execute_payload(payloads[0], serial_db)
+        with ServingPool(store, workers=2, max_pending=2) as pool:
+            assert pool.run(payloads) == [oracle] * 6
+
+
+class TestEdgeCasesAndFailure:
+    def _store_with(self, tmp_path, rows_by_relation, name="edge"):
+        from repro.db.relation import Relation
+
+        database = Database(
+            relations={
+                rel: Relation(rel, ["a", "b"], rows)
+                for rel, rows in rows_by_relation.items()
+            },
+            name=name,
+        )
+        database.analyze()
+        target = tmp_path / name
+        database.save(target)
+        return target
+
+    def test_empty_stored_relation(self, tmp_path):
+        target = self._store_with(
+            tmp_path, {"r": [(1, 2), (2, 3)], "s": []}, name="empty-rel"
+        )
+        query = build_query(
+            [("r", ["X", "Y"]), ("s", ["Y", "Z"])],
+            output_variables=["X", "Z"],
+            name="over_empty",
+        )
+        payload = _payload(query=query, plan={"kind": "join_order", "order": ["r", "s"]})
+        serial = Database.open(target)
+        oracle = execute_payload(payload, serial)
+        assert oracle["cardinality"] == 0 and oracle["rows"] == []
+        with ServingPool(target, workers=2) as pool:
+            assert pool.run([payload] * 2) == [oracle] * 2
+
+    def test_zero_answer_query(self, tmp_path):
+        # Non-empty relations whose join is empty (disjoint key ranges).
+        target = self._store_with(
+            tmp_path,
+            {"r": [(1, 2), (3, 4)], "s": [(9, 9), (8, 8)]},
+            name="zero-answers",
+        )
+        query = build_query(
+            [("r", ["X", "Y"]), ("s", ["Y", "Z"])],
+            output_variables=["X", "Z"],
+            name="no_answers",
+        )
+        payload = _payload(query=query, plan={"kind": "join_order", "order": ["r", "s"]})
+        serial = Database.open(target)
+        oracle = execute_payload(payload, serial)
+        assert oracle["cardinality"] == 0
+        assert oracle["stats"]["total_work"] > 0  # work happened, no answers
+        with ServingPool(target, workers=2) as pool:
+            assert pool.run([payload]) == [oracle]
+
+    def test_v1_store_served_through_pool(self, tmp_path):
+        # An exact version-1 store: raw int64 columns, no encoding keys.
+        database = workload_database(
+            _query(), tuples_per_relation=60, domain_size=8, seed=2
+        )
+        target = tmp_path / "v1-store"
+        database.save(target, encoding="raw")
+        for file_name in ("catalog.json", "dictionary.json"):
+            meta = json.loads((target / file_name).read_text())
+            meta["version"] = 1
+            if file_name == "catalog.json":
+                for relation in meta["relations"]:
+                    for column in relation["columns"]:
+                        column.pop("encoding", None)
+                    if relation.get("selection"):
+                        relation["selection"].pop("encoding", None)
+            (target / file_name).write_text(json.dumps(meta))
+        payload = _payload()
+        serial = Database.open(target)
+        oracle = execute_payload(payload, serial)
+        assert oracle["status"] == "ok"
+        with ServingPool(target, workers=2) as pool:
+            reports = pool.worker_reports.values()
+            assert {r["store_digest"] for r in reports} == {store_digest(target)}
+            assert all(r["mmap_columns"] == r["total_columns"] for r in reports)
+            assert pool.run([payload] * 2) == [oracle] * 2
+
+    def test_dead_worker_breaks_pool_with_first_error(self, store):
+        pool = ServingPool(store, workers=1)
+        try:
+            pool._processes[0].terminate()
+            pool._processes[0].join(timeout=10.0)
+            request = pool.submit(_payload())
+            with pytest.raises(ServingError, match="died"):
+                pool.collect(request, timeout=60.0)
+            # The pool is broken for good: later submits are refused, the
+            # first detected death stays the surfaced error.
+            with pytest.raises(ServingError, match="broken"):
+                pool.submit(_payload())
+        finally:
+            pool.close()
+
+    def test_worker_error_is_shipped_not_fatal(self, pool, serial_db):
+        # A payload naming a missing relation errors on that request only;
+        # the pool keeps serving.
+        bad_query = build_query(
+            [("zzz", ["X", "Y"])], output_variables=["X"], name="missing"
+        )
+        bad = _payload(query=bad_query, plan={"kind": "join_order", "order": ["zzz"]})
+        good = _roundtrip(_payload())
+        [bad_response, good_response] = pool.run([bad, good])
+        assert bad_response["status"] == "error"
+        assert "zzz" in bad_response["error"]
+        assert good_response == execute_payload(good, serial_db)
+
+    def test_mismatched_stores_are_refused(self, store, tmp_path):
+        # Swap the store out from under a half-started pool is hard to
+        # stage reliably; instead corrupt a copy and check the digest
+        # check itself distinguishes the two stores.
+        other = tmp_path / "other-store"
+        shutil.copytree(store, other)
+        catalog = json.loads((other / "catalog.json").read_text())
+        catalog["name"] = "tampered"
+        (other / "catalog.json").write_text(json.dumps(catalog))
+        assert store_digest(other) != store_digest(store)
+
+
+class TestWireFormat:
+    def test_query_payload_roundtrip(self):
+        for query in (_query(), _boolean_query()):
+            rebuilt = query_from_payload(_roundtrip(query_to_payload(query)))
+            assert rebuilt == query
+
+    def test_malformed_payloads_raise(self, serial_db):
+        with pytest.raises(DatabaseError, match="format"):
+            execute_payload({"format": "nope"}, serial_db)
+        with pytest.raises(DatabaseError, match="version"):
+            execute_payload(
+                {"format": "repro-serving", "version": 99}, serial_db
+            )
+        with pytest.raises(DatabaseError, match="answer"):
+            execute_payload(_payload(answer="csv"), serial_db)
+        with pytest.raises(DatabaseError):
+            execute_payload(
+                _payload(plan={"kind": "mystery"}), serial_db
+            )
+        with pytest.raises(DatabaseError, match="query payload"):
+            query_from_payload({"atoms": "nope"})
+
+    def test_unknown_plan_payloads_raise(self, serial_db):
+        payload = _payload(plan={"kind": "join_order", "order": ["nope"]})
+        with pytest.raises(DatabaseError):
+            execute_payload(payload, serial_db)
+
+    def test_responses_are_json_safe(self, pool):
+        for answer in ("rows", "digest"):
+            [response] = pool.run([_payload(answer=answer)])
+            assert json.loads(json.dumps(response)) == response
