@@ -22,6 +22,14 @@ Interleaved measurement groups recorded as rows in ``BENCH_core.json``
   degrades to queuing, never to failure), responses stay byte-identical
   to the serial oracle under the same per-query budget, and the row
   reports the elapsed/QPS cost of serialising.
+* ``test_qps_under_worker_crashes`` -- the same batch served while a
+  scripted :class:`~repro.db.faults.FaultPlan` kills a worker mid-request
+  twice: responses stay byte-identical, the supervisor restarts both
+  victims, and the row reports the QPS cost of crash recovery next to the
+  fault-free ``pool_2proc`` row.
+
+Pooled responses carry a scheduling-dependent ``"serving"`` provenance
+block (attempts/restarts); oracle comparisons strip it first.
 """
 
 import atexit
@@ -33,7 +41,12 @@ from pathlib import Path
 import pytest
 
 from repro.db.database import Database
-from repro.db.serving import ServingPool, execute_payload, prewarm
+from repro.db.serving import (
+    ServingPool,
+    execute_payload,
+    prewarm,
+    strip_provenance,
+)
 from repro.db.storage import PlanCache
 from repro.query.conjunctive import build_query
 from repro.workloads.synthetic import workload_database
@@ -122,6 +135,8 @@ def test_sustained_qps(benchmark, mode, request):
             )
             elapsed = time.perf_counter() - started
 
+    if workers:
+        responses = [strip_provenance(r) for r in responses]
     assert responses == oracle, (
         f"{mode} responses must be byte-identical to the serial oracle"
     )
@@ -160,7 +175,7 @@ def test_admission_under_pressure(benchmark, request):
         )
         elapsed = time.perf_counter() - started
 
-    assert responses == oracle, (
+    assert [strip_provenance(r) for r in responses] == oracle, (
         "budget-admitted responses must match the serial oracle under the "
         "same per-query budget"
     )
@@ -173,4 +188,51 @@ def test_admission_under_pressure(benchmark, request):
         "qps": round(qps, 2),
         "global_memory_budget_bytes": slice_bytes,
         "memory_budget_bytes": slice_bytes,
+    }
+
+
+def test_qps_under_worker_crashes(benchmark, request):
+    """The warm batch served while a scripted fault plan kills a worker
+    mid-request twice: the supervisor requeues both crash-lost requests
+    and respawns both victims, responses stay byte-identical to the serial
+    oracle, and the row prices crash recovery against the fault-free
+    ``pool_2proc`` row."""
+    store, serving_db, batch, oracle = _setup()
+    kill_at = [len(batch) // 3, (2 * len(batch)) // 3]
+    plan = [{"kind": "worker_exit", "request_index": rid} for rid in kill_at]
+
+    with ServingPool(
+        store, workers=2, max_worker_restarts=4, fault_plan=plan
+    ) as pool:
+        _assert_mmap_shared(pool)
+        started = time.perf_counter()
+        responses = benchmark.pedantic(
+            lambda: pool.run(batch), rounds=1, iterations=1
+        )
+        elapsed = time.perf_counter() - started
+        restarts = pool.restarts
+        degraded = pool.degraded
+
+    assert [strip_provenance(r) for r in responses] == oracle, (
+        "responses under injected worker crashes must match the serial "
+        "oracle"
+    )
+    assert restarts >= 2, (
+        f"both scripted kills must have fired and been absorbed "
+        f"(restarts={restarts})"
+    )
+    assert degraded is None, "two restarts must fit a budget of four"
+    retried = sum(
+        1 for r in responses if r["serving"]["attempts"] > 1
+    )
+    qps = len(batch) / elapsed if elapsed > 0 else 0.0
+    request.node._bench_extra = {
+        "mode": "pool_2proc_faults",
+        "workers": 2,
+        "requests": len(batch),
+        "seconds": round(elapsed, 6),
+        "qps": round(qps, 2),
+        "worker_kills": len(kill_at),
+        "restarts": restarts,
+        "retried_requests": retried,
     }

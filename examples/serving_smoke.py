@@ -27,7 +27,12 @@ import tempfile
 from pathlib import Path
 
 from repro.db.database import Database
-from repro.db.serving import ServingPool, execute_payload, prewarm
+from repro.db.serving import (
+    ServingPool,
+    execute_payload,
+    prewarm,
+    strip_provenance,
+)
 from repro.db.storage import PlanCache
 from repro.query.conjunctive import build_query
 from repro.workloads.synthetic import workload_database
@@ -76,7 +81,7 @@ def main() -> None:
         digests = {r["store_digest"] for r in pool.worker_reports.values()}
         assert len(digests) == 1, "workers must open the identical store"
         responses = pool.run(batch)
-    assert responses == oracle, (
+    assert [strip_provenance(r) for r in responses] == oracle, (
         "pooled responses must be byte-identical to the serial oracle"
     )
     print(
@@ -94,7 +99,7 @@ def main() -> None:
         global_memory_budget_bytes=slice_bytes,
         default_memory_budget_bytes=slice_bytes,
     ) as pool:
-        assert pool.run(bounded) == bounded_oracle, (
+        assert [strip_provenance(r) for r in pool.run(bounded)] == bounded_oracle, (
             "budget-admitted responses must match the serial oracle"
         )
     print(

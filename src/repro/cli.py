@@ -5,7 +5,7 @@ Four subcommands mirror the library's main entry points::
     python -m repro.cli decompose QUERY_OR_FILE [--k K] [--taf lex|width|nodes]
     python -m repro.cli plan QUERY [--k K] [--tuples N] [--seed S]
     python -m repro.cli experiments [--fast]
-    python -m repro.cli db {save,open,info,serve} PATH [...]
+    python -m repro.cli db {save,open,info,verify,serve} PATH [...]
 
 * ``decompose`` parses a datalog query (or a hypergraph file in the
   benchmark format when the argument is a path ending in ``.hg``) and prints
@@ -22,10 +22,16 @@ Four subcommands mirror the library's main entry points::
   catalog summary -- relations, rows, bytes, dictionary size -- without
   touching a single column file (``--json`` emits the same report
   machine-readably, plus the store digest and the process's
-  workload-cache counters), and ``db serve PATH --query Q`` spins up the
-  process-parallel serving pool (:mod:`repro.db.serving`): prewarm the
-  plan cache, serve the query set across N worker processes sharing the
-  store via mmap, and report sustained throughput.
+  workload-cache counters), ``db verify PATH`` re-checks the store's
+  integrity file by file (catalog digest, dictionary entry count, every
+  column file's byte length against its declared dtype -- the
+  operator-facing twin of the serving workers' startup hello; exits
+  non-zero with a per-file report on mismatch), and ``db serve PATH
+  --query Q`` spins up the process-parallel serving pool
+  (:mod:`repro.db.serving`): prewarm the plan cache, serve the query set
+  across N worker processes sharing the store via mmap, and report
+  sustained throughput plus the supervisor's restart counters
+  (``--max-worker-restarts`` / ``--deadline`` tune fault tolerance).
 """
 
 from __future__ import annotations
@@ -120,6 +126,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "bytes, compression ratio, store digest, workload-cache counters)",
     )
 
+    db_verify = db_commands.add_parser(
+        "verify",
+        help="re-check a stored database's integrity file by file",
+    )
+    db_verify.add_argument("path", help="directory of a stored database")
+    db_verify.add_argument(
+        "--json", action="store_true", help="emit the verification report as JSON"
+    )
+
     db_serve = db_commands.add_parser(
         "serve",
         help="serve a stored database through the multi-process worker pool",
@@ -154,6 +169,19 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("rows", "digest"),
         default="digest",
         help="ship decoded rows or a content digest (default digest)",
+    )
+    db_serve.add_argument(
+        "--max-worker-restarts", type=int, default=2,
+        help="respawns the supervisor may perform before degrading (default 2)",
+    )
+    db_serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-attempt request deadline in seconds (default: "
+        "REPRO_SERVE_DEADLINE_SECONDS or none)",
+    )
+    db_serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempt budget per request for crash/timeout retries (default 3)",
     )
     db_serve.add_argument(
         "--json", action="store_true", help="emit the serving report as JSON"
@@ -296,8 +324,34 @@ def _command_db(args) -> int:
                     f"{column['bytes']:,}B (raw {column['raw_bytes']:,}B)"
                 )
         return 0
+    if args.db_command == "verify":
+        return _command_db_verify(args)
     if args.db_command == "serve":
         return _command_db_serve(args)
+    return 1
+
+
+def _command_db_verify(args) -> int:
+    import json
+
+    from repro.db.storage import verify_store
+
+    report = verify_store(args.path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    if report["digest"] is not None:
+        print(
+            f"store {report['name']!r} at {report['path']}: "
+            f"catalog digest {report['digest'][:12]}..., "
+            f"{report['checked_files']} files checked"
+        )
+    if report["ok"]:
+        print("OK: every file matches the catalog")
+        return 0
+    for problem in report["problems"]:
+        print(f"  FAIL {problem['file']}: {problem['error']}")
+    print(f"{len(report['problems'])} problem(s) found")
     return 1
 
 
@@ -306,7 +360,12 @@ def _command_db_serve(args) -> int:
     import time
 
     from repro.db.database import Database
-    from repro.db.serving import ServingPool, execute_payload, prewarm
+    from repro.db.serving import (
+        ServingPool,
+        execute_payload,
+        prewarm,
+        strip_provenance,
+    )
     from repro.db.storage import PlanCache
 
     queries = [parse_query(text) for text in args.query]
@@ -329,13 +388,18 @@ def _command_db_serve(args) -> int:
         workers=args.workers,
         global_memory_budget_bytes=args.global_memory_budget_bytes,
         default_memory_budget_bytes=args.memory_budget_bytes,
+        max_worker_restarts=args.max_worker_restarts,
+        default_deadline_seconds=args.deadline,
+        default_max_attempts=args.max_attempts,
     ) as pool:
         reports = dict(sorted(pool.worker_reports.items()))
         responses = pool.run(batch)
+        restarts = pool.restarts
+        degraded = pool.degraded
     elapsed = time.perf_counter() - started
     matches = sum(
         1 for i, response in enumerate(responses)
-        if response == oracle[i % len(payloads)]
+        if strip_provenance(response) == oracle[i % len(payloads)]
     )
     summary = {
         "store": args.path,
@@ -347,6 +411,11 @@ def _command_db_serve(args) -> int:
         "qps": round(len(batch) / elapsed, 2) if elapsed > 0 else None,
         "planning_seconds": [payload["planning_seconds"] for payload in payloads],
         "worker_reports": reports,
+        "restarts": restarts,
+        "degraded": degraded,
+        "attempts": [
+            response.get("serving", {}).get("attempts") for response in responses
+        ],
     }
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -356,6 +425,11 @@ def _command_db_serve(args) -> int:
             f"in {summary['seconds']}s ({summary['qps']} q/s); "
             f"{matches}/{len(batch)} responses byte-identical to the serial oracle"
         )
+        if restarts or degraded:
+            print(
+                f"  supervisor: {restarts} worker restart(s)"
+                + (f", degraded: {degraded}" if degraded else "")
+            )
         for worker_id, report in reports.items():
             print(
                 f"  worker {worker_id}: pid {report['pid']}, "

@@ -77,6 +77,21 @@ def memory_budget_from_env(default=None):
     return value if value > 0 else None
 
 
+def seconds_from_env(name: str, default=None):
+    """A float-seconds environment knob (empty, unset, unparsable or
+    non-positive values mean ``default``).  The serving plane uses this
+    for its request-deadline default (``REPRO_SERVE_DEADLINE_SECONDS``),
+    mirroring how the execution plane reads its thread/budget knobs."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
 class TaskScheduler:
     """Run dependency-ordered tasks, serially or on a thread pool."""
 

@@ -44,12 +44,26 @@ slice is written into the payload, so the same number that gated
 admission also bounds the kernels' transient allocations during
 execution.
 
-**Failure.**  The pool honours the scheduler's first-error contract
-(:mod:`repro.db.scheduler`): a worker that raises reports an ``"error"``
-response for that request only; a worker *process* that dies mid-query
-breaks the pool -- :meth:`collect` raises :class:`ServingError`, queued
-requests are not dispatched, and the first detected death is the error
-surfaced.
+**Failure.**  Failure is a first-class, deterministically testable input
+(:mod:`repro.db.faults` scripts it).  A worker that *raises* ships an
+``"error"`` response for that request only.  A worker *process* that dies
+mid-request is handled by the pool's supervisor: the in-flight request is
+requeued (with exponential backoff, up to its ``max_attempts`` budget),
+a replacement worker is spawned in the dead worker's slot -- its startup
+hello re-validated against the pool's store digest -- and serving
+continues transparently; :attr:`ServingPool.restarts` counts the
+respawns.  Only after ``max_worker_restarts`` respawns is the pool
+*degraded*: new submissions are refused (:class:`ServingError`), but the
+surviving workers and every completed response are drained --
+:meth:`run` returns partial results with per-request ``"error"`` records
+instead of raising away finished work.  Requests may carry
+``deadline_seconds`` (wall-clock from dispatch; an expired attempt is
+retried or reported as a ``"timeout": true`` error record, and the late
+response is drained, never misdelivered) and ``max_attempts``.  Every
+pooled response carries a ``"serving"`` provenance block (``attempts``,
+``restarts``) -- excluded from :func:`answer_digest`, like
+``peak_transient_bytes``, because it is scheduling-dependent;
+:func:`strip_provenance` recovers the oracle-comparable payload.
 
 **Warm-up.**  :func:`prewarm` refreshes statistics (optionally) and runs
 the planner once per (query, k) through a :class:`PlanCache`, returning
@@ -62,11 +76,15 @@ from __future__ import annotations
 
 import os
 import queue
+import time
+from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.db.database import Database
 from repro.db.executor import execute_plan
+from repro.db.faults import FaultPlan, resolve_fault_plan
 from repro.db.plan_ir import plan_ir_from_payload
+from repro.db.scheduler import seconds_from_env
 from repro.db.storage import (
     PlanCache,
     canonical_digest,
@@ -90,11 +108,23 @@ SERVING_VERSION = 1
 #: slower to boot, because workers share nothing but the store path).
 MP_CONTEXT_ENV = "REPRO_SERVE_MP_CONTEXT"
 
+#: Environment default for per-request deadlines (seconds; unset = no
+#: deadline).  Parsed by :func:`repro.db.scheduler.seconds_from_env`.
+DEADLINE_ENV = "REPRO_SERVE_DEADLINE_SECONDS"
+
+#: Response key of the pool-side provenance block (``attempts`` /
+#: ``restarts``).  Scheduling-dependent, hence excluded from
+#: :func:`answer_digest` and stripped for oracle comparisons.
+PROVENANCE_KEY = "serving"
+
 _ANSWER_MODES = ("rows", "digest")
 
 #: How long (seconds) collect()/startup wait between liveness checks.  Only
 #: a latency knob: correctness never depends on it.
 _POLL_SECONDS = 0.1
+
+#: Ceiling on the exponential retry backoff (seconds).
+_MAX_BACKOFF_SECONDS = 2.0
 
 
 class ServingError(DatabaseError):
@@ -142,6 +172,8 @@ def plan_to_payload(
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
     answer: str = "rows",
+    deadline_seconds: Optional[float] = None,
+    max_attempts: Optional[int] = None,
 ) -> Dict[str, object]:
     """One complete serving payload for a planned query.
 
@@ -150,6 +182,9 @@ def plan_to_payload(
     join order serialises through the PlanCache's payload format.
     ``planning_seconds`` rides along for reporting only (``0.0`` when the
     plan came out of a warm cache) -- workers never read it.
+    ``deadline_seconds`` / ``max_attempts`` are pool-side scheduling knobs
+    (wall-clock per attempt, and the retry budget for timed-out or
+    crash-lost dispatches); workers never read them either.
     """
     if answer not in _ANSWER_MODES:
         raise DatabaseError(
@@ -180,6 +215,10 @@ def plan_to_payload(
         payload["threads"] = int(threads)
     if memory_budget_bytes is not None:
         payload["memory_budget_bytes"] = int(memory_budget_bytes)
+    if deadline_seconds is not None:
+        payload["deadline_seconds"] = float(deadline_seconds)
+    if max_attempts is not None:
+        payload["max_attempts"] = int(max_attempts)
     return payload
 
 
@@ -201,6 +240,18 @@ def _check_payload(payload: Mapping) -> None:
             f"unknown answer mode {payload.get('answer')!r}; "
             f"expected one of {_ANSWER_MODES}"
         )
+    deadline = payload.get("deadline_seconds")
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise DatabaseError("payload 'deadline_seconds' must be a number")
+        if float(deadline) <= 0:
+            raise DatabaseError("payload 'deadline_seconds' must be positive")
+    attempts = payload.get("max_attempts")
+    if attempts is not None:
+        if isinstance(attempts, bool) or not isinstance(attempts, int):
+            raise DatabaseError("payload 'max_attempts' must be an integer")
+        if attempts < 1:
+            raise DatabaseError("payload 'max_attempts' must be >= 1")
 
 
 def answer_digest(result_payload: Mapping) -> str:
@@ -215,6 +266,16 @@ def answer_digest(result_payload: Mapping) -> str:
             "rows": [list(row) for row in result_payload.get("rows", ())],
         }
     )
+
+
+def strip_provenance(response: Mapping) -> Dict[str, object]:
+    """A response without its pool-side ``"serving"`` provenance block.
+
+    ``attempts``/``restarts`` depend on scheduling (which worker died when),
+    so oracle comparisons -- pooled response vs in-process
+    :func:`execute_payload` -- go through this helper; everything that
+    remains is a function of (store bytes, payload) alone."""
+    return {k: v for k, v in response.items() if k != PROVENANCE_KEY}
 
 
 def execute_payload(payload: Mapping, database: Database) -> Dict[str, object]:
@@ -332,7 +393,13 @@ def _store_report(database: Database) -> Dict[str, object]:
 def _worker_main(worker_id, store_path, request_queue, response_queue, options):
     """Worker loop: open the store once, then serve payloads until told to
     stop.  Runs in a child process; communicates only via the two queues.
-    Top-level (not nested) so ``spawn``-style contexts can import it."""
+    Top-level (not nested) so ``spawn``-style contexts can import it.
+
+    The options mapping may carry a ``"faults"`` payload -- the scripted
+    :class:`~repro.db.faults.FaultPlan`, applied right before
+    :func:`execute_payload` so injected crashes/raises/delays fire at an
+    exact, reproducible point of the protocol.  Each worker process builds
+    its own plan instance (fire counts reset on respawn)."""
     try:
         database = Database.open(
             store_path,
@@ -340,6 +407,9 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
             threads=options.get("threads"),
             memory_budget_bytes=options.get("memory_budget_bytes"),
         )
+        faults = None
+        if options.get("faults"):
+            faults = FaultPlan.from_payload(options["faults"])
         response_queue.put(("hello", worker_id, _store_report(database)))
     except BaseException as exc:  # noqa: BLE001 - must report, not vanish
         response_queue.put(("fatal", worker_id, repr(exc)))
@@ -349,12 +419,16 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
         if message[0] == "stop":
             response_queue.put(("bye", worker_id, None))
             return
-        _, request_id, payload = message
+        _, request_id, attempt, payload = message
         try:
+            if faults is not None:
+                faults.apply(
+                    worker_id=worker_id, request_id=request_id, attempt=attempt
+                )
             result = execute_payload(payload, database)
         except Exception as exc:  # noqa: BLE001 - ship the error, keep serving
             result = {"status": "error", "error": repr(exc)}
-        response_queue.put(("result", worker_id, request_id, result))
+        response_queue.put(("result", worker_id, request_id, attempt, result))
 
 
 # ----------------------------------------------------------------------
@@ -362,8 +436,20 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
 # ----------------------------------------------------------------------
 
 
+class _RequestState:
+    """Pool-side bookkeeping for one admitted request."""
+
+    __slots__ = ("payload", "attempts", "max_attempts", "deadline_seconds")
+
+    def __init__(self, payload, max_attempts, deadline_seconds) -> None:
+        self.payload = payload
+        self.attempts = 0  # dispatches so far; bumped at dispatch time
+        self.max_attempts = max_attempts
+        self.deadline_seconds = deadline_seconds
+
+
 class ServingPool:
-    """A pool of worker processes serving one stored database.
+    """A supervised pool of worker processes serving one stored database.
 
     Parameters
     ----------
@@ -372,7 +458,8 @@ class ServingPool:
         Every worker ``Database.open()``'s it independently; the pool
         checks all workers report the same catalog content digest.
     workers:
-        Number of worker processes.
+        Number of worker processes (slots; a slot whose process dies is
+        refilled by the supervisor while the restart budget lasts).
     global_memory_budget_bytes:
         Cap on the *sum* of admitted requests' memory slices.  ``None``
         disables budget-based admission (queue-length backpressure still
@@ -392,8 +479,28 @@ class ServingPool:
         Execution knobs each worker opens its database with (a payload's
         own knobs still override per request, exactly as in-process).
     startup_timeout:
-        Seconds to wait for every worker's hello before declaring the
-        pool broken.
+        Seconds to wait for a worker's hello -- at pool startup (all
+        workers; a miss is a hard :class:`ServingError`) and again for
+        every supervisor respawn (a replacement that never reports is
+        retired and counts as another death).
+    max_worker_restarts:
+        Total respawns the supervisor may perform over the pool's
+        lifetime.  Once exhausted the pool *degrades*: new submissions
+        are refused, surviving workers drain the already-admitted work.
+    default_max_attempts:
+        Attempt budget for payloads that do not set ``max_attempts``.
+    default_deadline_seconds:
+        Per-attempt wall-clock deadline for payloads that do not set
+        ``deadline_seconds``; ``None`` defers to the
+        ``REPRO_SERVE_DEADLINE_SECONDS`` environment default (unset =
+        no deadline).
+    retry_backoff_seconds:
+        Base of the exponential backoff between attempts of one request
+        (``base * 2**(attempt-1)``, capped at 2s).
+    fault_plan:
+        A :class:`~repro.db.faults.FaultPlan` (or its JSON payload)
+        scripting deterministic worker faults; ``None`` defers to the
+        ``REPRO_SERVE_FAULTS`` environment variable.
     """
 
     def __init__(
@@ -409,6 +516,11 @@ class ServingPool:
         worker_memory_budget_bytes: Optional[int] = None,
         columnar: bool = True,
         startup_timeout: float = 60.0,
+        max_worker_restarts: int = 2,
+        default_max_attempts: int = 3,
+        default_deadline_seconds: Optional[float] = None,
+        retry_backoff_seconds: float = 0.05,
+        fault_plan=None,
     ) -> None:
         import multiprocessing as mp
 
@@ -419,41 +531,45 @@ class ServingPool:
         self.max_pending = (
             4 * self.workers if max_pending is None else max(1, int(max_pending))
         )
+        self.startup_timeout = float(startup_timeout)
+        self.max_worker_restarts = max(0, int(max_worker_restarts))
+        self.default_max_attempts = max(1, int(default_max_attempts))
+        if default_deadline_seconds is None:
+            default_deadline_seconds = seconds_from_env(DEADLINE_ENV)
+        self.default_deadline_seconds = default_deadline_seconds
+        self.retry_backoff_seconds = max(0.0, float(retry_backoff_seconds))
+        plan = resolve_fault_plan(fault_plan)
+        self._fault_payload = plan.to_payload() if plan is not None else None
         if mp_context is None:
             mp_context = os.environ.get(MP_CONTEXT_ENV, "").strip() or None
         if mp_context is None:
             mp_context = "fork" if "fork" in mp.get_all_start_methods() else None
-        context = mp.get_context(mp_context)
-        self._request_queue = context.Queue()
-        self._response_queue = context.Queue()
-        self._processes = []
-        self._next_request_id = 0
-        self._pending: Dict[int, int] = {}  # request id -> admitted slice
-        self._admitted_bytes = 0
-        self._results: Dict[int, Dict[str, object]] = {}
-        self._broken: Optional[str] = None
-        self._closed = False
-        self.worker_reports: Dict[int, Dict[str, object]] = {}
-        options = {
+        self._context = mp.get_context(mp_context)
+        self._options = {
             "columnar": columnar,
             "threads": worker_threads,
             "memory_budget_bytes": worker_memory_budget_bytes,
+            "faults": self._fault_payload,
         }
+        self._next_request_id = 0
+        self._pending: Dict[int, int] = {}  # request id -> admitted slice
+        self._admitted_bytes = 0
+        self._requests: Dict[int, _RequestState] = {}
+        self._results: Dict[int, Dict[str, object]] = {}
+        self._backlog: List[object] = []  # [not_before, request id], in order
+        self._inflight: Dict[int, List] = {}  # worker -> [rid, attempt, t0, off]
+        self._expired = set()  # collect()-abandoned ids: drain, never deliver
+        self._workers: Dict[int, Dict[str, object]] = {}
+        self._retired: List[object] = []  # dead processes, joined at close()
+        self._broken: Optional[str] = None  # startup hard failure
+        self._degraded: Optional[str] = None  # restart budget exhausted
+        self._closed = False
+        self.restarts = 0
+        self._store_digest: Optional[str] = None
+        self.worker_reports: Dict[int, Dict[str, object]] = {}
         for worker_id in range(self.workers):
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    worker_id,
-                    self.store_path,
-                    self._request_queue,
-                    self._response_queue,
-                    options,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
-        self._await_hellos(startup_timeout)
+            self._spawn_worker(worker_id)
+        self._await_hellos(self.startup_timeout)
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "ServingPool":
@@ -462,42 +578,90 @@ class ServingPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _await_hellos(self, timeout: float) -> None:
-        import time
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why the pool stopped accepting submissions (``None`` while the
+        restart budget lasts)."""
+        return self._degraded
 
+    def _spawn_worker(self, worker_id: int) -> None:
+        """Start a (fresh) process in slot ``worker_id`` with its own
+        request *and* response queues.  A respawn never reuses the dead
+        worker's queues: a request sitting in the old one has already
+        been requeued by the supervisor, and the replacement must not
+        execute it twice.  Responses are per-worker on purpose -- fault
+        isolation: a shared response queue has one cross-process write
+        lock, and a worker dying right after a ``put`` (its feeder thread
+        still holding that lock) would wedge *every* surviving worker's
+        responses.  With a single writer per queue, a dying worker can
+        only wedge its own channel, which the supervisor abandons anyway."""
+        request_queue = self._context.Queue()
+        response_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self.store_path,
+                request_queue,
+                response_queue,
+                self._options,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = {
+            "process": process,
+            "queue": request_queue,
+            "response": response_queue,
+            "state": "starting",
+            "hello_deadline": time.monotonic() + self.startup_timeout,
+        }
+
+    def _await_hellos(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
-        while len(self.worker_reports) < self.workers:
-            try:
-                message = self._response_queue.get(timeout=_POLL_SECONDS)
-            except queue.Empty:
-                self._check_alive()
-                if time.monotonic() > deadline:
+        while any(w["state"] == "starting" for w in self._workers.values()):
+            self._wait_for_traffic()
+            progressed = False
+            for worker_id, worker in self._workers.items():
+                if worker["state"] != "starting":
+                    continue
+                try:
+                    message = worker["response"].get_nowait()
+                except queue.Empty:
+                    process = worker["process"]
+                    if not process.is_alive():
+                        self._fail(
+                            f"worker {worker_id} (pid {process.pid}) died "
+                            f"during startup with exit code {process.exitcode}"
+                        )
+                    continue
+                if message[0] == "fatal":
                     self._fail(
-                        f"workers did not report within {timeout:.0f}s "
-                        f"({len(self.worker_reports)}/{self.workers} hellos)"
+                        f"worker {message[1]} failed to open the store: "
+                        f"{message[2]}"
                     )
-                continue
-            if message[0] == "fatal":
-                self._fail(f"worker {message[1]} failed to open the store: {message[2]}")
-            if message[0] != "hello":
-                self._fail(f"protocol violation during startup: {message!r}")
-            self.worker_reports[message[1]] = message[2]
+                if message[0] != "hello":
+                    self._fail(f"protocol violation during startup: {message!r}")
+                self.worker_reports[message[1]] = message[2]
+                worker["state"] = "ready"
+                progressed = True
+            if not progressed and time.monotonic() > deadline:
+                ready = sum(
+                    1 for w in self._workers.values() if w["state"] == "ready"
+                )
+                self._fail(
+                    f"workers did not report within {timeout:.0f}s "
+                    f"({ready}/{self.workers} hellos)"
+                )
         digests = {report["store_digest"] for report in self.worker_reports.values()}
         if len(digests) != 1:
             self._fail(f"workers opened differing stores: digests {sorted(digests)}")
+        self._store_digest = digests.pop()
 
     def _fail(self, reason: str):
         self._broken = reason
         self.close()
         raise ServingError(f"serving pool over {self.store_path!r} broken: {reason}")
-
-    def _check_alive(self) -> None:
-        for worker_id, process in enumerate(self._processes):
-            if not process.is_alive() and process.exitcode != 0:
-                self._fail(
-                    f"worker {worker_id} (pid {process.pid}) died with "
-                    f"exit code {process.exitcode}"
-                )
 
     def close(self) -> None:
         """Stop every worker and reap the processes.  Idempotent; called
@@ -505,17 +669,276 @@ class ServingPool:
         if self._closed:
             return
         self._closed = True
-        for process in self._processes:
-            if process.is_alive():
+        for worker in self._workers.values():
+            if worker["state"] != "dead" and worker["process"].is_alive():
                 try:
-                    self._request_queue.put(("stop",))
+                    worker["queue"].put(("stop",))
                 except (OSError, ValueError):  # pragma: no cover - queue gone
-                    break
-        for process in self._processes:
+                    pass
+        for worker in self._workers.values():
+            process = worker["process"]
             process.join(timeout=5.0)
             if process.is_alive():  # pragma: no cover - hung worker
                 process.terminate()
                 process.join(timeout=5.0)
+        for process in self._retired:
+            process.join(timeout=1.0)
+
+    # -- supervision ---------------------------------------------------
+    def _live_workers(self) -> bool:
+        return any(
+            w["state"] in ("ready", "starting") for w in self._workers.values()
+        )
+
+    def _wait_for_traffic(self) -> None:
+        """Block up to ``_POLL_SECONDS`` for any live worker's response
+        channel to become readable *or* any worker process to die (the
+        process sentinel fires on death, so a crash wakes the supervisor
+        immediately instead of after a poll interval)."""
+        handles = []
+        for worker in self._workers.values():
+            if worker["state"] == "dead":
+                continue
+            handles.append(worker["response"]._reader)
+            handles.append(worker["process"].sentinel)
+        if handles:
+            _connection_wait(handles, timeout=_POLL_SECONDS)
+        else:
+            time.sleep(_POLL_SECONDS)
+
+    def _drain_worker(self, worker_id: int) -> None:
+        worker = self._workers[worker_id]
+        while True:
+            try:
+                message = worker["response"].get_nowait()
+            except queue.Empty:
+                break
+            except (EOFError, OSError):  # pragma: no cover - torn final write
+                break  # the writer died mid-put; the reaper handles it
+            self._handle_message(message)
+            if worker["state"] == "dead":  # retired while handling (hello
+                break  # digest mismatch): stop reading its channel
+
+    def _service(self, block: bool = False) -> None:
+        """One pump of the supervisor: drain responses, reap dead workers
+        (respawning while the budget lasts), fire request deadlines, and
+        dispatch the backlog onto idle workers.  ``block=True`` waits up
+        to ``_POLL_SECONDS`` for traffic first -- callers loop."""
+        if block:
+            self._wait_for_traffic()
+        for worker_id in list(self._workers):
+            self._drain_worker(worker_id)
+        self._reap_dead_workers()
+        self._fire_deadlines()
+        self._dispatch()
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        if kind == "result":
+            _, worker_id, request_id, attempt, result = message
+            entry = self._inflight.get(worker_id)
+            if (
+                entry is not None
+                and entry[0] == request_id
+                and entry[1] == attempt
+            ):
+                self._inflight.pop(worker_id)
+            if request_id in self._expired:
+                return  # collect() gave up on it: drain, never deliver
+            if request_id in self._results or request_id not in self._requests:
+                return  # stale duplicate (an earlier attempt already won)
+            # First response wins; cancel any queued retry of the same id.
+            self._results[request_id] = result
+            self._backlog = [
+                item for item in self._backlog if item[1] != request_id
+            ]
+        elif kind == "hello":
+            _, worker_id, report = message
+            worker = self._workers.get(worker_id)
+            if worker is None or worker["state"] != "starting":
+                return
+            if (
+                self._store_digest is not None
+                and report.get("store_digest") != self._store_digest
+            ):
+                self._handle_death(
+                    worker_id,
+                    f"replacement worker {worker_id} disagreed about the "
+                    f"store (digest {report.get('store_digest')!r} != "
+                    f"{self._store_digest!r})",
+                )
+                return
+            self.worker_reports[worker_id] = report
+            worker["state"] = "ready"
+        elif kind == "fatal":
+            _, worker_id, error = message
+            worker = self._workers.get(worker_id)
+            if worker is not None and worker["state"] != "dead":
+                self._handle_death(
+                    worker_id,
+                    f"replacement worker {worker_id} failed to open the "
+                    f"store: {error}",
+                )
+        # "bye" (clean shutdown acknowledgement) needs no action.
+
+    def _reap_dead_workers(self) -> None:
+        now = time.monotonic()
+        for worker_id, worker in list(self._workers.items()):
+            if worker["state"] == "dead":
+                continue
+            process = worker["process"]
+            if not process.is_alive():
+                self._handle_death(
+                    worker_id,
+                    f"worker {worker_id} (pid {process.pid}) died with "
+                    f"exit code {process.exitcode}",
+                )
+            elif worker["state"] == "starting" and now > worker["hello_deadline"]:
+                process.terminate()
+                self._handle_death(
+                    worker_id,
+                    f"replacement worker {worker_id} did not report within "
+                    f"{self.startup_timeout:.0f}s",
+                )
+
+    def _handle_death(self, worker_id: int, reason: str) -> None:
+        """One worker is gone: respawn (budget permitting), requeue its
+        in-flight request, degrade the pool when the budget is spent."""
+        worker = self._workers[worker_id]
+        if worker["state"] == "dead":
+            return
+        worker["state"] = "dead"
+        process = worker["process"]
+        if process.is_alive():  # retired, not crashed: make it so
+            process.terminate()
+        self._retired.append(process)
+        entry = self._inflight.pop(worker_id, None)
+        if self.restarts < self.max_worker_restarts:
+            self.restarts += 1
+            self._spawn_worker(worker_id)
+        elif self._degraded is None:
+            self._degraded = (
+                f"restart budget ({self.max_worker_restarts}) exhausted; "
+                f"last death: {reason}"
+            )
+        if entry is not None and not entry[3]:
+            self._requeue_or_fail(
+                entry[0], f"worker crashed mid-request: {reason}"
+            )
+        self._fail_unservable()
+
+    def _requeue_or_fail(
+        self, request_id: int, reason: str, *, timeout: bool = False
+    ) -> None:
+        """A dispatched attempt was lost (crash) or written off (deadline):
+        schedule a retry with exponential backoff, or -- attempt budget or
+        workers exhausted -- resolve the request to an error record."""
+        state = self._requests.get(request_id)
+        if state is None or request_id in self._results:
+            return
+        if state.attempts < state.max_attempts and self._live_workers():
+            delay = min(
+                self.retry_backoff_seconds * (2 ** (state.attempts - 1)),
+                _MAX_BACKOFF_SECONDS,
+            )
+            self._backlog.append([time.monotonic() + delay, request_id])
+            return
+        record: Dict[str, object] = {
+            "status": "error",
+            "error": f"{reason} (after {state.attempts} attempt(s))",
+            "attempts": state.attempts,
+        }
+        if timeout:
+            record["timeout"] = True
+        self._results[request_id] = record
+
+    def _fire_deadlines(self) -> None:
+        now = time.monotonic()
+        for entry in self._inflight.values():
+            request_id, attempt, dispatched_at, written_off = entry
+            if written_off:
+                continue
+            state = self._requests.get(request_id)
+            if state is None or state.deadline_seconds is None:
+                continue
+            if now - dispatched_at > state.deadline_seconds:
+                # The attempt is written off (its late response is still
+                # accepted if it beats the retry -- first response wins),
+                # but the worker stays busy until it actually answers.
+                entry[3] = True
+                self._requeue_or_fail(
+                    request_id,
+                    f"request {request_id} attempt {attempt} exceeded its "
+                    f"{state.deadline_seconds}s deadline",
+                    timeout=True,
+                )
+
+    def _fail_unservable(self) -> None:
+        """No live workers remain: resolve everything still queued to
+        error records (completed responses stay collectable)."""
+        if self._live_workers():
+            return
+        reason = self._degraded or "no live workers remain"
+        for item in self._backlog:
+            request_id = item[1]
+            state = self._requests.get(request_id)
+            if state is None or request_id in self._results:
+                continue
+            self._results[request_id] = {
+                "status": "error",
+                "error": f"request {request_id} is unservable: {reason}",
+                "attempts": state.attempts,
+            }
+        self._backlog = []
+
+    def _dispatch(self) -> None:
+        """Send due backlog entries (submission order) to idle workers,
+        one in-flight request per worker."""
+        if not self._backlog:
+            return
+        idle = [
+            worker_id
+            for worker_id, worker in self._workers.items()
+            if worker["state"] == "ready" and worker_id not in self._inflight
+        ]
+        now = time.monotonic()
+        remaining: List[object] = []
+        for item in self._backlog:
+            not_before, request_id = item
+            if (
+                request_id in self._results
+                or request_id in self._expired
+                or request_id not in self._requests
+            ):
+                continue
+            if not idle or not_before > now:
+                remaining.append(item)
+                continue
+            worker_id = idle.pop(0)
+            state = self._requests[request_id]
+            state.attempts += 1
+            try:
+                self._workers[worker_id]["queue"].put(
+                    ("run", request_id, state.attempts, state.payload)
+                )
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                state.attempts -= 1
+                remaining.append(item)
+                continue
+            self._inflight[worker_id] = [request_id, state.attempts, now, False]
+        self._backlog = remaining
+
+    def _expire(self, request_id: int) -> None:
+        """collect() gave up on a request: release its admission slice and
+        remember the id so any late response is drained, not misdelivered."""
+        self._expired.add(request_id)
+        self._requests.pop(request_id, None)
+        self._results.pop(request_id, None)
+        self._admitted_bytes -= self._pending.pop(request_id, 0)
+        self._backlog = [item for item in self._backlog if item[1] != request_id]
+        for entry in self._inflight.values():
+            if entry[0] == request_id:
+                entry[3] = True
 
     # -- admission and dispatch ----------------------------------------
     def _admission_slice(self, payload: Mapping) -> Optional[int]:
@@ -529,18 +952,22 @@ class ServingPool:
         return int(slice_bytes)
 
     def submit(self, payload: Mapping) -> int:
-        """Admit one payload and dispatch it to the pool.
+        """Admit one payload and queue it for dispatch.
 
         Returns the request id (collect order is the submission order).
         Raises :class:`AdmissionRejected` -- without side effects -- when
         the pending queue is full or the payload's memory slice does not
         fit the remaining global budget; and :class:`ServingError` when
-        the pool is broken or closed.
+        the pool is broken, degraded (restart budget exhausted) or
+        closed.
         """
         if self._broken:
             raise ServingError(f"serving pool is broken: {self._broken}")
         if self._closed:
             raise ServingError("serving pool is closed")
+        self._service(block=False)
+        if self._degraded:
+            raise ServingError(f"serving pool is broken (degraded): {self._degraded}")
         _check_payload(payload)
         if len(self._pending) >= self.max_pending:
             raise AdmissionRejected(
@@ -573,61 +1000,94 @@ class ServingPool:
             charged = budget if slice_bytes is None else slice_bytes
         self._pending[request_id] = charged
         self._admitted_bytes += charged
-        self._request_queue.put(("run", request_id, shipped))
+        deadline_seconds = shipped.get("deadline_seconds")
+        if deadline_seconds is None:
+            deadline_seconds = self.default_deadline_seconds
+        max_attempts = shipped.get("max_attempts")
+        if max_attempts is None:
+            max_attempts = self.default_max_attempts
+        self._requests[request_id] = _RequestState(
+            shipped, int(max_attempts), deadline_seconds
+        )
+        self._backlog.append([0.0, request_id])
+        self._service(block=False)
         return request_id
 
     def collect(self, request_id: int, timeout: Optional[float] = None) -> Dict[str, object]:
-        """The response for one admitted request (blocks until it arrives).
+        """The response for one admitted request (blocks until resolved).
 
-        Releases the request's admitted memory slice.  Raises
-        :class:`ServingError` if a worker process dies before the response
-        arrives (first detected death wins; queued requests are then never
-        dispatched -- the scheduler's first-error contract).
+        Releases the request's admitted memory slice.  Worker deaths,
+        injected faults and per-attempt deadlines resolve the request to
+        an ``"error"`` record rather than raising -- :class:`ServingError`
+        here means the pool never started properly, the id is unknown, or
+        the *caller's* ``timeout`` expired.  A caller timeout releases the
+        admission slice and marks the request expired, so a late response
+        is drained, never misdelivered to a later request.
         """
-        import time
-
-        if request_id not in self._pending and request_id not in self._results:
+        if request_id not in self._requests and request_id not in self._results:
             raise ServingError(f"unknown or already-collected request {request_id}")
+        if self._broken:
+            raise ServingError(f"serving pool is broken: {self._broken}")
         deadline = None if timeout is None else time.monotonic() + timeout
         while request_id not in self._results:
-            if self._broken:
-                raise ServingError(f"serving pool is broken: {self._broken}")
-            try:
-                message = self._response_queue.get(timeout=_POLL_SECONDS)
-            except queue.Empty:
-                self._check_alive()
-                if deadline is not None and time.monotonic() > deadline:
-                    raise ServingError(
-                        f"request {request_id} not answered within {timeout}s"
-                    )
-                continue
-            if message[0] == "result":
-                _, _, answered_id, result = message
-                self._results[answered_id] = result
-            elif message[0] == "fatal":
-                self._fail(f"worker {message[1]} failed: {message[2]}")
+            self._service(block=True)
+            if request_id in self._results:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                self._expire(request_id)
+                raise ServingError(
+                    f"request {request_id} not answered within {timeout}s; "
+                    "its admission slice was released and any late response "
+                    "will be discarded"
+                )
+        state = self._requests.pop(request_id, None)
         self._admitted_bytes -= self._pending.pop(request_id, 0)
-        return self._results.pop(request_id)
+        response = dict(self._results.pop(request_id))
+        response[PROVENANCE_KEY] = {
+            "attempts": state.attempts if state is not None else 0,
+            "restarts": self.restarts,
+        }
+        return response
 
     def run(self, payloads: Sequence[Mapping]) -> List[Dict[str, object]]:
         """Serve a batch: submit everything (waiting out backpressure by
-        collecting), return responses in submission order."""
-        ids: List[int] = []
+        collecting), return responses in submission order.
+
+        Never raises away completed work: a submission the degraded pool
+        refuses becomes a per-request ``"error"`` record in its slot, so
+        a batch that outlives the restart budget yields partial results.
+        """
+        ids: List[Optional[int]] = []
         responses: Dict[int, Dict[str, object]] = {}
-        for payload in payloads:
+        refused: Dict[int, Dict[str, object]] = {}  # position -> error record
+        for position, payload in enumerate(payloads):
             while True:
                 try:
                     ids.append(self.submit(payload))
                     break
                 except AdmissionRejected:
-                    if not self._pending:
+                    uncollected = [
+                        rid for rid in ids if rid is not None and rid not in responses
+                    ]
+                    if not uncollected:
                         raise  # cannot ever fit: surface the rejection
-                    oldest = min(self._pending)
+                    oldest = min(uncollected)
                     responses[oldest] = self.collect(oldest)
+                except ServingError as exc:
+                    refused[position] = {
+                        "status": "error",
+                        "error": f"request not admitted: {exc}",
+                        PROVENANCE_KEY: {"attempts": 0, "restarts": self.restarts},
+                    }
+                    ids.append(None)
+                    break
         for request_id in ids:
-            if request_id not in responses:
+            if request_id is not None and request_id not in responses:
                 responses[request_id] = self.collect(request_id)
-        return [responses[request_id] for request_id in ids]
+        return [
+            refused[position] if request_id is None else responses[request_id]
+            for position, request_id in enumerate(ids)
+        ]
 
 
 # ----------------------------------------------------------------------

@@ -742,6 +742,80 @@ def storage_info(path) -> Dict[str, Any]:
     }
 
 
+def verify_store(path) -> Dict[str, Any]:
+    """Integrity report for a stored database -- the operator-facing twin
+    of the serving workers' startup hello.
+
+    Re-validates and digests the catalog, checks the dictionary file
+    parses and holds the declared entry count, and checks every column
+    and selection file's byte length against its declared dtype tag and
+    row count (:func:`_check_column_file` -- the same check every open
+    performs, here run file-by-file so *all* problems are reported, not
+    just the first).  Returns ``{"path", "name", "digest",
+    "checked_files", "problems": [{"file", "error"}, ...], "ok"}``; the
+    ``repro db verify`` CLI exits non-zero when ``ok`` is false.
+    """
+    root = Path(path)
+    problems: List[Dict[str, str]] = []
+    checked = 0
+    try:
+        catalog = load_catalog(root)
+    except StorageFormatError as exc:
+        return {
+            "path": str(root),
+            "name": None,
+            "digest": None,
+            "checked_files": 0,
+            "problems": [{"file": _CATALOG_FILE, "error": str(exc)}],
+            "ok": False,
+        }
+    digest = canonical_digest(dict(catalog))
+    dict_meta = catalog.get("dictionary", {})
+    dict_file = str(dict_meta.get("file", _DICTIONARY_FILE))
+    checked += 1
+    try:
+        payload = _checked_format(_load_json(root / dict_file), root / dict_file)
+        entries = sum(
+            len(values) for _, values in payload.get("segments", ())
+        )
+        declared = int(dict_meta.get("entries", 0))
+        if entries != declared:
+            problems.append(
+                {
+                    "file": dict_file,
+                    "error": (
+                        f"dictionary holds {entries} entries, catalog "
+                        f"declares {declared}"
+                    ),
+                }
+            )
+    except (StorageFormatError, TypeError, ValueError) as exc:
+        problems.append({"file": dict_file, "error": str(exc)})
+    for meta in catalog.get("relations", ()):
+        base_length = int(meta.get("base_length", 0))
+        column_metas = [(column, base_length) for column in meta.get("columns", ())]
+        if meta.get("selection"):
+            column_metas.append(
+                (meta["selection"], int(meta["selection"].get("length", 0)))
+            )
+        for column_meta, length in column_metas:
+            file_name = str(column_meta.get("file", ""))
+            checked += 1
+            try:
+                tag, _ = _column_encoding(column_meta)
+                _check_column_file(root / file_name, length, tag)
+            except StorageFormatError as exc:
+                problems.append({"file": file_name, "error": str(exc)})
+    return {
+        "path": str(root),
+        "name": catalog.get("name"),
+        "digest": digest,
+        "checked_files": checked,
+        "problems": problems,
+        "ok": not problems,
+    }
+
+
 # ----------------------------------------------------------------------
 # Fingerprints and digests (shared by both caches).
 # ----------------------------------------------------------------------
@@ -970,11 +1044,24 @@ class PlanCache:
         return self.path / f"plan-{canonical_digest(key_payload)[:24]}.json"
 
     def lookup(self, key_payload: Mapping) -> Optional[Mapping]:
-        """The stored plan payload for a key, or ``None`` (a miss)."""
+        """The stored plan payload for a key, or ``None`` (a miss).
+
+        A torn or otherwise non-JSON entry (a crash caught a pre-atomic
+        writer mid-file) is a miss that also *deletes* the corrupt file,
+        so it cannot shadow the slot forever; an unreadable file (plain
+        OSError) is left alone -- it may be a permission problem, not
+        corruption."""
         entry = self._entry_path(key_payload)
         try:
             stored = json.loads(entry.read_text())
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - raced or read-only dir
+                pass
             self.misses += 1
             return None
         if (
@@ -989,20 +1076,33 @@ class PlanCache:
         return stored.get("plan")
 
     def store(self, key_payload: Mapping, plan_payload: Mapping) -> None:
+        """Publish one entry crash-safely: write to a per-process staging
+        file, flush+fsync it, then ``os.replace`` into place -- readers
+        (and a crash at any point) see either the old entry or the whole
+        new one, never a torn write."""
         self.path.mkdir(parents=True, exist_ok=True)
         entry = self._entry_path(key_payload)
         staging = entry.with_name(entry.name + f".tmp{os.getpid()}")
-        staging.write_text(
-            json.dumps(
-                {
-                    "format": FORMAT_NAME,
-                    "version": FORMAT_VERSION,
-                    "key": key_payload,
-                    "plan": plan_payload,
-                }
-            )
+        text = json.dumps(
+            {
+                "format": FORMAT_NAME,
+                "version": FORMAT_VERSION,
+                "key": key_payload,
+                "plan": plan_payload,
+            }
         )
-        os.replace(staging, entry)
+        try:
+            with open(staging, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, entry)
+        except OSError:
+            try:
+                staging.unlink()
+            except OSError:
+                pass
+            raise
         self.stores += 1
 
     def stats(self) -> Dict[str, int]:

@@ -9,7 +9,11 @@ must report ``planning_seconds == 0.0``).  Hypothesis drives randomised
 plan payloads (join-order permutations, answer modes, knob combinations)
 through one long-lived pool; deterministic cases cover the admission
 controller, the protocol edges (empty relation, zero answers, Boolean
-queries, v1 stores) and the first-error contract for a dying worker.
+queries, v1 stores) and pool degradation once the worker-restart budget
+is spent (the fault-injection suite, ``test_serving_faults.py``, covers
+supervision itself).  Pooled responses carry a scheduling-dependent
+``"serving"`` provenance block, so every oracle comparison goes through
+:func:`strip_provenance`.
 """
 
 import itertools
@@ -34,6 +38,7 @@ from repro.db.serving import (
     prewarm,
     query_from_payload,
     query_to_payload,
+    strip_provenance,
 )
 from repro.db.storage import PlanCache, store_digest
 from repro.exceptions import DatabaseError
@@ -94,6 +99,12 @@ def _roundtrip(payload):
     return json.loads(json.dumps(payload))
 
 
+def _served(responses):
+    """Pooled responses minus their ``"serving"`` provenance block --
+    the oracle-comparable part."""
+    return [strip_provenance(r) for r in responses]
+
+
 class TestPoolMatchesSerialOracle:
     @settings(
         max_examples=25,
@@ -115,7 +126,7 @@ class TestPoolMatchesSerialOracle:
         )
         oracle = execute_payload(payload, serial_db)
         request = pool.submit(payload)
-        assert pool.collect(request, timeout=60.0) == oracle
+        assert strip_provenance(pool.collect(request, timeout=60.0)) == oracle
 
     def test_hypertree_payload(self, pool, serial_db):
         from repro.planner.cost_k_decomp import cost_k_decomp
@@ -126,7 +137,7 @@ class TestPoolMatchesSerialOracle:
         oracle = execute_payload(payload, serial_db)
         assert oracle["status"] == "ok"
         responses = pool.run([payload] * 3)
-        assert responses == [oracle] * 3
+        assert _served(responses) == [oracle] * 3
 
     def test_boolean_query(self, pool, serial_db):
         payload = _roundtrip(
@@ -138,7 +149,7 @@ class TestPoolMatchesSerialOracle:
         oracle = execute_payload(payload, serial_db)
         assert oracle["boolean"] in (True, False)
         assert "rows" not in oracle
-        assert pool.run([payload]) == [oracle]
+        assert _served(pool.run([payload])) == [oracle]
 
     def test_budget_abort_counters_match_serial(self, pool, serial_db):
         # threads pinned to 1: work_so_far at raise time is scheduling-
@@ -148,7 +159,7 @@ class TestPoolMatchesSerialOracle:
         assert oracle["status"] == "budget_exceeded"
         assert oracle["budget"] == 200
         assert oracle["work_so_far"] > 200
-        assert pool.run([payload] * 2) == [oracle] * 2
+        assert _served(pool.run([payload] * 2)) == [oracle] * 2
 
     def test_digest_mode_matches_rows_mode(self, pool, serial_db):
         from repro.db.serving import answer_digest
@@ -167,7 +178,7 @@ class TestPoolMatchesSerialOracle:
             for order in itertools.islice(itertools.permutations(ATOMS), 6)
         ]
         oracles = [execute_payload(p, serial_db) for p in payloads]
-        assert pool.run(payloads) == oracles
+        assert _served(pool.run(payloads)) == oracles
 
     def test_aggregate_stats_is_partition_independent(self, pool, serial_db):
         payloads = [
@@ -200,7 +211,7 @@ class TestWarmup:
         [payload] = prewarm(serial_db, [_query()], k_values=(2,), plan_cache=cache)
         assert payload["planning_seconds"] == 0.0
         oracle = execute_payload(_roundtrip(payload), serial_db)
-        assert pool.run([_roundtrip(payload)] * 3) == [oracle] * 3
+        assert _served(pool.run([_roundtrip(payload)] * 3)) == [oracle] * 3
 
     def test_analyze_refreshes_statistics(self, serial_db, tmp_path):
         cache = PlanCache(tmp_path / "analyze-plans")
@@ -241,7 +252,7 @@ class TestAdmission:
             response = pool.collect(request, timeout=60.0)
         bounded = dict(payload)
         bounded["memory_budget_bytes"] = slice_bytes
-        assert response == execute_payload(bounded, serial_db)
+        assert strip_provenance(response) == execute_payload(bounded, serial_db)
 
     def test_unbudgeted_request_claims_whole_budget(self, store):
         with ServingPool(
@@ -274,7 +285,7 @@ class TestAdmission:
         payloads = [_roundtrip(_payload()) for _ in range(6)]
         oracle = execute_payload(payloads[0], serial_db)
         with ServingPool(store, workers=2, max_pending=2) as pool:
-            assert pool.run(payloads) == [oracle] * 6
+            assert _served(pool.run(payloads)) == [oracle] * 6
 
 
 class TestEdgeCasesAndFailure:
@@ -307,7 +318,7 @@ class TestEdgeCasesAndFailure:
         oracle = execute_payload(payload, serial)
         assert oracle["cardinality"] == 0 and oracle["rows"] == []
         with ServingPool(target, workers=2) as pool:
-            assert pool.run([payload] * 2) == [oracle] * 2
+            assert _served(pool.run([payload] * 2)) == [oracle] * 2
 
     def test_zero_answer_query(self, tmp_path):
         # Non-empty relations whose join is empty (disjoint key ranges).
@@ -327,7 +338,7 @@ class TestEdgeCasesAndFailure:
         assert oracle["cardinality"] == 0
         assert oracle["stats"]["total_work"] > 0  # work happened, no answers
         with ServingPool(target, workers=2) as pool:
-            assert pool.run([payload]) == [oracle]
+            assert _served(pool.run([payload])) == [oracle]
 
     def test_v1_store_served_through_pool(self, tmp_path):
         # An exact version-1 store: raw int64 columns, no encoding keys.
@@ -354,18 +365,25 @@ class TestEdgeCasesAndFailure:
             reports = pool.worker_reports.values()
             assert {r["store_digest"] for r in reports} == {store_digest(target)}
             assert all(r["mmap_columns"] == r["total_columns"] for r in reports)
-            assert pool.run([payload] * 2) == [oracle] * 2
+            assert _served(pool.run([payload] * 2)) == [oracle] * 2
 
-    def test_dead_worker_breaks_pool_with_first_error(self, store):
-        pool = ServingPool(store, workers=1)
+    def test_dead_worker_degrades_pool_when_restarts_exhausted(self, store):
+        # The sole worker dies mid-request and there is no restart budget:
+        # the lost request resolves to an error record instead of
+        # poisoning collect() with a raise, and the pool degrades.
+        pool = ServingPool(
+            store,
+            workers=1,
+            max_worker_restarts=0,
+            fault_plan=[{"kind": "worker_exit", "request_index": 0}],
+        )
         try:
-            pool._processes[0].terminate()
-            pool._processes[0].join(timeout=10.0)
             request = pool.submit(_payload())
-            with pytest.raises(ServingError, match="died"):
-                pool.collect(request, timeout=60.0)
-            # The pool is broken for good: later submits are refused, the
-            # first detected death stays the surfaced error.
+            response = pool.collect(request, timeout=60.0)
+            assert response["status"] == "error"
+            assert pool.degraded is not None
+            assert pool.restarts == 0
+            # Degraded for good: later submissions are refused.
             with pytest.raises(ServingError, match="broken"):
                 pool.submit(_payload())
         finally:
@@ -382,7 +400,7 @@ class TestEdgeCasesAndFailure:
         [bad_response, good_response] = pool.run([bad, good])
         assert bad_response["status"] == "error"
         assert "zzz" in bad_response["error"]
-        assert good_response == execute_payload(good, serial_db)
+        assert strip_provenance(good_response) == execute_payload(good, serial_db)
 
     def test_mismatched_stores_are_refused(self, store, tmp_path):
         # Swap the store out from under a half-started pool is hard to

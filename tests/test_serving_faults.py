@@ -1,0 +1,445 @@
+"""Fault-tolerance tests for the serving plane, driven by the
+deterministic fault-injection harness (:mod:`repro.db.faults`).
+
+The headline contracts (the acceptance criteria of the fault-tolerant
+serving plane), both pinned by Hypothesis over the position of the
+injected kill:
+
+* **supervision** -- with a fault plan that kills one worker mid-request,
+  ``ServingPool.run()`` returns responses byte-identical (answers, row
+  order, ``OperatorStats`` counters) to the serial
+  :func:`~repro.db.serving.execute_payload` oracle, with ``restarts >= 1``
+  reported in the provenance block;
+* **graceful degradation** -- with the restart budget exhausted, ``run()``
+  returns partial results with per-request ``"error"`` records instead of
+  raising away completed work.
+
+Around those: the :class:`~repro.db.faults.FaultPlan` wire format and
+matching rules, ``REPRO_SERVE_FAULTS`` environment wiring (inline JSON
+and file path), injected-raise isolation, per-request deadlines with
+retry (a delayed attempt is written off, retried on another worker, and
+the late response drained -- never misdelivered), attempt-budget
+exhaustion as a ``"timeout": true`` error record, the
+``collect(timeout=)`` poisoning fix (an expired request releases its
+admission slice), and a genuine ``SIGKILL`` mid-request.  The CI matrix
+re-runs this module under ``REPRO_SERVE_MP_CONTEXT=spawn``.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.db.faults import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    resolve_fault_plan,
+)
+from repro.db.serving import (
+    ServingError,
+    ServingPool,
+    execute_payload,
+    query_to_payload,
+    strip_provenance,
+)
+from repro.exceptions import DatabaseError
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import workload_database
+
+ATOMS = ["r0", "r1", "r2", "r3", "r4"]
+
+
+def _query():
+    body = [(f"r{i}", [f"X{i}", f"X{(i + 1) % 5}"]) for i in range(5)]
+    return build_query(body, output_variables=["X0", "X2"], name="cycle_out")
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    target = tmp_path_factory.mktemp("serving-faults") / "store"
+    database = workload_database(
+        _query(), tuples_per_relation=60, domain_size=10, seed=3
+    )
+    database.save(target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def serial_db(store):
+    return Database.open(store)
+
+
+def _payload(**knobs):
+    base = {
+        "format": "repro-serving",
+        "version": 1,
+        "query": query_to_payload(_query()),
+        "plan": {"kind": "join_order", "order": list(ATOMS)},
+        "answer": knobs.pop("answer", "rows"),
+        "planning_seconds": 0.0,
+    }
+    base.update({k: v for k, v in knobs.items() if v is not None})
+    return base
+
+
+class TestFaultPlanWireFormat:
+    def test_from_payload_list_and_mapping(self):
+        rules = [{"kind": "worker_exit", "request_index": 3, "worker_id": 1}]
+        for payload in (rules, {"faults": rules}):
+            plan = FaultPlan.from_payload(payload)
+            assert len(plan) == 1
+            assert plan.rules[0].kind == "worker_exit"
+            assert plan.rules[0].request_id == 3
+            assert plan.rules[0].worker_id == 1
+
+    def test_request_index_is_an_alias_for_request_id(self):
+        by_index = FaultPlan.from_payload([{"kind": "raise", "request_index": 2}])
+        by_id = FaultPlan.from_payload([{"kind": "raise", "request_id": 2}])
+        assert by_index.rules[0].request_id == by_id.rules[0].request_id == 2
+        with pytest.raises(DatabaseError, match="synonyms"):
+            FaultRule.from_payload(
+                {"kind": "raise", "request_id": 1, "request_index": 2}
+            )
+
+    def test_malformed_rules_raise(self):
+        with pytest.raises(DatabaseError, match="unknown fault kind"):
+            FaultRule.from_payload({"kind": "explode"})
+        with pytest.raises(DatabaseError, match="unknown fault rule fields"):
+            FaultRule.from_payload({"kind": "raise", "reqest_id": 1})
+        with pytest.raises(DatabaseError, match="must be an integer"):
+            FaultRule.from_payload({"kind": "raise", "request_id": "three"})
+        with pytest.raises(DatabaseError, match=">= 1"):
+            FaultRule.from_payload({"kind": "raise", "times": 0})
+        with pytest.raises(DatabaseError, match="'seconds' must be a number"):
+            FaultRule.from_payload({"kind": "delay", "seconds": "soon"})
+        with pytest.raises(DatabaseError, match="list of rules"):
+            FaultPlan.from_payload("kill worker 1")
+
+    def test_payload_roundtrip(self):
+        plan = FaultPlan.from_payload(
+            [
+                {"kind": "worker_exit", "request_index": 4, "exit_code": 7},
+                {"kind": "delay", "seconds": 0.5, "attempt": None, "times": 3},
+                {"kind": "raise", "worker_id": 0},
+            ]
+        )
+        rebuilt = FaultPlan.from_payload(json.loads(json.dumps(plan.to_payload())))
+        assert rebuilt.to_payload() == plan.to_payload()
+
+    def test_matching_rules(self):
+        rule = FaultRule.from_payload(
+            {"kind": "raise", "request_id": 2, "worker_id": 1}
+        )
+        assert rule.matches(worker_id=1, request_id=2, attempt=1)
+        assert not rule.matches(worker_id=0, request_id=2, attempt=1)
+        assert not rule.matches(worker_id=1, request_id=3, attempt=1)
+        # Attempt defaults to 1: a retried request must not re-fire the rule.
+        assert not rule.matches(worker_id=1, request_id=2, attempt=2)
+        any_attempt = FaultRule.from_payload({"kind": "raise", "attempt": None})
+        assert any_attempt.matches(worker_id=9, request_id=9, attempt=5)
+
+    def test_times_bounds_firing(self):
+        plan = FaultPlan.from_payload(
+            [{"kind": "delay", "seconds": 0.0, "attempt": None, "times": 2}]
+        )
+        for _ in range(5):  # fires twice, then exhausted -- never raises
+            plan.apply(worker_id=0, request_id=0, attempt=1)
+        assert plan.rules[0].remaining == 0
+
+    def test_apply_raises_fault_injected(self):
+        plan = FaultPlan.from_payload([{"kind": "raise", "request_id": 1}])
+        plan.apply(worker_id=0, request_id=0, attempt=1)  # no match: no-op
+        with pytest.raises(FaultInjected, match="request 1"):
+            plan.apply(worker_id=0, request_id=1, attempt=1)
+
+
+class TestFaultPlanEnvWiring:
+    def test_unset_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        assert resolve_fault_plan(None) is None
+
+    def test_inline_json(self, monkeypatch):
+        monkeypatch.setenv(
+            FAULTS_ENV, '[{"kind": "worker_exit", "request_index": 2}]'
+        )
+        plan = FaultPlan.from_env()
+        assert len(plan) == 1 and plan.rules[0].kind == "worker_exit"
+
+    def test_json_file_path(self, monkeypatch, tmp_path):
+        plan_file = tmp_path / "faults.json"
+        plan_file.write_text(json.dumps({"faults": [{"kind": "raise"}]}))
+        monkeypatch.setenv(FAULTS_ENV, str(plan_file))
+        plan = FaultPlan.from_env()
+        assert len(plan) == 1 and plan.rules[0].kind == "raise"
+
+    def test_malformed_env_raises_loudly(self, monkeypatch, tmp_path):
+        # A scripted plan that silently fails to load would make a chaos
+        # test pass vacuously.
+        monkeypatch.setenv(FAULTS_ENV, "[not json")
+        with pytest.raises(DatabaseError, match="valid JSON"):
+            FaultPlan.from_env()
+        monkeypatch.setenv(FAULTS_ENV, str(tmp_path / "missing.json"))
+        with pytest.raises(DatabaseError, match="unreadable"):
+            FaultPlan.from_env()
+
+    def test_resolve_passes_plans_and_payloads_through(self):
+        plan = FaultPlan.from_payload([{"kind": "raise"}])
+        assert resolve_fault_plan(plan) is plan
+        assert len(resolve_fault_plan([{"kind": "raise"}])) == 1
+
+
+class TestSupervisorRestart:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(kill_at=st.integers(min_value=0, max_value=5))
+    def test_killed_worker_is_transparent_to_the_batch(
+        self, store, serial_db, kill_at
+    ):
+        """Acceptance: a mid-request worker kill anywhere in the batch is
+        absorbed by the supervisor -- responses stay byte-identical to the
+        serial oracle and the restart is reported."""
+        payloads = [_payload() for _ in range(6)]
+        oracle = [execute_payload(p, serial_db) for p in payloads]
+        with ServingPool(
+            store,
+            workers=2,
+            max_worker_restarts=3,
+            fault_plan=[{"kind": "worker_exit", "request_index": kill_at}],
+        ) as pool:
+            responses = pool.run(payloads)
+            restarts = pool.restarts
+            assert pool.degraded is None
+        assert [strip_provenance(r) for r in responses] == oracle
+        assert restarts >= 1
+        provenance = [r["serving"] for r in responses]
+        assert provenance[kill_at]["attempts"] == 2  # crash-lost, retried
+        assert all(p["restarts"] >= 1 for p in provenance if p["attempts"] > 1)
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(kill_at=st.integers(min_value=0, max_value=4))
+    def test_restart_exhaustion_yields_partial_results(
+        self, store, serial_db, kill_at
+    ):
+        """Acceptance: with no restart budget, completed responses survive
+        the death -- run() reports per-request error records for the rest
+        instead of raising."""
+        payloads = [_payload() for _ in range(5)]
+        oracle = [execute_payload(p, serial_db) for p in payloads]
+        with ServingPool(
+            store,
+            workers=1,
+            max_worker_restarts=0,
+            fault_plan=[{"kind": "worker_exit", "request_index": kill_at}],
+        ) as pool:
+            responses = pool.run(payloads)
+            assert pool.degraded is not None
+            assert "restart budget" in pool.degraded
+            assert pool.restarts == 0
+        assert len(responses) == len(payloads)
+        # One worker serves in submission order: everything before the
+        # kill completed and must be byte-identical; everything from the
+        # kill on is an error record, never a lost response.
+        for index, response in enumerate(responses):
+            if index < kill_at:
+                assert strip_provenance(response) == oracle[index]
+            else:
+                assert response["status"] == "error"
+
+    def test_replacement_worker_reports_fresh_hello(self, store, serial_db):
+        payload = _payload()
+        oracle = execute_payload(payload, serial_db)
+        with ServingPool(
+            store,
+            workers=1,
+            max_worker_restarts=1,
+            fault_plan=[{"kind": "worker_exit", "request_index": 0}],
+        ) as pool:
+            first_pid = pool.worker_reports[0]["pid"]
+            first_digest = pool.worker_reports[0]["store_digest"]
+            response = pool.collect(pool.submit(payload), timeout=60.0)
+            # The respawned worker re-ran the startup hello: new process,
+            # same store digest (re-validated by the supervisor).
+            assert pool.worker_reports[0]["pid"] != first_pid
+            assert pool.worker_reports[0]["store_digest"] == first_digest
+        assert strip_provenance(response) == oracle
+        assert response["serving"] == {"attempts": 2, "restarts": 1}
+
+    def test_sigkill_mid_request_is_absorbed(self, store, serial_db):
+        """Satellite: a genuine SIGKILL (not a scripted exit) mid-request
+        is requeued and retried by the supervisor."""
+        payload = _payload()
+        oracle = execute_payload(payload, serial_db)
+        with ServingPool(
+            store,
+            workers=1,
+            max_worker_restarts=2,
+            # The delay holds the request in-flight long enough to land
+            # the signal deterministically mid-execution.
+            fault_plan=[{"kind": "delay", "seconds": 5.0, "request_id": 0}],
+        ) as pool:
+            victim = pool.worker_reports[0]["pid"]
+            request = pool.submit(payload)
+            time.sleep(0.3)
+            os.kill(victim, signal.SIGKILL)
+            response = pool.collect(request, timeout=60.0)
+            assert pool.restarts == 1
+        assert strip_provenance(response) == oracle
+        assert response["serving"]["attempts"] == 2
+
+    def test_env_wired_fault_plan_reaches_workers(self, store, serial_db, monkeypatch):
+        monkeypatch.setenv(
+            FAULTS_ENV, json.dumps([{"kind": "worker_exit", "request_index": 1}])
+        )
+        payloads = [_payload() for _ in range(3)]
+        oracle = [execute_payload(p, serial_db) for p in payloads]
+        with ServingPool(store, workers=2, max_worker_restarts=2) as pool:
+            responses = pool.run(payloads)
+            assert pool.restarts >= 1
+        assert [strip_provenance(r) for r in responses] == oracle
+
+
+class TestInjectedRaise:
+    def test_raise_fault_errors_one_request_only(self, store, serial_db):
+        payloads = [_payload() for _ in range(4)]
+        oracle = [execute_payload(p, serial_db) for p in payloads]
+        with ServingPool(
+            store,
+            workers=2,
+            fault_plan=[{"kind": "raise", "request_index": 1}],
+        ) as pool:
+            responses = pool.run(payloads)
+            assert pool.restarts == 0
+            assert pool.degraded is None
+        assert responses[1]["status"] == "error"
+        assert "injected fault" in responses[1]["error"]
+        for index in (0, 2, 3):
+            assert strip_provenance(responses[index]) == oracle[index]
+
+
+class TestDeadlinesAndRetry:
+    def test_deadline_retries_on_another_worker(self, store, serial_db):
+        """A delayed first attempt is written off at its deadline and
+        retried; the retry's response wins and the late response is
+        drained, never misdelivered."""
+        payload = _payload(deadline_seconds=0.25, max_attempts=2)
+        oracle = execute_payload(
+            {k: v for k, v in payload.items() if k not in ("deadline_seconds", "max_attempts")},
+            serial_db,
+        )
+        with ServingPool(
+            store,
+            workers=2,
+            fault_plan=[{"kind": "delay", "seconds": 1.0, "request_id": 0}],
+        ) as pool:
+            response = pool.collect(pool.submit(payload), timeout=60.0)
+            assert pool.restarts == 0
+            # The slow worker eventually answers its written-off attempt;
+            # a later request must still be served correctly (the stale
+            # response was drained, not delivered to it).
+            follow_up = _payload()
+            verdict = pool.collect(pool.submit(follow_up), timeout=60.0)
+        assert strip_provenance(response) == oracle
+        assert response["serving"]["attempts"] == 2
+        assert strip_provenance(verdict) == execute_payload(follow_up, serial_db)
+
+    def test_deadline_exhaustion_is_a_timeout_error_record(self, store, serial_db):
+        payload = _payload(deadline_seconds=0.2, max_attempts=1)
+        with ServingPool(
+            store,
+            workers=1,
+            fault_plan=[{"kind": "delay", "seconds": 1.0, "request_id": 0}],
+        ) as pool:
+            response = pool.collect(pool.submit(payload), timeout=60.0)
+            assert response["status"] == "error"
+            assert response["timeout"] is True
+            assert response["attempts"] == 1
+            assert "deadline" in response["error"]
+            # The worker survives its slept-through request; the pool
+            # keeps serving.
+            follow_up = _payload()
+            verdict = pool.collect(pool.submit(follow_up), timeout=60.0)
+            assert pool.restarts == 0
+        assert strip_provenance(verdict) == execute_payload(follow_up, serial_db)
+
+    def test_default_deadline_comes_from_env(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_SECONDS", "0.2")
+        with ServingPool(
+            store,
+            workers=1,
+            fault_plan=[{"kind": "delay", "seconds": 1.0, "request_id": 0}],
+            default_max_attempts=1,
+        ) as pool:
+            assert pool.default_deadline_seconds == 0.2
+            response = pool.collect(pool.submit(_payload()), timeout=60.0)
+        assert response["status"] == "error"
+        assert response.get("timeout") is True
+
+    def test_payload_knob_validation(self, store, serial_db):
+        from repro.db.serving import _check_payload
+
+        with pytest.raises(DatabaseError, match="deadline_seconds"):
+            _check_payload(_payload(deadline_seconds=0))
+        with pytest.raises(DatabaseError, match="deadline_seconds"):
+            _check_payload(_payload(deadline_seconds="fast"))
+        with pytest.raises(DatabaseError, match="max_attempts"):
+            _check_payload(_payload(max_attempts=0))
+        with pytest.raises(DatabaseError, match="max_attempts"):
+            _check_payload(_payload(max_attempts=True))
+
+
+class TestCollectTimeoutPoisoning:
+    def test_expired_request_releases_slice_and_drains_late_response(
+        self, store, serial_db
+    ):
+        """Satellite: a collect() timeout used to leave the request
+        pending and its admission slice charged forever; now the slice is
+        released, the id marked expired, and the late response drained."""
+        slice_bytes = 1 << 20
+        with ServingPool(
+            store,
+            workers=1,
+            global_memory_budget_bytes=slice_bytes,
+            default_memory_budget_bytes=slice_bytes,
+            fault_plan=[{"kind": "delay", "seconds": 1.5, "request_id": 0}],
+        ) as pool:
+            request = pool.submit(_payload())
+            with pytest.raises(ServingError, match="released"):
+                pool.collect(request, timeout=0.3)
+            # The slice is free again: under a one-slice global budget a
+            # second request is only admissible if the first was released.
+            assert pool._admitted_bytes == 0
+            assert pool._pending == {}
+            follow_up = _payload()
+            verdict = pool.collect(pool.submit(follow_up), timeout=60.0)
+            assert pool.restarts == 0
+        assert strip_provenance(verdict) == execute_payload(follow_up, serial_db)
+
+    def test_expired_request_cannot_be_collected_again(self, store):
+        with ServingPool(
+            store,
+            workers=1,
+            fault_plan=[{"kind": "delay", "seconds": 1.5, "request_id": 0}],
+        ) as pool:
+            request = pool.submit(_payload())
+            with pytest.raises(ServingError, match="released"):
+                pool.collect(request, timeout=0.3)
+            with pytest.raises(ServingError, match="unknown or already-collected"):
+                pool.collect(request, timeout=0.3)

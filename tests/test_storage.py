@@ -9,7 +9,9 @@ plane (``threads=4`` plus a small budget).  Hypothesis drives randomised
 schemas/values through the round trip; dedicated tests pin the dictionary
 hardening (unicode, negative/large ints, mixed types), the read-only-ness
 of mapped columns, the plan cache's hit/miss/invalidation behaviour, the
-workload cache, and the :class:`StorageFormatError` surface.
+workload cache, the :class:`StorageFormatError` surface, crash-safety of
+interrupted saves (a torn store must refuse to open, not half-load), and
+the ``repro db verify`` offline checker.
 """
 
 import json
@@ -38,6 +40,7 @@ from repro.db.storage import (
     save_database,
     statistics_digest,
     storage_info,
+    verify_store,
     workload_cache_stats,
 )
 from repro.exceptions import StorageFormatError
@@ -571,3 +574,155 @@ class TestStorageFormatErrors:
         assert json.loads((target / "catalog.json").read_text())["format"] == (
             FORMAT_NAME
         ) == "repro-columnar-db"
+
+
+class TestCrashDuringSave:
+    """A save interrupted partway (process crash, disk full) must leave a
+    store that *refuses to open* -- ``Database.open`` raises
+    :class:`StorageFormatError` instead of returning a half-loaded
+    database.  The catalog is written last, so a fresh-directory crash
+    leaves no catalog at all; an overwrite crash leaves a stale catalog
+    pointing at missing or mismatched column files."""
+
+    def _database(self, rows=12, seed=0):
+        query = chain_query(3, name="crash_q")
+        return workload_database(
+            query, tuples_per_relation=rows, domain_size=5, seed=seed
+        )
+
+    def _crash_write_bytes(self, monkeypatch, after_calls):
+        """Make ``Path.write_bytes`` die after ``after_calls`` successes."""
+        real = Path.write_bytes
+        calls = {"n": 0}
+
+        def dying(self, data):
+            calls["n"] += 1
+            if calls["n"] > after_calls:
+                raise OSError(28, "No space left on device (simulated)")
+            return real(self, data)
+
+        monkeypatch.setattr(Path, "write_bytes", dying)
+
+    def test_crash_on_fresh_save_leaves_unopenable_store(
+        self, tmp_path, monkeypatch
+    ):
+        target = fresh_dir(tmp_path)
+        self._crash_write_bytes(monkeypatch, after_calls=2)
+        with pytest.raises(OSError):
+            save_database(self._database(), target)
+        monkeypatch.undo()
+        with pytest.raises(StorageFormatError):
+            Database.open(target)
+        report = verify_store(target)
+        assert report["ok"] is False and report["problems"]
+
+    def test_crash_during_overwrite_leaves_unopenable_store(
+        self, tmp_path, monkeypatch
+    ):
+        target = fresh_dir(tmp_path)
+        save_database(self._database(rows=12, seed=0), target)
+        # Overwrite with *different* data and crash on the very first
+        # column write: the column dir was already cleared, so the stale
+        # catalog now points at files that no longer exist.
+        self._crash_write_bytes(monkeypatch, after_calls=0)
+        with pytest.raises(OSError):
+            save_database(self._database(rows=20, seed=1), target)
+        monkeypatch.undo()
+        with pytest.raises(StorageFormatError):
+            Database.open(target)
+        report = verify_store(target)
+        assert report["ok"] is False
+        assert all("cols/" in p["file"] for p in report["problems"])
+
+    def test_completed_save_still_opens(self, tmp_path, monkeypatch):
+        # Control: the crash hook with a high threshold never fires and the
+        # round trip stays intact.
+        target = fresh_dir(tmp_path)
+        self._crash_write_bytes(monkeypatch, after_calls=10_000)
+        database = self._database()
+        save_database(database, target)
+        monkeypatch.undo()
+        assert_same_database(database, Database.open(target))
+        assert verify_store(target)["ok"] is True
+
+
+class TestPlanCacheCrashSafety:
+    def _warm_cache(self, tmp_path):
+        query = cycle_query(5, name="plan_cache_crash_q")
+        database = uniform_database(
+            query, tuples_per_relation=50, domain_size=7, seed=4
+        )
+        cache = PlanCache(tmp_path / "plans")
+        compare_planners(query, database, k_values=(2,), plan_cache=cache)
+        return query, database, cache
+
+    def test_torn_entry_is_deleted_on_lookup(self, tmp_path):
+        """Satellite: a torn entry (crash mid-write before the atomic
+        rename existed) reads as a miss AND is deleted, so it cannot shadow
+        the healthy entry the replan stores."""
+        query, database, cache = self._warm_cache(tmp_path)
+        entries = list((tmp_path / "plans").glob("plan-*.json"))
+        assert entries
+        for entry in entries:
+            entry.write_text('{"key": {"truncated')
+        compare_planners(query, database, k_values=(2,), plan_cache=cache)
+        for entry in entries:
+            if entry.exists():  # replaced by the replan's store
+                json.loads(entry.read_text())  # ...and whole again
+        hits_before = cache.hits
+        compare_planners(query, database, k_values=(2,), plan_cache=cache)
+        assert cache.hits > hits_before  # healthy entries hit again
+
+    def test_store_leaves_no_staging_droppings(self, tmp_path):
+        self._warm_cache(tmp_path)
+        leftovers = [
+            p for p in (tmp_path / "plans").iterdir()
+            if not (p.name.startswith("plan-") and p.suffix == ".json")
+        ]
+        assert leftovers == []
+
+
+class TestDbVerifyCli:
+    def _stored(self, tmp_path) -> str:
+        query = chain_query(3, name="verify_cli_q")
+        database = workload_database(
+            query, tuples_per_relation=15, domain_size=5, seed=2
+        )
+        target = fresh_dir(tmp_path) / "store"
+        save_database(database, target)
+        return str(target)
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        target = self._stored(tmp_path)
+        assert cli_main(["db", "verify", target]) == 0
+        out = capsys.readouterr().out
+        assert "OK: every file matches the catalog" in out
+
+    def test_truncated_column_exits_nonzero_with_report(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        target = self._stored(tmp_path)
+        victim = next((Path(target) / "cols").glob("r0_*"))
+        victim.write_bytes(victim.read_bytes()[:-1])
+        assert cli_main(["db", "verify", target]) == 1
+        out = capsys.readouterr().out
+        assert f"FAIL cols/{victim.name}" in out
+        assert "problem(s) found" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        target = self._stored(tmp_path)
+        assert cli_main(["db", "verify", "--json", target]) == 0
+        clean = json.loads(capsys.readouterr().out)
+        assert clean["ok"] is True and clean["problems"] == []
+        assert clean["checked_files"] >= 3
+
+        missing = next((Path(target) / "cols").glob("r1_*"))
+        missing.unlink()
+        assert cli_main(["db", "verify", "--json", target]) == 1
+        torn = json.loads(capsys.readouterr().out)
+        assert torn["ok"] is False
+        assert any(f"cols/{missing.name}" == p["file"] for p in torn["problems"])
