@@ -27,6 +27,12 @@ Interleaved measurement groups recorded as rows in ``BENCH_core.json``
   twice: responses stay byte-identical, the supervisor restarts both
   victims, and the row reports the QPS cost of crash recovery next to the
   fault-free ``pool_2proc`` row.
+* ``test_daemon_qps`` -- the same batch driven through a
+  :class:`~repro.db.daemon.ServingDaemon` over its Unix socket
+  (``daemon_1client`` serially on one connection, ``daemon_4client``
+  split across four concurrent connections): responses stay
+  byte-identical over the wire, and the rows price the socket +
+  JSON-framing hop against the in-process ``pool_2proc`` row.
 
 Pooled responses carry a scheduling-dependent ``"serving"`` provenance
 block (attempts/restarts); oracle comparisons strip it first.
@@ -235,4 +241,79 @@ def test_qps_under_worker_crashes(benchmark, request):
         "worker_kills": len(kill_at),
         "restarts": restarts,
         "retried_requests": retried,
+    }
+
+
+@pytest.mark.parametrize("clients", [1, 4])
+def test_daemon_qps(benchmark, clients, request):
+    """The warm batch through the socket daemon: the price of the
+    length-prefixed JSON hop, serially and across concurrent clients."""
+    from repro.db.daemon import DaemonClient, ServingDaemon
+
+    store, serving_db, batch, oracle = _setup()
+    sock = _SCRATCH / f"daemon-{clients}.sock"
+
+    with ServingDaemon(store, f"unix:{sock}", workers=2) as daemon:
+        if clients == 1:
+            with DaemonClient(daemon.address) as client:
+                started = time.perf_counter()
+                responses = benchmark.pedantic(
+                    lambda: [client.execute(p) for p in batch],
+                    rounds=1, iterations=1,
+                )
+                elapsed = time.perf_counter() - started
+        else:
+            shards = [batch[slot::clients] for slot in range(clients)]
+            results = [None] * clients
+
+            def drive(slot):
+                with DaemonClient(daemon.address) as client:
+                    results[slot] = [client.execute(p) for p in shards[slot]]
+
+            def serve_concurrently():
+                import threading
+
+                threads = [
+                    threading.Thread(target=drive, args=(slot,))
+                    for slot in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                merged = [None] * len(batch)
+                for slot, shard in enumerate(results):
+                    merged[slot::clients] = shard
+                return merged
+
+            started = time.perf_counter()
+            responses = benchmark.pedantic(
+                serve_concurrently, rounds=1, iterations=1
+            )
+            elapsed = time.perf_counter() - started
+        # The dispatcher bumps requests_served *after* writing the reply,
+        # so a client can observe its response a beat before the counter
+        # lands: poll briefly instead of racing it.
+        with DaemonClient(daemon.address) as client:
+            deadline = time.monotonic() + 5.0
+            while True:
+                health = client.health()
+                if health["counters"]["requests_served"] >= len(batch):
+                    break
+                assert time.monotonic() < deadline, health["counters"]
+                time.sleep(0.05)
+
+    assert [strip_provenance(r) for r in responses] == oracle, (
+        "daemon responses must be byte-identical to the serial oracle"
+    )
+    assert health["restarts"] == 0
+    qps = len(batch) / elapsed if elapsed > 0 else 0.0
+    request.node._bench_extra = {
+        "mode": f"daemon_{clients}client",
+        "workers": 2,
+        "clients": clients,
+        "requests": len(batch),
+        "seconds": round(elapsed, 6),
+        "qps": round(qps, 2),
+        "transport": "unix-socket json frames",
     }

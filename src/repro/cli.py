@@ -5,7 +5,7 @@ Four subcommands mirror the library's main entry points::
     python -m repro.cli decompose QUERY_OR_FILE [--k K] [--taf lex|width|nodes]
     python -m repro.cli plan QUERY [--k K] [--tuples N] [--seed S]
     python -m repro.cli experiments [--fast]
-    python -m repro.cli db {save,open,info,verify,serve} PATH [...]
+    python -m repro.cli db {save,open,info,verify,serve,daemon} PATH [...]
 
 * ``decompose`` parses a datalog query (or a hypergraph file in the
   benchmark format when the argument is a path ending in ``.hg``) and prints
@@ -26,12 +26,20 @@ Four subcommands mirror the library's main entry points::
   integrity file by file (catalog digest, dictionary entry count, every
   column file's byte length against its declared dtype -- the
   operator-facing twin of the serving workers' startup hello; exits
-  non-zero with a per-file report on mismatch), and ``db serve PATH
+  non-zero with a per-file report on mismatch; ``--deep`` additionally
+  re-hashes every file against the SHA-256 content digests recorded in
+  the catalog, catching bit rot that size checks miss), ``db serve PATH
   --query Q`` spins up the process-parallel serving pool
   (:mod:`repro.db.serving`): prewarm the plan cache, serve the query set
   across N worker processes sharing the store via mmap, and report
   sustained throughput plus the supervisor's restart counters
-  (``--max-worker-restarts`` / ``--deadline`` tune fault tolerance).
+  (``--max-worker-restarts`` / ``--deadline`` tune fault tolerance;
+  ``--daemon ADDR`` drives the same batch through a running daemon over
+  its socket instead), and ``db daemon PATH --query Q`` runs the
+  long-lived serving front end (:mod:`repro.db.daemon`): a supervised
+  pool behind a Unix-domain or TCP socket speaking length-prefixed JSON
+  frames, with health probes, background statistics refresh
+  (``--refresh-seconds``), and SIGTERM/SIGINT drain-then-exit.
 """
 
 from __future__ import annotations
@@ -134,6 +142,80 @@ def _build_parser() -> argparse.ArgumentParser:
     db_verify.add_argument(
         "--json", action="store_true", help="emit the verification report as JSON"
     )
+    db_verify.add_argument(
+        "--deep",
+        action="store_true",
+        help="also hash every file and compare against the SHA-256 digests "
+        "recorded in the catalog at save time (catches bit rot; slower)",
+    )
+
+    db_daemon = db_commands.add_parser(
+        "daemon",
+        help="run the long-lived serving daemon (socket front-end for the "
+        "worker pool; drains on SIGTERM/SIGINT)",
+    )
+    db_daemon.add_argument("path", help="directory of a stored database")
+    db_daemon.add_argument(
+        "--address",
+        default=None,
+        help="listen address: 'unix:PATH', a filesystem path, or "
+        "'[tcp:]HOST:PORT' (default: unix:<store>/daemon.sock)",
+    )
+    db_daemon.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        help="datalog query text (repeatable): enables the 'plans' request "
+        "kind and the statistics-refresh loop",
+    )
+    db_daemon.add_argument(
+        "--k", type=int, action="append", default=None,
+        help="width bounds to prewarm (repeatable; default 2 3)",
+    )
+    db_daemon.add_argument(
+        "--refresh-seconds", type=float, default=None,
+        help="re-analyze + re-plan the query set this often (default: only "
+        "on explicit 'refresh' requests)",
+    )
+    db_daemon.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    db_daemon.add_argument(
+        "--answer",
+        choices=("rows", "digest"),
+        default="digest",
+        help="answer mode of prewarmed payloads (default digest)",
+    )
+    db_daemon.add_argument(
+        "--memory-budget-bytes", type=int, default=None,
+        help="per-query transient-memory slice (also the admission charge)",
+    )
+    db_daemon.add_argument(
+        "--global-memory-budget-bytes", type=int, default=None,
+        help="cap on the sum of admitted per-query slices",
+    )
+    db_daemon.add_argument(
+        "--max-worker-restarts", type=int, default=2,
+        help="respawns the supervisor may perform before degrading (default 2)",
+    )
+    db_daemon.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-attempt request deadline in seconds (default: "
+        "REPRO_SERVE_DEADLINE_SECONDS or none)",
+    )
+    db_daemon.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempt budget per request for crash/timeout retries (default 3)",
+    )
+    db_daemon.add_argument(
+        "--io-timeout", type=float, default=10.0,
+        help="seconds a started frame may stall before the connection is "
+        "dropped (default 10)",
+    )
+    db_daemon.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds the SIGTERM drain waits for in-flight work (default 30)",
+    )
 
     db_serve = db_commands.add_parser(
         "serve",
@@ -185,6 +267,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     db_serve.add_argument(
         "--json", action="store_true", help="emit the serving report as JSON"
+    )
+    db_serve.add_argument(
+        "--daemon",
+        default=None,
+        metavar="ADDR",
+        help="drive the batch through a running 'repro db daemon' at this "
+        "address instead of spawning a pool in-process (plans and the "
+        "serial oracle still run locally; responses are cross-checked "
+        "byte-identically)",
     )
     return parser
 
@@ -328,7 +419,47 @@ def _command_db(args) -> int:
         return _command_db_verify(args)
     if args.db_command == "serve":
         return _command_db_serve(args)
+    if args.db_command == "daemon":
+        return _command_db_daemon(args)
     return 1
+
+
+def _command_db_daemon(args) -> int:
+    from repro.db.daemon import ServingDaemon, format_address
+    from repro.db.storage import PlanCache
+
+    queries = [parse_query(text) for text in (args.query or [])]
+    address = args.address or os.path.join(args.path, "daemon.sock")
+    plan_cache = (
+        PlanCache(os.path.join(args.path, "plans")) if queries else None
+    )
+    daemon = ServingDaemon(
+        args.path,
+        address,
+        workers=args.workers,
+        queries=queries,
+        k_values=tuple(args.k) if args.k else (2, 3),
+        answer=args.answer,
+        refresh_seconds=args.refresh_seconds,
+        io_timeout_seconds=args.io_timeout,
+        drain_timeout_seconds=args.drain_timeout,
+        plan_cache=plan_cache,
+        global_memory_budget_bytes=args.global_memory_budget_bytes,
+        default_memory_budget_bytes=args.memory_budget_bytes,
+        max_worker_restarts=args.max_worker_restarts,
+        default_deadline_seconds=args.deadline,
+        default_max_attempts=args.max_attempts,
+    )
+    daemon.start()
+    # The readiness line scripts wait for before connecting.
+    print(
+        f"daemon listening on {format_address(daemon.address)} "
+        f"(pid {os.getpid()}, {args.workers} workers, store {args.path})",
+        flush=True,
+    )
+    code = daemon.serve_forever()
+    print(f"daemon drained and exited (code {code})", flush=True)
+    return code
 
 
 def _command_db_verify(args) -> int:
@@ -336,7 +467,7 @@ def _command_db_verify(args) -> int:
 
     from repro.db.storage import verify_store
 
-    report = verify_store(args.path)
+    report = verify_store(args.path, deep=args.deep)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if report["ok"] else 1
@@ -382,6 +513,8 @@ def _command_db_serve(args) -> int:
     )
     oracle = [execute_payload(payload, database) for payload in payloads]
     batch = payloads * max(1, args.repeat)
+    if args.daemon:
+        return _serve_through_daemon(args, batch, payloads, oracle, queries)
     started = time.perf_counter()
     with ServingPool(
         args.path,
@@ -436,6 +569,57 @@ def _command_db_serve(args) -> int:
                 f"{report['mmap_columns']}/{report['total_columns']} columns "
                 f"mmap-shared, store digest {report['store_digest'][:12]}..."
             )
+    return 0 if matches == len(batch) else 1
+
+
+def _serve_through_daemon(args, batch, payloads, oracle, queries) -> int:
+    """Drive the serve batch through a running ``repro db daemon`` instead
+    of spawning an in-process pool; planning and the serial oracle still
+    run locally so byte-identity is checked end to end over the socket."""
+    import json
+    import time
+
+    from repro.db.daemon import DaemonClient
+    from repro.db.serving import strip_provenance
+
+    with DaemonClient(args.daemon) as client:
+        before = client.health()
+        started = time.perf_counter()
+        responses = [client.execute(payload) for payload in batch]
+        elapsed = time.perf_counter() - started
+        after = client.health()
+    matches = sum(
+        1 for i, response in enumerate(responses)
+        if strip_provenance(response) == oracle[i % len(payloads)]
+    )
+    summary = {
+        "store": args.path,
+        "daemon": args.daemon,
+        "queries": [query.name for query in queries],
+        "requests": len(batch),
+        "matches_serial_oracle": matches,
+        "seconds": round(elapsed, 4),
+        "qps": round(len(batch) / elapsed, 2) if elapsed > 0 else None,
+        "daemon_health": after,
+        "attempts": [
+            response.get("serving", {}).get("attempts") for response in responses
+        ],
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"served {summary['requests']} requests through daemon at "
+            f"{args.daemon} in {summary['seconds']}s ({summary['qps']} q/s); "
+            f"{matches}/{len(batch)} responses byte-identical to the serial oracle"
+        )
+        print(
+            f"  daemon: status {after['status']}, pid {after['pid']}, "
+            f"{len(after['worker_pids'])} worker(s), "
+            f"{after['restarts']} restart(s), "
+            f"{after['counters']['requests_served'] - before['counters']['requests_served']} "
+            f"request(s) served during this run"
+        )
     return 0 if matches == len(batch) else 1
 
 

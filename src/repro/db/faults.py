@@ -35,6 +35,29 @@ ships to workers inside their options mapping (plain JSON data, so the
 ``spawn`` start method works identically), and tests/CI can script
 "worker 1 dies mid-request 3" and assert the pooled answers stay
 byte-identical to the serial oracle.
+
+**Connection faults.**  The daemon front-end (:mod:`repro.db.daemon`)
+extends the same plan language to the *client* side of its socket
+transport, so daemon chaos scenarios replay deterministically too:
+
+* ``"client_disconnect"`` -- the client closes the socket mid-frame
+  (half a request written, then a hard close), exercising the daemon's
+  per-connection isolation and admission-slice release.
+* ``"partial_frame"`` -- the client writes half a frame and then goes
+  silent, exercising the daemon's mid-frame read deadline.
+* ``"stalled_reader"`` -- the client stalls ``seconds`` mid-frame before
+  finishing the write: shorter than the daemon's I/O timeout the request
+  completes normally, longer and the daemon drops the connection.
+
+Connection rules are keyed like worker rules: ``request_id`` /
+``request_index`` is the 0-based index of the execute request *on that
+connection*, ``connection_id`` pins the rule to one scripted client (the
+client states its id, like a worker slot), ``attempt``/``times`` behave
+identically.  The two seams are disjoint: :meth:`FaultPlan.apply` (the
+worker seam) skips connection kinds, and
+:meth:`FaultPlan.connection_action` (the client seam) fires only them --
+one ``REPRO_SERVE_FAULTS`` value can script a worker kill *and* a client
+disconnect for the same chaos run.
 """
 
 from __future__ import annotations
@@ -51,8 +74,15 @@ from repro.exceptions import DatabaseError
 #: file holding the same.
 FAULTS_ENV = "REPRO_SERVE_FAULTS"
 
-#: The fault kinds a plan may script.
+#: The fault kinds fired at the worker seam (pre-execution, inside the
+#: worker process).
 FAULT_KINDS = ("worker_exit", "raise", "delay")
+
+#: The fault kinds fired at the client seam (the daemon transport).
+CONNECTION_FAULT_KINDS = ("client_disconnect", "partial_frame", "stalled_reader")
+
+#: Every kind a plan may script.
+ALL_FAULT_KINDS = FAULT_KINDS + CONNECTION_FAULT_KINDS
 
 #: Exit code of an injected ``worker_exit`` (nonzero, distinctive in the
 #: supervisor's death report).
@@ -84,6 +114,7 @@ class FaultRule:
         "kind",
         "request_id",
         "worker_id",
+        "connection_id",
         "attempt",
         "times",
         "seconds",
@@ -97,19 +128,31 @@ class FaultRule:
         *,
         request_id: Optional[int] = None,
         worker_id: Optional[int] = None,
+        connection_id: Optional[int] = None,
         attempt: Optional[int] = 1,
         times: int = 1,
         seconds: float = DEFAULT_DELAY_SECONDS,
         exit_code: int = DEFAULT_EXIT_CODE,
     ) -> None:
-        if kind not in FAULT_KINDS:
+        if kind not in ALL_FAULT_KINDS:
             raise DatabaseError(
                 f"unknown fault kind {kind!r}; expected one of "
-                f"{', '.join(FAULT_KINDS)}"
+                f"{', '.join(ALL_FAULT_KINDS)}"
             )
         self.kind = kind
         self.request_id = _optional_int(request_id, "request_id", 0)
         self.worker_id = _optional_int(worker_id, "worker_id", 0)
+        self.connection_id = _optional_int(connection_id, "connection_id", 0)
+        if self.kind in CONNECTION_FAULT_KINDS and self.worker_id is not None:
+            raise DatabaseError(
+                f"connection fault {kind!r} cannot be keyed on 'worker_id' "
+                "(use 'connection_id')"
+            )
+        if self.kind in FAULT_KINDS and self.connection_id is not None:
+            raise DatabaseError(
+                f"worker fault {kind!r} cannot be keyed on 'connection_id' "
+                "(use 'worker_id')"
+            )
         self.attempt = _optional_int(attempt, "attempt", 1)
         self.times = _optional_int(times, "times", 1)
         if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
@@ -128,6 +171,7 @@ class FaultRule:
             "request_id",
             "request_index",
             "worker_id",
+            "connection_id",
             "attempt",
             "times",
             "seconds",
@@ -143,7 +187,7 @@ class FaultRule:
             )
         request_id = payload.get("request_id", payload.get("request_index"))
         kwargs: Dict[str, Any] = {"request_id": request_id}
-        for field in ("worker_id", "times", "seconds", "exit_code"):
+        for field in ("worker_id", "connection_id", "times", "seconds", "exit_code"):
             if field in payload:
                 kwargs[field] = payload[field]
         if "attempt" in payload:
@@ -156,20 +200,39 @@ class FaultRule:
             payload["request_id"] = self.request_id
         if self.worker_id is not None:
             payload["worker_id"] = self.worker_id
+        if self.connection_id is not None:
+            payload["connection_id"] = self.connection_id
         payload["attempt"] = self.attempt
         payload["times"] = self.times
-        if self.kind == "delay":
+        if self.kind in ("delay", "stalled_reader"):
             payload["seconds"] = self.seconds
         if self.kind == "worker_exit":
             payload["exit_code"] = self.exit_code
         return payload
 
     def matches(self, worker_id: int, request_id: int, attempt: int) -> bool:
+        if self.kind not in FAULT_KINDS:
+            return False  # connection rules never fire at the worker seam
         if self.remaining is not None and self.remaining <= 0:
             return False
         if self.request_id is not None and request_id != self.request_id:
             return False
         if self.worker_id is not None and worker_id != self.worker_id:
+            return False
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        return True
+
+    def matches_connection(
+        self, connection_id: int, request_index: int, attempt: int
+    ) -> bool:
+        if self.kind not in CONNECTION_FAULT_KINDS:
+            return False  # worker rules never fire at the client seam
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if self.request_id is not None and request_index != self.request_id:
+            return False
+        if self.connection_id is not None and connection_id != self.connection_id:
             return False
         if self.attempt is not None and attempt != self.attempt:
             return False
@@ -255,6 +318,23 @@ class FaultPlan:
                 )
             # worker_exit: no cleanup, no response -- a crash, not an exit.
             os._exit(rule.exit_code)
+
+    def connection_action(
+        self, *, connection_id: int, request_index: int, attempt: int = 1
+    ) -> Optional[FaultRule]:
+        """The first connection-level rule matching this (connection,
+        request, attempt), with its fire budget decremented -- or ``None``.
+        The *caller* (:class:`~repro.db.daemon.DaemonClient`) performs the
+        transport action the rule names; this method only does the
+        deterministic matching, mirroring how :meth:`apply` anchors the
+        worker seam.  Worker-kind rules never fire here."""
+        for rule in self.rules:
+            if not rule.matches_connection(connection_id, request_index, attempt):
+                continue
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            return rule
+        return None
 
     def __len__(self) -> int:
         return len(self.rules)

@@ -78,17 +78,29 @@ def memory_budget_from_env(default=None):
 
 
 def seconds_from_env(name: str, default=None):
-    """A float-seconds environment knob (empty, unset, unparsable or
-    non-positive values mean ``default``).  The serving plane uses this
-    for its request-deadline default (``REPRO_SERVE_DEADLINE_SECONDS``),
-    mirroring how the execution plane reads its thread/budget knobs."""
+    """A float-seconds environment knob.  Empty, unset or ``0`` mean
+    ``default`` (the knob is disabled); malformed or negative values raise
+    :class:`~repro.exceptions.DatabaseError` rather than being silently
+    swallowed -- a mistyped deadline that quietly disables deadlines is
+    exactly the failure mode a serving knob must not have.  The serving
+    plane uses this for its request-deadline default
+    (``REPRO_SERVE_DEADLINE_SECONDS``), mirroring how the execution plane
+    reads its thread/budget knobs."""
+    from repro.exceptions import DatabaseError
+
     raw = os.environ.get(name, "").strip()
     if not raw:
         return default
     try:
         value = float(raw)
     except ValueError:
-        return default
+        raise DatabaseError(
+            f"{name} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise DatabaseError(
+            f"{name} must be non-negative, got {raw!r}"
+        )
     return value if value > 0 else default
 
 

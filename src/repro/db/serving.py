@@ -119,8 +119,11 @@ PROVENANCE_KEY = "serving"
 
 _ANSWER_MODES = ("rows", "digest")
 
-#: How long (seconds) collect()/startup wait between liveness checks.  Only
-#: a latency knob: correctness never depends on it.
+#: Fallback wait (seconds) for the rare states with nothing to select on
+#: (no live worker handles).  The supervisor normally blocks directly on
+#: worker response channels / process sentinels plus its own computed
+#: timers (retry backoffs, request deadlines, hello deadlines), so traffic
+#: and crashes wake it immediately; correctness never depends on this.
 _POLL_SECONDS = 0.1
 
 #: Ceiling on the exponential retry backoff (seconds).
@@ -690,11 +693,50 @@ class ServingPool:
             w["state"] in ("ready", "starting") for w in self._workers.values()
         )
 
-    def _wait_for_traffic(self) -> None:
-        """Block up to ``_POLL_SECONDS`` for any live worker's response
-        channel to become readable *or* any worker process to die (the
-        process sentinel fires on death, so a crash wakes the supervisor
-        immediately instead of after a poll interval)."""
+    def _next_timer(self) -> Optional[float]:
+        """The earliest monotonic instant at which the supervisor has
+        scheduled work of its own: a replacement worker's hello deadline,
+        a backlogged retry's ``not_before``, or an in-flight attempt's
+        request deadline.  ``None`` when every pending transition will be
+        announced by a worker response or a process sentinel instead.
+
+        Entries already due are *excluded*: every due transition is acted
+        on by the ``_service`` pump that follows each wait, so anything
+        still due-and-undone (e.g. a due retry with no idle worker) is
+        waiting on worker traffic, not on a timer -- including it would
+        turn the block into a busy spin.
+        """
+        now = time.monotonic()
+        candidates = []
+        for worker in self._workers.values():
+            if worker["state"] == "starting":
+                candidates.append(worker["hello_deadline"])
+        for not_before, _ in self._backlog:
+            if not_before > now:
+                candidates.append(not_before)
+        for entry in self._inflight.values():
+            request_id, _, dispatched_at, written_off = entry
+            if written_off:
+                continue
+            state = self._requests.get(request_id)
+            if state is not None and state.deadline_seconds is not None:
+                candidates.append(dispatched_at + state.deadline_seconds)
+        return min(candidates) if candidates else None
+
+    def _wait_for_traffic(self, limit: Optional[float] = None) -> None:
+        """Block until a live worker's response channel becomes readable,
+        any worker process dies (the process sentinel fires on death, so a
+        crash wakes the supervisor immediately), the next internal timer
+        (:meth:`_next_timer`) comes due, or ``limit`` seconds pass --
+        whichever is first.  With no timer and no limit the wait is
+        unbounded: every state change the supervisor could act on is then
+        announced through one of the handles."""
+        timeout = None
+        timer = self._next_timer()
+        if timer is not None:
+            timeout = max(0.0, timer - time.monotonic())
+        if limit is not None:
+            timeout = limit if timeout is None else min(timeout, limit)
         handles = []
         for worker in self._workers.values():
             if worker["state"] == "dead":
@@ -702,7 +744,9 @@ class ServingPool:
             handles.append(worker["response"]._reader)
             handles.append(worker["process"].sentinel)
         if handles:
-            _connection_wait(handles, timeout=_POLL_SECONDS)
+            _connection_wait(handles, timeout=timeout)
+        elif timeout is not None:
+            time.sleep(min(timeout, _POLL_SECONDS))
         else:
             time.sleep(_POLL_SECONDS)
 
@@ -719,13 +763,16 @@ class ServingPool:
             if worker["state"] == "dead":  # retired while handling (hello
                 break  # digest mismatch): stop reading its channel
 
-    def _service(self, block: bool = False) -> None:
+    def _service(
+        self, block: bool = False, wait_limit: Optional[float] = None
+    ) -> None:
         """One pump of the supervisor: drain responses, reap dead workers
         (respawning while the budget lasts), fire request deadlines, and
-        dispatch the backlog onto idle workers.  ``block=True`` waits up
-        to ``_POLL_SECONDS`` for traffic first -- callers loop."""
+        dispatch the backlog onto idle workers.  ``block=True`` first
+        waits for worker traffic / the next internal timer (bounded by
+        ``wait_limit`` when given) -- callers loop."""
         if block:
-            self._wait_for_traffic()
+            self._wait_for_traffic(wait_limit)
         for worker_id in list(self._workers):
             self._drain_worker(worker_id)
         self._reap_dead_workers()
@@ -1030,7 +1077,10 @@ class ServingPool:
             raise ServingError(f"serving pool is broken: {self._broken}")
         deadline = None if timeout is None else time.monotonic() + timeout
         while request_id not in self._results:
-            self._service(block=True)
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            self._service(block=True, wait_limit=remaining)
             if request_id in self._results:
                 break
             if deadline is not None and time.monotonic() > deadline:
@@ -1040,6 +1090,11 @@ class ServingPool:
                     "its admission slice was released and any late response "
                     "will be discarded"
                 )
+        return self._finish_collect(request_id)
+
+    def _finish_collect(self, request_id: int) -> Dict[str, object]:
+        """Hand a resolved result to the caller: release the admission
+        slice and attach the scheduling provenance block."""
         state = self._requests.pop(request_id, None)
         self._admitted_bytes -= self._pending.pop(request_id, 0)
         response = dict(self._results.pop(request_id))
@@ -1048,6 +1103,43 @@ class ServingPool:
             "restarts": self.restarts,
         }
         return response
+
+    def try_collect(self, request_id: int) -> Optional[Dict[str, object]]:
+        """Non-blocking :meth:`collect`: pump the supervisor once and
+        return the response if the request has resolved, else ``None``
+        (the request stays admitted).  Raises :class:`ServingError` for an
+        unknown/already-collected id or a broken pool, exactly like
+        :meth:`collect`.  This is the poll the daemon's dispatcher thread
+        uses to multiplex many connections over one pool without blocking
+        any of them on another's request."""
+        if request_id not in self._requests and request_id not in self._results:
+            raise ServingError(f"unknown or already-collected request {request_id}")
+        if self._broken:
+            raise ServingError(f"serving pool is broken: {self._broken}")
+        self._service(block=False)
+        if request_id not in self._results:
+            return None
+        return self._finish_collect(request_id)
+
+    def service(self, timeout: float = 0.0) -> None:
+        """Pump the supervisor once without collecting anything: drain
+        worker responses, reap/respawn the dead, fire deadlines, dispatch
+        the backlog.  ``timeout > 0`` blocks up to that long for worker
+        traffic or the next internal timer first -- the daemon's
+        dispatcher calls this between connection commands so supervision
+        (crash recovery, deadline firing) advances even while no caller
+        is blocked in :meth:`collect`."""
+        self._service(block=timeout > 0, wait_limit=timeout if timeout > 0 else None)
+
+    def abandon(self, request_id: int) -> None:
+        """Give up on an admitted request whose caller is gone (e.g. the
+        daemon connection that submitted it disconnected): release its
+        admission slice immediately and mark the id expired so a late
+        response is drained, never misdelivered.  Idempotent; unknown or
+        already-collected ids are a no-op -- the caller vanishing twice
+        must not break the pool."""
+        if request_id in self._requests or request_id in self._results:
+            self._expire(request_id)
 
     def run(self, payloads: Sequence[Mapping]) -> List[Dict[str, object]]:
         """Serve a batch: submit everything (waiting out backpressure by

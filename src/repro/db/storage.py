@@ -389,16 +389,55 @@ def _encoded_relations(database: Database):
 
 def save_database(database: Database, path, encoding: Optional[str] = None) -> Path:
     """Write ``database`` to ``path`` (a directory, created as needed) in
-    the mmap-able columnar format.  Existing contents are replaced.  The
-    statistics catalog is stored verbatim, so opening restores it without
-    re-analysis.  ``encoding`` picks the column codec (``"packed"`` /
-    ``"raw"``; ``None`` defers to :func:`resolve_encoding`).  Returns the
-    directory path."""
-    mode = resolve_encoding(encoding)
+    the mmap-able columnar format.  Existing contents are replaced
+    **atomically**: the whole store is encoded into a staging sibling
+    directory first and only a complete, self-consistent store is renamed
+    into place -- a crash mid-save leaves a previous good store at ``path``
+    untouched (and a fresh save simply absent), never a half-written mix
+    of old and new files.  The statistics catalog is stored verbatim, so
+    opening restores it without re-analysis.  Every column/selection file
+    and the dictionary carry a SHA-256 content digest in the catalog
+    (checked by ``verify_store(deep=True)``).  ``encoding`` picks the
+    column codec (``"packed"`` / ``"raw"``; ``None`` defers to
+    :func:`resolve_encoding`).  Returns the directory path."""
     root = Path(path)
+    root.parent.mkdir(parents=True, exist_ok=True)
+    staging = root.parent / f".{root.name}.saving.{os.getpid()}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    try:
+        _write_store(database, staging, encoding)
+        _publish_store(staging, root)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+    return root
+
+
+def _publish_store(staging: Path, root: Path) -> None:
+    """Move a fully-written staging store to its final path.  A fresh
+    target is a single rename; replacing an existing store parks the old
+    directory under a sibling name first (rename + rename, each atomic),
+    so at every instant ``root`` is either the complete old store, absent
+    for the instant between the two renames, or the complete new store --
+    never a blend."""
+    if root.exists():
+        backup = root.parent / f".{root.name}.replaced.{os.getpid()}"
+        if backup.exists():
+            shutil.rmtree(backup)
+        os.rename(root, backup)
+        try:
+            os.rename(staging, root)
+        except OSError:
+            os.rename(backup, root)  # restore the old store, then fail
+            raise
+        shutil.rmtree(backup, ignore_errors=True)
+    else:
+        os.rename(staging, root)
+
+
+def _write_store(database: Database, root: Path, encoding: Optional[str]) -> None:
+    mode = resolve_encoding(encoding)
     column_dir = root / _COLUMN_DIR
-    if column_dir.exists():
-        shutil.rmtree(column_dir)
     column_dir.mkdir(parents=True, exist_ok=True)
 
     dictionary, encoded = _encoded_relations(database)
@@ -423,6 +462,7 @@ def save_database(database: Database, path, encoding: Optional[str] = None) -> P
                     "attribute": relation.attributes[position],
                     "file": file_name,
                     "bytes": nbytes,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
                     "encoding": col_encoding,
                 }
             )
@@ -441,6 +481,7 @@ def save_database(database: Database, path, encoding: Optional[str] = None) -> P
                 "file": file_name,
                 "length": int(len(selection)),
                 "bytes": nbytes,
+                "sha256": hashlib.sha256(payload).hexdigest(),
                 "encoding": sel_encoding,
             }
         relations_meta.append(
@@ -460,19 +501,25 @@ def save_database(database: Database, path, encoding: Optional[str] = None) -> P
         "version": FORMAT_VERSION,
         "segments": [[tag, values] for tag, values in dictionary.to_segments()],
     }
-    (root / _DICTIONARY_FILE).write_text(json.dumps(dictionary_payload))
+    dictionary_text = json.dumps(dictionary_payload)
+    (root / _DICTIONARY_FILE).write_text(dictionary_text)
 
     catalog = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "name": database.name,
-        "dictionary": {"file": _DICTIONARY_FILE, "entries": len(dictionary)},
+        "dictionary": {
+            "file": _DICTIONARY_FILE,
+            "entries": len(dictionary),
+            "sha256": hashlib.sha256(
+                dictionary_text.encode("utf-8")
+            ).hexdigest(),
+        },
         "relations": relations_meta,
         "statistics": database.statistics.to_payload(),
         "total_column_bytes": total_bytes,
     }
     (root / _CATALOG_FILE).write_text(json.dumps(catalog, indent=1))
-    return root
 
 
 # ----------------------------------------------------------------------
@@ -742,7 +789,7 @@ def storage_info(path) -> Dict[str, Any]:
     }
 
 
-def verify_store(path) -> Dict[str, Any]:
+def verify_store(path, deep: bool = False) -> Dict[str, Any]:
     """Integrity report for a stored database -- the operator-facing twin
     of the serving workers' startup hello.
 
@@ -751,11 +798,18 @@ def verify_store(path) -> Dict[str, Any]:
     and selection file's byte length against its declared dtype tag and
     row count (:func:`_check_column_file` -- the same check every open
     performs, here run file-by-file so *all* problems are reported, not
-    just the first).  Returns ``{"path", "name", "digest",
-    "checked_files", "problems": [{"file", "error"}, ...], "ok"}``; the
-    ``repro db verify`` CLI exits non-zero when ``ok`` is false.
+    just the first).  ``deep=True`` additionally reads every file and
+    compares its SHA-256 against the digest the catalog recorded at save
+    time, catching bit rot that leaves sizes intact (files saved before
+    digests existed are counted in ``"unhashed_files"`` instead of
+    failing).  Returns ``{"path", "name", "digest", "checked_files",
+    "deep", "hashed_files", "unhashed_files", "problems": [{"file",
+    "error"}, ...], "ok"}``; the ``repro db verify`` CLI exits non-zero
+    when ``ok`` is false.
     """
     root = Path(path)
+    hashed = 0
+    unhashed = 0
     problems: List[Dict[str, str]] = []
     checked = 0
     try:
@@ -766,10 +820,40 @@ def verify_store(path) -> Dict[str, Any]:
             "name": None,
             "digest": None,
             "checked_files": 0,
+            "deep": bool(deep),
+            "hashed_files": 0,
+            "unhashed_files": 0,
             "problems": [{"file": _CATALOG_FILE, "error": str(exc)}],
             "ok": False,
         }
     digest = canonical_digest(dict(catalog))
+
+    def _deep_check(meta: Mapping, file_name: str) -> None:
+        nonlocal hashed, unhashed
+        if not deep:
+            return
+        expected = meta.get("sha256")
+        if not expected:
+            unhashed += 1  # saved before content digests existed
+            return
+        try:
+            actual = hashlib.sha256((root / file_name).read_bytes()).hexdigest()
+        except OSError as exc:
+            problems.append({"file": file_name, "error": str(exc)})
+            return
+        hashed += 1
+        if actual != str(expected):
+            problems.append(
+                {
+                    "file": file_name,
+                    "error": (
+                        f"content digest mismatch: file hashes to "
+                        f"{actual[:12]}..., catalog recorded "
+                        f"{str(expected)[:12]}... (bit rot or tampering)"
+                    ),
+                }
+            )
+
     dict_meta = catalog.get("dictionary", {})
     dict_file = str(dict_meta.get("file", _DICTIONARY_FILE))
     checked += 1
@@ -789,6 +873,8 @@ def verify_store(path) -> Dict[str, Any]:
                     ),
                 }
             )
+        else:
+            _deep_check(dict_meta, dict_file)
     except (StorageFormatError, TypeError, ValueError) as exc:
         problems.append({"file": dict_file, "error": str(exc)})
     for meta in catalog.get("relations", ()):
@@ -804,6 +890,7 @@ def verify_store(path) -> Dict[str, Any]:
             try:
                 tag, _ = _column_encoding(column_meta)
                 _check_column_file(root / file_name, length, tag)
+                _deep_check(column_meta, file_name)
             except StorageFormatError as exc:
                 problems.append({"file": file_name, "error": str(exc)})
     return {
@@ -811,6 +898,9 @@ def verify_store(path) -> Dict[str, Any]:
         "name": catalog.get("name"),
         "digest": digest,
         "checked_files": checked,
+        "deep": bool(deep),
+        "hashed_files": hashed,
+        "unhashed_files": unhashed,
         "problems": problems,
         "ok": not problems,
     }

@@ -1,0 +1,668 @@
+"""Contract tests for the long-lived serving daemon (:mod:`repro.db.daemon`).
+
+The headline contract: a payload served through the daemon's socket is
+**byte-identical** (provenance-stripped) to the serial
+:func:`~repro.db.serving.execute_payload` oracle -- pinned by Hypothesis
+over join-order permutations and answer modes, and under concurrent
+clients.  Around it, the fault matrix from the module docstring, each
+cell driven deterministically through the :mod:`repro.db.faults`
+connection seam:
+
+* garbage on the wire -- one ``bad_frame`` error frame, the connection is
+  dropped, every *other* connection keeps serving;
+* client disconnect mid-request -- the in-flight request is abandoned and
+  its admission slice released (a one-slice budget admits the next
+  client);
+* a frame stalling mid-write -- dropped after ``io_timeout_seconds``; a
+  stall that finishes inside the timeout survives;
+* ``AdmissionRejected`` / unknown kinds / malformed payloads --
+  structured error frames on a connection that stays open;
+* drain -- a ``shutdown`` request (and SIGTERM against the real CLI
+  daemon in a subprocess) stops accepting, completes in-flight work,
+  exits 0 and leaves no orphan workers and no socket file;
+* statistics refresh -- hot-swaps the payload set atomically with a
+  generation bump; post-refresh responses still match the oracle.
+
+The CI matrix re-runs this module under ``REPRO_SERVE_MP_CONTEXT=spawn``.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db.daemon import (
+    DAEMON_FORMAT,
+    DAEMON_VERSION,
+    DaemonClient,
+    DaemonDisconnected,
+    DaemonError,
+    DaemonProtocolError,
+    DaemonRequestError,
+    ServingDaemon,
+    decode_frame,
+    encode_frame,
+    format_address,
+    parse_address,
+)
+from repro.db.database import Database
+from repro.db.faults import FaultPlan, FaultRule
+from repro.db.serving import (
+    execute_payload,
+    query_to_payload,
+    strip_provenance,
+)
+from repro.exceptions import DatabaseError
+from repro.query.conjunctive import build_query
+from repro.workloads.synthetic import workload_database
+
+ATOMS = ["r0", "r1", "r2", "r3", "r4"]
+
+
+def _query():
+    body = [(f"r{i}", [f"X{i}", f"X{(i + 1) % 5}"]) for i in range(5)]
+    return build_query(body, output_variables=["X0", "X2"], name="cycle_out")
+
+
+def _payload(order=None, answer="digest", **knobs):
+    base = {
+        "format": "repro-serving",
+        "version": 1,
+        "query": query_to_payload(_query()),
+        "plan": {"kind": "join_order", "order": list(order or ATOMS)},
+        "answer": answer,
+        "planning_seconds": 0.0,
+    }
+    base.update({k: v for k, v in knobs.items() if v is not None})
+    return json.loads(json.dumps(base))
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    target = tmp_path_factory.mktemp("daemon") / "store"
+    database = workload_database(
+        _query(), tuples_per_relation=60, domain_size=10, seed=11
+    )
+    database.save(target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def serial_db(store):
+    return Database.open(store)
+
+
+@pytest.fixture(scope="module")
+def daemon(store, tmp_path_factory):
+    sock = tmp_path_factory.mktemp("sock") / "daemon.sock"
+    served = ServingDaemon(
+        store, f"unix:{sock}", workers=2, queries=[_query()]
+    ).start()
+    yield served
+    served.shutdown()
+
+
+@pytest.fixture()
+def client(daemon):
+    with DaemonClient(daemon.address) as c:
+        yield c
+
+
+def _spawn_daemon(store, tmp_path, **options):
+    """A function-scoped daemon on its own socket (fault-matrix tests
+    mutate restart/drop counters, so they do not share the module one)."""
+    return ServingDaemon(
+        store, f"unix:{tmp_path / 'fault.sock'}", **options
+    ).start()
+
+
+def _recv_frame(sock):
+    """Read one raw frame off a plain socket (test-side decoder)."""
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            return None
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            return None
+        body += chunk
+    return decode_frame(body)
+
+
+# ----------------------------------------------------------------------
+# Framing + addresses (pure units).
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(),
+            lambda inner: st.lists(inner, max_size=3)
+            | st.dictionaries(st.text(max_size=8), inner, max_size=3),
+            max_leaves=10,
+        ),
+        frame_id=st.none() | st.integers() | st.text(max_size=8),
+    )
+    def test_roundtrip(self, data, frame_id):
+        frame = {
+            "format": DAEMON_FORMAT,
+            "version": DAEMON_VERSION,
+            "id": frame_id,
+            "kind": "execute",
+            "payload": data,
+        }
+        wire = encode_frame(frame)
+        (length,) = struct.unpack(">I", wire[:4])
+        assert length == len(wire) - 4
+        assert decode_frame(wire[4:]) == frame
+
+    def test_oversized_frame_rejected_at_encode(self):
+        frame = {"format": DAEMON_FORMAT, "version": DAEMON_VERSION, "x": "y" * 100}
+        with pytest.raises(DaemonProtocolError, match="exceeds"):
+            encode_frame(frame, max_frame_bytes=16)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"\xff\xfe not json",
+            b"[1, 2, 3]",
+            b'{"format": "something-else", "version": 1}',
+            b'{"format": "repro-daemon", "version": 999}',
+        ],
+    )
+    def test_decode_rejects_non_frames(self, body):
+        with pytest.raises(DaemonProtocolError):
+            decode_frame(body)
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("unix:/run/repro.sock", ("unix", "/run/repro.sock")),
+            ("/var/tmp/d.sock", ("unix", "/var/tmp/d.sock")),
+            ("rel/path.sock", ("unix", "rel/path.sock")),
+            ("tcp:localhost:7070", ("tcp", ("localhost", 7070))),
+            ("127.0.0.1:0", ("tcp", ("127.0.0.1", 0))),
+        ],
+    )
+    def test_parse_address(self, text, expected):
+        assert parse_address(text) == expected
+        assert parse_address(format_address(expected)) == expected
+
+    @pytest.mark.parametrize("text", ["", "justahost", "host:notaport", ":7070"])
+    def test_parse_address_rejects_garbage(self, text):
+        with pytest.raises(DaemonError):
+            parse_address(text)
+
+
+# ----------------------------------------------------------------------
+# Connection-fault rules (the client seam of repro.db.faults).
+# ----------------------------------------------------------------------
+
+
+class TestConnectionFaultRules:
+    def test_connection_kind_cannot_anchor_on_worker(self):
+        with pytest.raises(DatabaseError, match="worker_id"):
+            FaultRule("client_disconnect", worker_id=0)
+
+    def test_worker_kind_cannot_anchor_on_connection(self):
+        with pytest.raises(DatabaseError, match="connection_id"):
+            FaultRule("worker_exit", connection_id=0)
+
+    def test_payload_roundtrip(self):
+        rule = FaultRule(
+            "stalled_reader", connection_id=3, request_id=1, seconds=0.25
+        )
+        clone = FaultRule.from_payload(rule.to_payload())
+        assert clone.to_payload() == rule.to_payload()
+
+    def test_seams_are_disjoint(self):
+        connection_rule = FaultRule("client_disconnect", connection_id=1)
+        worker_rule = FaultRule("worker_exit", worker_id=0)
+        assert not connection_rule.matches(worker_id=1, request_id=0, attempt=1)
+        assert not worker_rule.matches_connection(
+            connection_id=0, request_index=0, attempt=1
+        )
+        assert connection_rule.matches_connection(
+            connection_id=1, request_index=0, attempt=1
+        )
+
+    def test_connection_action_matches_and_decrements(self):
+        plan = FaultPlan(
+            [FaultRule("client_disconnect", connection_id=2, request_id=1)]
+        )
+        assert (
+            plan.connection_action(connection_id=1, request_index=1) is None
+        )
+        assert (
+            plan.connection_action(connection_id=2, request_index=0) is None
+        )
+        rule = plan.connection_action(connection_id=2, request_index=1)
+        assert rule is not None and rule.kind == "client_disconnect"
+        # The fire budget (times=1) is spent: the same slot never refires.
+        assert (
+            plan.connection_action(connection_id=2, request_index=1) is None
+        )
+
+
+# ----------------------------------------------------------------------
+# Serving through the socket.
+# ----------------------------------------------------------------------
+
+
+class TestDaemonServes:
+    def test_health_ready(self, daemon, client):
+        health = client.health()
+        assert health["status"] == "ready"
+        assert health["workers"] == 2
+        assert len(health["worker_pids"]) == 2
+        for pid in health["worker_pids"]:
+            os.kill(pid, 0)  # alive
+        assert health["generation"] >= 1
+        assert health["restarts"] == 0
+        assert health["counters"]["connections_accepted"] >= 1
+        assert health["pid"] == os.getpid()
+
+    def test_plans_carry_prewarmed_payloads(self, client, serial_db):
+        plans = client.plans()
+        assert plans["generation"] >= 1
+        assert plans["payloads"], "daemon was started with a query set"
+        for payload in plans["payloads"]:
+            assert payload["format"] == "repro-serving"
+            # Every published payload is executable as-is.
+            execute_payload(payload, serial_db)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            # One long-lived client across examples is the point: the
+            # daemon connection is stateful but requests are independent.
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        order=st.permutations(ATOMS),
+        answer=st.sampled_from(["rows", "digest"]),
+    )
+    def test_execute_matches_serial_oracle(self, client, serial_db, order, answer):
+        payload = _payload(order=order, answer=answer)
+        response = client.execute(payload)
+        assert "serving" in response  # pool provenance survives the wire
+        assert strip_provenance(response) == execute_payload(payload, serial_db)
+
+    def test_concurrent_clients_all_match_oracle(self, daemon, serial_db):
+        payload = _payload()
+        oracle = execute_payload(payload, serial_db)
+        results = {}
+
+        def drive(slot):
+            with DaemonClient(daemon.address) as c:
+                results[slot] = [c.execute(payload) for _ in range(3)]
+
+        threads = [
+            threading.Thread(target=drive, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert sorted(results) == [0, 1, 2, 3]
+        for responses in results.values():
+            assert [strip_provenance(r) for r in responses] == [oracle] * 3
+
+    def test_refresh_bumps_generation_and_keeps_serving(self, client, serial_db):
+        before = client.health()["generation"]
+        refreshed = client.refresh()
+        assert refreshed["refreshed"] is True
+        assert refreshed["generation"] == before + 1
+        plans = client.plans()
+        assert plans["generation"] >= before + 1
+        # The hot-swapped payloads still serve and still match the oracle.
+        payload = plans["payloads"][0]
+        response = client.execute(payload)
+        assert strip_provenance(response) == execute_payload(payload, serial_db)
+
+    def test_unknown_kind_is_structured_error(self, client):
+        frame = client._frame("bogus_kind")
+        with pytest.raises(DaemonRequestError) as excinfo:
+            client._request(frame)
+        assert excinfo.value.code == "bad_request"
+        assert client.health()["status"] == "ready"  # connection survived
+
+    def test_malformed_payload_is_bad_request(self, client):
+        with pytest.raises(DaemonRequestError) as excinfo:
+            client.execute({"format": "not-a-serving-payload", "version": 999})
+        assert excinfo.value.code == "bad_request"
+        assert client.health()["status"] == "ready"
+
+    def test_tcp_executor_without_queries(self, store, serial_db):
+        with ServingDaemon(store, "tcp:127.0.0.1:0", workers=1) as daemon:
+            family, (host, port) = daemon.address
+            assert family == "tcp" and port != 0  # port 0 resolved at bind
+            payload = _payload()
+            with DaemonClient(f"tcp:{host}:{port}") as client:
+                response = client.execute(payload)
+                assert strip_provenance(response) == execute_payload(
+                    payload, serial_db
+                )
+                # No query set: refresh is a structured error, not a hang.
+                with pytest.raises(DaemonRequestError) as excinfo:
+                    client.refresh()
+                assert excinfo.value.code == "refresh_unavailable"
+
+
+# ----------------------------------------------------------------------
+# The fault matrix.
+# ----------------------------------------------------------------------
+
+
+class TestConnectionFaultMatrix:
+    def test_garbage_drops_connection_others_keep_serving(
+        self, store, tmp_path, serial_db
+    ):
+        with _spawn_daemon(store, tmp_path, workers=1) as daemon:
+            healthy = DaemonClient(daemon.address)
+            vandal = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            vandal.connect(str(daemon.address[1]))
+            vandal.settimeout(10.0)
+            vandal.sendall(b"GET / HTTP/1.1\r\nHost: daemon\r\n\r\n")
+            reply = _recv_frame(vandal)
+            assert reply["kind"] == "error" and reply["code"] == "bad_frame"
+            assert vandal.recv(4096) == b""  # ...and then we are dropped
+            vandal.close()
+            # The healthy connection never noticed.
+            payload = _payload()
+            response = healthy.execute(payload)
+            assert strip_provenance(response) == execute_payload(
+                payload, serial_db
+            )
+            assert healthy.health()["counters"]["connections_dropped"] >= 1
+            healthy.close()
+
+    def test_client_disconnect_releases_admission_slice(
+        self, store, tmp_path, serial_db
+    ):
+        """The fault-matrix centrepiece: the victim writes a full execute
+        frame and hard-closes; a scripted worker kill keeps the request in
+        flight long enough for the hangup to land first, so the daemon
+        must *abandon* it and release its admission slice.  Under a
+        one-slice global budget a leak would reject every later request
+        forever."""
+        slice_bytes = 1 << 20
+        with _spawn_daemon(
+            store,
+            tmp_path,
+            workers=1,
+            global_memory_budget_bytes=slice_bytes,
+            default_memory_budget_bytes=slice_bytes,
+            max_worker_restarts=2,
+            fault_plan=FaultPlan(
+                [FaultRule("worker_exit", worker_id=0, attempt=1, times=1)]
+            ),
+        ) as daemon:
+            victim = DaemonClient(
+                daemon.address,
+                connection_id=7,
+                fault_plan=FaultPlan(
+                    [FaultRule("client_disconnect", connection_id=7, request_id=0)]
+                ),
+            )
+            with pytest.raises(DaemonDisconnected, match="deliberately lost"):
+                victim.execute(_payload())
+            victim.close()
+            # The slice must come back: retry until admission succeeds.
+            payload = _payload()
+            with DaemonClient(daemon.address) as healthy:
+                deadline = time.monotonic() + 30.0
+                while True:
+                    try:
+                        response = healthy.execute(payload)
+                        break
+                    except DaemonRequestError as exc:
+                        assert exc.code == "admission_rejected"
+                        assert time.monotonic() < deadline, (
+                            "admission slice leaked: the abandoned request "
+                            "never released its budget"
+                        )
+                        time.sleep(0.1)
+                assert strip_provenance(response) == execute_payload(
+                    payload, serial_db
+                )
+                health = healthy.health()
+            assert health["counters"]["abandoned_requests"] >= 1
+            assert health["restarts"] >= 1
+
+    def test_partial_frame_dropped_after_io_timeout(self, store, tmp_path):
+        with _spawn_daemon(
+            store, tmp_path, workers=1, io_timeout_seconds=0.5
+        ) as daemon:
+            victim = DaemonClient(
+                daemon.address,
+                connection_id=1,
+                fault_plan=FaultPlan(
+                    [FaultRule("partial_frame", connection_id=1, request_id=0)]
+                ),
+            )
+            started = time.monotonic()
+            with pytest.raises(DaemonDisconnected):
+                victim.execute(_payload())
+            assert time.monotonic() - started < 30.0
+            victim.close()
+            with DaemonClient(daemon.address) as healthy:
+                counters = healthy.health()["counters"]
+            assert counters["connections_dropped"] >= 1
+            # Nothing reached the pool: a half frame is never admitted.
+            assert counters["abandoned_requests"] == 0
+
+    def test_stalled_reader_survives_short_stall(self, store, tmp_path, serial_db):
+        with _spawn_daemon(
+            store, tmp_path, workers=1, io_timeout_seconds=5.0
+        ) as daemon:
+            client = DaemonClient(
+                daemon.address,
+                connection_id=1,
+                fault_plan=FaultPlan(
+                    [
+                        FaultRule(
+                            "stalled_reader",
+                            connection_id=1,
+                            request_id=0,
+                            seconds=0.3,
+                        )
+                    ]
+                ),
+            )
+            payload = _payload()
+            response = client.execute(payload)  # slow but inside the budget
+            assert strip_provenance(response) == execute_payload(
+                payload, serial_db
+            )
+            client.close()
+
+    def test_stalled_reader_dropped_past_io_timeout(self, store, tmp_path):
+        with _spawn_daemon(
+            store, tmp_path, workers=1, io_timeout_seconds=0.4
+        ) as daemon:
+            client = DaemonClient(
+                daemon.address,
+                connection_id=1,
+                fault_plan=FaultPlan(
+                    [
+                        FaultRule(
+                            "stalled_reader",
+                            connection_id=1,
+                            request_id=0,
+                            seconds=1.5,
+                        )
+                    ]
+                ),
+            )
+            with pytest.raises(DaemonDisconnected):
+                client.execute(_payload())
+            client.close()
+
+    def test_admission_rejection_is_structured_not_a_hangup(
+        self, store, tmp_path
+    ):
+        # A per-request slice larger than the whole global budget can
+        # never be admitted: every execute must come back as a structured
+        # admission_rejected frame on a connection that stays open.
+        with _spawn_daemon(
+            store,
+            tmp_path,
+            workers=1,
+            global_memory_budget_bytes=1024,
+            default_memory_budget_bytes=4096,
+        ) as daemon:
+            with DaemonClient(daemon.address) as client:
+                for _ in range(3):
+                    with pytest.raises(DaemonRequestError) as excinfo:
+                        client.execute(_payload())
+                    assert excinfo.value.code == "admission_rejected"
+                health = client.health()
+                assert health["status"] == "ready"
+                assert health["counters"]["admission_rejected"] == 3
+                assert health["counters"]["connections_dropped"] == 0
+
+
+# ----------------------------------------------------------------------
+# Drain-then-exit.
+# ----------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_shutdown_request_drains_and_exits_zero(self, store, tmp_path):
+        daemon = _spawn_daemon(store, tmp_path, workers=2)
+        runner = {}
+
+        def run():
+            runner["code"] = daemon.serve_forever(handle_signals=False)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        with DaemonClient(daemon.address) as client:
+            pids = client.health()["worker_pids"]
+            assert client.shutdown()["draining"] is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert runner["code"] == 0
+        for pid in pids:  # no orphan workers
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        assert not (tmp_path / "fault.sock").exists()  # socket unlinked
+
+    def test_inflight_request_completes_during_drain(
+        self, store, tmp_path, serial_db
+    ):
+        # A worker kill forces a respawn+retry, so the request is still in
+        # flight when the drain starts -- it must complete, not be dropped.
+        daemon = _spawn_daemon(
+            store,
+            tmp_path,
+            workers=1,
+            max_worker_restarts=2,
+            fault_plan=FaultPlan(
+                [FaultRule("worker_exit", worker_id=0, attempt=1, times=1)]
+            ),
+        )
+        payload = _payload()
+        outcome = {}
+
+        def drive():
+            with DaemonClient(daemon.address) as client:
+                outcome["response"] = client.execute(payload)
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        time.sleep(0.05)
+        daemon.request_shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert daemon.shutdown() == 0
+        assert strip_provenance(outcome["response"]) == execute_payload(
+            payload, serial_db
+        )
+
+    def test_execute_after_drain_gets_an_answer_not_silence(
+        self, store, tmp_path
+    ):
+        """An execute racing the drain is answered -- either a structured
+        ``shutting_down`` error (it reached the dispatcher) or a prompt
+        connection close (it did not) -- never an unbounded hang."""
+        daemon = _spawn_daemon(store, tmp_path, workers=1)
+        code = {}
+        with DaemonClient(daemon.address, timeout=20.0) as client:
+            client.health()
+            daemon.request_shutdown()
+            # Completing the drain closes the connection under the client.
+            closer = threading.Thread(
+                target=lambda: code.__setitem__("exit", daemon.shutdown())
+            )
+            closer.start()
+            with pytest.raises((DaemonRequestError, DaemonDisconnected)) as excinfo:
+                client.execute(_payload())
+            if isinstance(excinfo.value, DaemonRequestError):
+                assert excinfo.value.code == "shutting_down"
+            closer.join(timeout=30)
+        assert code["exit"] == 0
+
+    def test_cli_daemon_sigterm_drains(self, store, tmp_path, serial_db):
+        """The real thing: ``repro db daemon`` in a subprocess, killed
+        with SIGTERM mid-flight, must drain, exit 0, unlink its socket
+        and leave no orphan worker processes."""
+        sock = tmp_path / "cli.sock"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "db", "daemon", str(store),
+                "--address", f"unix:{sock}", "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            assert "listening" in process.stdout.readline()
+            payload = _payload()
+            with DaemonClient(f"unix:{sock}") as client:
+                response = client.execute(payload)
+                assert strip_provenance(response) == execute_payload(
+                    payload, serial_db
+                )
+                pids = client.health()["worker_pids"]
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+            for pid in pids:
+                with pytest.raises(OSError):
+                    os.kill(pid, 0)
+            assert not sock.exists()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

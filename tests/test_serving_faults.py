@@ -443,3 +443,108 @@ class TestCollectTimeoutPoisoning:
                 pool.collect(request, timeout=0.3)
             with pytest.raises(ServingError, match="unknown or already-collected"):
                 pool.collect(request, timeout=0.3)
+
+
+class TestRetryBacklogScheduling:
+    """Satellite: the supervisor's retry backlog -- exponential backoff
+    per attempt, capped at ``_MAX_BACKOFF_SECONDS``, and resolution to an
+    error record once the attempt budget is spent."""
+
+    def _pool_with_fake_request(self, store, **options):
+        from repro.db.serving import _RequestState
+
+        pool = ServingPool(store, workers=1, **options)
+        state = _RequestState(
+            _payload(), max_attempts=10, deadline_seconds=None
+        )
+        pool._requests[99] = state
+        return pool, state
+
+    def test_backoff_doubles_per_attempt_and_caps(self, store):
+        from repro.db.serving import _MAX_BACKOFF_SECONDS
+
+        base = 0.8
+        pool, state = self._pool_with_fake_request(
+            store, retry_backoff_seconds=base
+        )
+        try:
+            observed = []
+            # base * 2**(attempt-1): 0.8, 1.6, then the 2.0s ceiling.
+            for attempt in (1, 2, 3, 4):
+                state.attempts = attempt
+                before = time.monotonic()
+                pool._requeue_or_fail(99, "injected loss")
+                not_before, request_id = pool._backlog[-1]
+                assert request_id == 99
+                observed.append(not_before - before)
+            assert observed[0] == pytest.approx(base, abs=0.05)
+            assert observed[1] == pytest.approx(2 * base, abs=0.05)
+            assert observed[2] == pytest.approx(_MAX_BACKOFF_SECONDS, abs=0.05)
+            assert observed[3] == pytest.approx(_MAX_BACKOFF_SECONDS, abs=0.05)
+            # The scheduled wake-up is visible to the supervisor's timer,
+            # so the blocking wait comes back in time to retry.
+            timer = pool._next_timer()
+            assert timer is not None and timer <= max(
+                entry[0] for entry in pool._backlog
+            )
+        finally:
+            pool._requests.pop(99, None)
+            pool._backlog.clear()
+            pool.close()
+
+    def test_spent_attempt_budget_resolves_to_error_record(self, store):
+        pool, state = self._pool_with_fake_request(store)
+        try:
+            state.max_attempts = 3
+            state.attempts = 3  # the budget is spent: no retry scheduled
+            pool._requeue_or_fail(99, "injected loss", timeout=True)
+            assert pool._backlog == []
+            record = pool._results.pop(99)
+            assert record["status"] == "error"
+            assert record["timeout"] is True
+            assert record["attempts"] == 3
+            assert "injected loss" in record["error"]
+        finally:
+            pool._requests.pop(99, None)
+            pool.close()
+
+
+class TestSecondsFromEnv:
+    """Satellite: ``seconds_from_env`` must reject malformed or negative
+    values loudly -- a mistyped deadline silently becoming "no deadline"
+    is exactly the kind of operator error that hides for months."""
+
+    ENV = "REPRO_TEST_SECONDS"
+
+    def _get(self, monkeypatch, raw, default=None):
+        from repro.db.scheduler import seconds_from_env
+
+        monkeypatch.setenv(self.ENV, raw)
+        return seconds_from_env(self.ENV, default)
+
+    def test_unset_and_empty_fall_back_to_default(self, monkeypatch):
+        from repro.db.scheduler import seconds_from_env
+
+        monkeypatch.delenv(self.ENV, raising=False)
+        assert seconds_from_env(self.ENV) is None
+        assert seconds_from_env(self.ENV, 7.5) == 7.5
+        assert self._get(monkeypatch, "", default=7.5) == 7.5
+        assert self._get(monkeypatch, "   ", default=7.5) == 7.5
+
+    def test_zero_means_disabled(self, monkeypatch):
+        assert self._get(monkeypatch, "0", default=7.5) == 7.5
+        assert self._get(monkeypatch, "0.0") is None
+
+    def test_valid_values_parse(self, monkeypatch):
+        assert self._get(monkeypatch, "1.5") == 1.5
+        assert self._get(monkeypatch, "30") == 30.0
+
+    @pytest.mark.parametrize("raw", ["soon", "1.5s", "1,5", "NaN-ish"])
+    def test_malformed_values_raise(self, monkeypatch, raw):
+        with pytest.raises(DatabaseError, match="number of seconds"):
+            self._get(monkeypatch, raw)
+
+    @pytest.mark.parametrize("raw", ["-3", "-0.1"])
+    def test_negative_values_raise(self, monkeypatch, raw):
+        with pytest.raises(DatabaseError, match="non-negative"):
+            self._get(monkeypatch, raw)

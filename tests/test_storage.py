@@ -40,6 +40,7 @@ from repro.db.storage import (
     save_database,
     statistics_digest,
     storage_info,
+    store_digest,
     verify_store,
     workload_cache_stats,
 )
@@ -577,12 +578,12 @@ class TestStorageFormatErrors:
 
 
 class TestCrashDuringSave:
-    """A save interrupted partway (process crash, disk full) must leave a
-    store that *refuses to open* -- ``Database.open`` raises
-    :class:`StorageFormatError` instead of returning a half-loaded
-    database.  The catalog is written last, so a fresh-directory crash
-    leaves no catalog at all; an overwrite crash leaves a stale catalog
-    pointing at missing or mismatched column files."""
+    """Saves are atomic: the store is encoded into a staging sibling and
+    renamed into place only when complete.  A crash mid-save therefore
+    leaves a fresh target *absent* (opening raises
+    :class:`StorageFormatError`, never a half-loaded database) and an
+    overwritten target as the *previous good store*, byte-for-byte
+    intact -- a failed re-save must never destroy the data you had."""
 
     def _database(self, rows=12, seed=0):
         query = chain_query(3, name="crash_q")
@@ -616,23 +617,27 @@ class TestCrashDuringSave:
         report = verify_store(target)
         assert report["ok"] is False and report["problems"]
 
-    def test_crash_during_overwrite_leaves_unopenable_store(
-        self, tmp_path, monkeypatch
+    @pytest.mark.parametrize("after_calls", [0, 3])
+    def test_crash_during_overwrite_preserves_old_store(
+        self, tmp_path, monkeypatch, after_calls
     ):
         target = fresh_dir(tmp_path)
-        save_database(self._database(rows=12, seed=0), target)
-        # Overwrite with *different* data and crash on the very first
-        # column write: the column dir was already cleared, so the stale
-        # catalog now points at files that no longer exist.
-        self._crash_write_bytes(monkeypatch, after_calls=0)
+        old = self._database(rows=12, seed=0)
+        save_database(old, target)
+        old_digest = store_digest(target)
+        # Overwrite with *different* data and crash partway through the
+        # staging encode (on the first column write, and again mid-way):
+        # the target directory must not have been touched at all.
+        self._crash_write_bytes(monkeypatch, after_calls=after_calls)
         with pytest.raises(OSError):
             save_database(self._database(rows=20, seed=1), target)
         monkeypatch.undo()
-        with pytest.raises(StorageFormatError):
-            Database.open(target)
-        report = verify_store(target)
-        assert report["ok"] is False
-        assert all("cols/" in p["file"] for p in report["problems"])
+        assert store_digest(target) == old_digest
+        assert_same_database(old, Database.open(target))
+        report = verify_store(target, deep=True)
+        assert report["ok"] is True and report["hashed_files"] > 0
+        # ...and no staging litter survives the failed save.
+        assert [p.name for p in tmp_path.iterdir()] == [target.name]
 
     def test_completed_save_still_opens(self, tmp_path, monkeypatch):
         # Control: the crash hook with a high threshold never fires and the
@@ -726,3 +731,77 @@ class TestDbVerifyCli:
         torn = json.loads(capsys.readouterr().out)
         assert torn["ok"] is False
         assert any(f"cols/{missing.name}" == p["file"] for p in torn["problems"])
+
+
+class TestDeepVerify:
+    """``verify_store(deep=True)`` / ``repro db verify --deep``: per-file
+    SHA-256 recorded at save time catches bit rot that leaves every byte
+    length intact -- exactly what the fast size-only check cannot see."""
+
+    def _stored(self, tmp_path) -> Path:
+        query = chain_query(3, name="deep_verify_q")
+        database = workload_database(
+            query, tuples_per_relation=15, domain_size=5, seed=2
+        )
+        target = fresh_dir(tmp_path) / "store"
+        save_database(database, target)
+        return target
+
+    def _rot(self, target: Path) -> Path:
+        """Flip one byte of a column file without changing its size."""
+        victim = next((target / "cols").glob("r0_*"))
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        return victim
+
+    def test_clean_store_passes_deep(self, tmp_path):
+        report = verify_store(self._stored(tmp_path), deep=True)
+        assert report["ok"] is True
+        assert report["deep"] is True
+        assert report["hashed_files"] == report["checked_files"]
+        assert report["unhashed_files"] == 0
+
+    def test_bit_rot_invisible_to_fast_verify_caught_by_deep(self, tmp_path):
+        target = self._stored(tmp_path)
+        victim = self._rot(target)
+        assert verify_store(target)["ok"] is True  # sizes all still match
+        deep = verify_store(target, deep=True)
+        assert deep["ok"] is False
+        assert any(
+            f"cols/{victim.name}" == p["file"]
+            and "content digest mismatch" in p["error"]
+            for p in deep["problems"]
+        )
+
+    def test_store_without_recorded_digests_is_counted_not_failed(
+        self, tmp_path
+    ):
+        # Stores saved before content digests existed deep-verify as
+        # "unhashed", not as failures -- old data stays verifiable.
+        target = self._stored(tmp_path)
+        catalog = json.loads((target / "catalog.json").read_text())
+        catalog["dictionary"].pop("sha256", None)
+        for meta in catalog["relations"]:
+            for column in meta["columns"]:
+                column.pop("sha256", None)
+            if meta.get("selection"):
+                meta["selection"].pop("sha256", None)
+        (target / "catalog.json").write_text(json.dumps(catalog, indent=1))
+        report = verify_store(target, deep=True)
+        assert report["ok"] is True
+        assert report["hashed_files"] == 0
+        assert report["unhashed_files"] == report["checked_files"]
+
+    def test_cli_deep_flag(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        target = self._stored(tmp_path)
+        assert cli_main(["db", "verify", "--deep", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: every file matches the catalog" in out
+        self._rot(target)
+        assert cli_main(["db", "verify", str(target)]) == 0  # fast: blind
+        capsys.readouterr()
+        assert cli_main(["db", "verify", "--deep", str(target)]) == 1
+        assert "content digest mismatch" in capsys.readouterr().out
