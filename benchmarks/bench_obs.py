@@ -1,0 +1,174 @@
+"""Observability overhead pricing: tracing off vs metrics-only vs full spans.
+
+Two scenarios, both asserting the write-only-sidecar contract twice over:
+
+* ``test_q1_execution_trace_overhead`` -- the fig5-scale Q1 hypertree plan
+  executed with no recorder vs a live :class:`TraceRecorder` (full
+  per-operator span recording).  Answers and ``OperatorStats`` must stay
+  byte-identical, and the traced run must stay within the span-recording
+  overhead envelope.
+* ``test_pool_batch_observability_overhead`` -- a 16-request batch through
+  a 2-worker :class:`ServingPool` at three observability levels:
+  everything off (``metrics=False``), metrics-only (the default registry),
+  and full span recording (``trace=`` recorder, which also makes workers
+  record and ship kernel spans).  Responses must match the serial oracle
+  at every level.
+
+Overhead envelopes: metrics-only < 5%, full span recording < 15% -- each
+with an absolute slack term, because this container pins everything to one
+CPU and sub-second measurements jitter by more than the relative budget.
+Both tests contribute rows (off/metrics/traced seconds) to
+``BENCH_core.json`` via ``request.node._bench_extra``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.db.serving import (
+    ServingPool,
+    execute_payload,
+    prewarm,
+    strip_provenance,
+)
+from repro.obs.trace import TraceRecorder
+from repro.planner.cost_k_decomp import cost_k_decomp
+from repro.query.examples import q1
+from repro.workloads.paper_queries import fig5_database
+
+_SCRATCH = Path(tempfile.mkdtemp(prefix="repro-bench-obs-"))
+atexit.register(shutil.rmtree, _SCRATCH, ignore_errors=True)
+_STATE = {}
+
+#: Executor scenario: repetitions per measurement (amortises fixed costs).
+_EXEC_REPEATS = 3
+#: Pool scenario: requests per batch.
+_POOL_REQUESTS = 16
+
+#: Overhead envelopes: relative factor + absolute slack (seconds).  The
+#: relative budgets are the contract (metrics-only < 5%, full spans
+#: < 15%); the absolute slack absorbs single-CPU scheduler jitter on
+#: sub-second measurements.
+_METRICS_FACTOR, _METRICS_SLACK = 1.05, 0.25
+_TRACE_FACTOR, _TRACE_SLACK = 1.15, 0.25
+
+
+def _q1_setup():
+    if "q1" not in _STATE:
+        database = fig5_database(seed=0, scale=0.2, columnar=True)
+        plan = cost_k_decomp(q1(), database.statistics, 3, completion="fresh")
+        _STATE["q1"] = (database, plan)
+    return _STATE["q1"]
+
+
+def _pool_setup():
+    if "pool" not in _STATE:
+        query = q1()
+        database = fig5_database(seed=0, scale=0.2, columnar=True)
+        store = _SCRATCH / "store"
+        database.save(store)
+        serving_db = Database.open(store)
+        payloads = prewarm(serving_db, [query], k_values=(3,))
+        batch = (payloads * _POOL_REQUESTS)[:_POOL_REQUESTS]
+        oracle = [
+            strip_provenance(execute_payload(payload, serving_db))
+            for payload in batch
+        ]
+        _STATE["pool"] = (store, batch, oracle)
+    return _STATE["pool"]
+
+
+def test_q1_execution_trace_overhead(benchmark, request):
+    """Full span recording on the Q1 hypertree plan: identical results,
+    bounded slowdown."""
+    database, plan = _q1_setup()
+    ir = plan.to_ir()
+    knobs = dict(budget=20_000_000)
+
+    def run_off():
+        return [ir.execute(database, **knobs) for _ in range(_EXEC_REPEATS)]
+
+    started = time.perf_counter()
+    off_results = benchmark.pedantic(run_off, rounds=1, iterations=1)
+    off_seconds = time.perf_counter() - started
+
+    recorder = TraceRecorder()
+    started = time.perf_counter()
+    traced_results = [
+        ir.execute(database, trace=recorder, trace_id=f"req-{i}", **knobs)
+        for i in range(_EXEC_REPEATS)
+    ]
+    traced_seconds = time.perf_counter() - started
+
+    for off, traced in zip(off_results, traced_results):
+        assert traced.boolean == off.boolean
+        if off.relation is not None:
+            assert traced.relation.rows == off.relation.rows
+        assert traced.stats.snapshot() == off.stats.snapshot()
+    spans_per_run = len(recorder) / _EXEC_REPEATS
+    assert spans_per_run >= 1, "tracing must actually record spans"
+    assert traced_seconds <= off_seconds * _TRACE_FACTOR + _TRACE_SLACK, (
+        f"span recording cost {traced_seconds:.4f}s vs {off_seconds:.4f}s "
+        f"untraced -- over the {_TRACE_FACTOR:.0%}+{_TRACE_SLACK}s envelope"
+    )
+    request.node._bench_extra = {
+        "scenario": "q1_execute",
+        "repeats": _EXEC_REPEATS,
+        "off_seconds": round(off_seconds, 6),
+        "traced_seconds": round(traced_seconds, 6),
+        "overhead_ratio": round(traced_seconds / off_seconds, 4)
+        if off_seconds > 0 else None,
+        "spans_per_run": spans_per_run,
+    }
+
+
+def test_pool_batch_observability_overhead(benchmark, request):
+    """16 requests through a 2-worker pool at three observability levels;
+    every level byte-identical to the serial oracle."""
+    store, batch, oracle = _pool_setup()
+
+    def run_pool(**options):
+        with ServingPool(store, workers=2, **options) as pool:
+            started = time.perf_counter()
+            responses = pool.run(batch)
+            elapsed = time.perf_counter() - started
+        assert [strip_provenance(r) for r in responses] == oracle
+        return elapsed, responses
+
+    started = time.perf_counter()
+    (off_seconds, _), = (benchmark.pedantic(
+        lambda: run_pool(metrics=False), rounds=1, iterations=1
+    ),)
+    metrics_seconds, _ = run_pool()  # default: live metrics, no tracing
+    recorder = TraceRecorder()
+    traced_seconds, traced_responses = run_pool(trace=recorder)
+
+    assert all("trace" in r for r in traced_responses)
+    span_names = {s.name for s in recorder.spans()}
+    assert {"admission", "queue", "attempt", "execute"} <= span_names
+    assert metrics_seconds <= off_seconds * _METRICS_FACTOR + _METRICS_SLACK, (
+        f"metrics-only cost {metrics_seconds:.4f}s vs {off_seconds:.4f}s off "
+        f"-- over the {_METRICS_FACTOR:.0%}+{_METRICS_SLACK}s envelope"
+    )
+    assert traced_seconds <= off_seconds * _TRACE_FACTOR + _TRACE_SLACK, (
+        f"full tracing cost {traced_seconds:.4f}s vs {off_seconds:.4f}s off "
+        f"-- over the {_TRACE_FACTOR:.0%}+{_TRACE_SLACK}s envelope"
+    )
+    request.node._bench_extra = {
+        "scenario": "pool_batch",
+        "requests": len(batch),
+        "workers": 2,
+        "off_seconds": round(off_seconds, 6),
+        "metrics_seconds": round(metrics_seconds, 6),
+        "traced_seconds": round(traced_seconds, 6),
+        "metrics_ratio": round(metrics_seconds / off_seconds, 4)
+        if off_seconds > 0 else None,
+        "traced_ratio": round(traced_seconds / off_seconds, 4)
+        if off_seconds > 0 else None,
+        "spans": len(recorder),
+    }

@@ -15,8 +15,12 @@ it over its Unix socket:
   one of their responses must stay byte-identical to the serial
   in-process oracle;
 * a ``health`` probe must report the restart and the abandoned request;
-* finally SIGTERM: the daemon must drain, exit 0, unlink its socket and
-  leave no orphan worker processes.
+* a ``metrics`` probe must report latency quantiles and the pool's
+  counters for the served batch;
+* finally SIGTERM: the daemon must drain, exit 0, unlink its socket,
+  leave no orphan worker processes, and export its ``--trace-out`` file
+  as valid Chrome trace-event JSON carrying admission / queue / attempt
+  spans for the traced requests.
 
 CI wraps this in a hard timeout so a hung drain fails the job fast.
 Run with::
@@ -40,6 +44,7 @@ from repro.db.daemon import DaemonClient, DaemonDisconnected
 from repro.db.database import Database
 from repro.db.faults import FAULTS_ENV, FaultPlan
 from repro.db.serving import execute_payload, strip_provenance
+from repro.obs.export import validate_chrome_trace
 from repro.query.conjunctive import build_query
 from repro.workloads.synthetic import workload_database
 
@@ -71,6 +76,7 @@ def main() -> None:
         query, tuples_per_relation=150, domain_size=12, seed=9
     ).save(store)
     address = f"unix:{scratch / 'daemon.sock'}"
+    trace_out = scratch / "trace.json"
 
     # The real CLI daemon in a subprocess: SIGTERM drain, orphan checks
     # and the environment fault wiring are all exercised for real.
@@ -86,6 +92,7 @@ def main() -> None:
             "--query", "ans(X0,X2) :- r0(X0,X1), r1(X1,X2), r2(X2,X3), "
             "r3(X3,X4), r4(X4,X0).",
             "--max-worker-restarts", "4",
+            "--trace-out", str(trace_out),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -162,7 +169,23 @@ def main() -> None:
             f"health: status {health['status']}, "
             f"restarts {health['restarts']}, "
             f"abandoned {health['counters']['abandoned_requests']}, "
-            f"dropped {health['counters']['connections_dropped']}"
+            f"dropped {health['counters']['connections_dropped']}, "
+            f"queue depth {health['queue_depth']}, "
+            f"{health['inflight']} in flight"
+        )
+
+        # The metrics request kind: latency quantiles over the batch the
+        # healthy clients just served, plus the pool's own counters.
+        with DaemonClient(address) as client:
+            metrics = client.metrics()
+        assert metrics["latency"]["count"] >= 12, metrics["latency"]
+        assert metrics["metrics"]["counters"]["requests_admitted"] >= 12
+        assert metrics["metrics"]["counters"]["worker_restarts"] >= 1
+        print(
+            f"metrics: {metrics['latency']['count']} requests, "
+            f"p50 {metrics['latency']['p50'] * 1000:.2f}ms, "
+            f"p99 {metrics['latency']['p99'] * 1000:.2f}ms, "
+            f"{metrics['metrics']['counters']['requests_admitted']} admitted"
         )
 
         # SIGTERM: drain-then-exit, no orphans, no socket litter.
@@ -177,9 +200,21 @@ def main() -> None:
             raise AssertionError(f"orphan worker process {pid} survived the drain")
         assert not (scratch / "daemon.sock").exists(), "socket file leaked"
         print(daemon.stdout.read().rstrip())
+
+        # The drain must have exported a *valid* Chrome trace: parseable,
+        # and carrying the serving-plane spans for the traced requests.
+        assert trace_out.exists(), "--trace-out file was not written"
+        events = validate_chrome_trace(trace_out.read_text())
+        names = {event["name"] for event in events}
+        assert {"admission", "queue", "attempt"} <= names, sorted(names)
+        print(
+            f"trace: {len(events)} events in {trace_out.name} validate as "
+            "Chrome trace-event JSON (admission/queue/attempt spans present)"
+        )
         print(
             "daemon smoke OK: worker kill supervised, disconnect abandoned, "
-            "oracle intact, SIGTERM drained to exit 0 with no orphans"
+            "oracle intact, metrics/trace exported, SIGTERM drained to "
+            "exit 0 with no orphans"
         )
     finally:
         if daemon.poll() is None:

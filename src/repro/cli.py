@@ -5,7 +5,7 @@ Four subcommands mirror the library's main entry points::
     python -m repro.cli decompose QUERY_OR_FILE [--k K] [--taf lex|width|nodes]
     python -m repro.cli plan QUERY [--k K] [--tuples N] [--seed S]
     python -m repro.cli experiments [--fast]
-    python -m repro.cli db {save,open,info,verify,serve,daemon} PATH [...]
+    python -m repro.cli db {save,open,info,verify,serve,daemon,metrics} PATH [...]
 
 * ``decompose`` parses a datalog query (or a hypergraph file in the
   benchmark format when the argument is a path ending in ``.hg``) and prints
@@ -216,6 +216,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0,
         help="seconds the SIGTERM drain waits for in-flight work (default 30)",
     )
+    db_daemon.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export every request's spans (admission, queue, attempts, "
+        "per-operator kernels) as Chrome trace-event JSON to this file "
+        "when the drain completes (open at https://ui.perfetto.dev)",
+    )
 
     db_serve = db_commands.add_parser(
         "serve",
@@ -276,6 +282,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "address instead of spawning a pool in-process (plans and the "
         "serial oracle still run locally; responses are cross-checked "
         "byte-identically)",
+    )
+    db_serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export planning and per-request spans as Chrome trace-event "
+        "JSON to this file (ignored with --daemon: pass --trace-out to the "
+        "daemon process instead)",
+    )
+
+    db_metrics = db_commands.add_parser(
+        "metrics",
+        help="fetch and render a running daemon's metrics snapshot "
+        "(latency quantiles, queue depth, counters, histograms)",
+    )
+    db_metrics.add_argument(
+        "address",
+        help="daemon address: 'unix:PATH', a filesystem path, or "
+        "'[tcp:]HOST:PORT'",
+    )
+    db_metrics.add_argument(
+        "--json", action="store_true", help="emit the raw metrics frame as JSON"
     )
     return parser
 
@@ -421,6 +447,8 @@ def _command_db(args) -> int:
         return _command_db_serve(args)
     if args.db_command == "daemon":
         return _command_db_daemon(args)
+    if args.db_command == "metrics":
+        return _command_db_metrics(args)
     return 1
 
 
@@ -444,6 +472,7 @@ def _command_db_daemon(args) -> int:
         io_timeout_seconds=args.io_timeout,
         drain_timeout_seconds=args.drain_timeout,
         plan_cache=plan_cache,
+        trace_out=args.trace_out,
         global_memory_budget_bytes=args.global_memory_budget_bytes,
         default_memory_budget_bytes=args.memory_budget_bytes,
         max_worker_restarts=args.max_worker_restarts,
@@ -457,9 +486,59 @@ def _command_db_daemon(args) -> int:
         f"(pid {os.getpid()}, {args.workers} workers, store {args.path})",
         flush=True,
     )
+    if args.trace_out:
+        print(f"  tracing: spans will be exported to {args.trace_out} on drain",
+              flush=True)
     code = daemon.serve_forever()
+    if args.trace_out:
+        print(f"  trace written to {args.trace_out}", flush=True)
     print(f"daemon drained and exited (code {code})", flush=True)
     return code
+
+
+def _command_db_metrics(args) -> int:
+    import json
+
+    from repro.db.daemon import DaemonClient
+
+    with DaemonClient(args.address) as client:
+        frame = client.metrics()
+    if args.json:
+        print(json.dumps(frame, indent=2, sort_keys=True))
+        return 0
+    latency = frame["latency"]
+    print(
+        f"daemon at {args.address} (pid {frame['pid']}): "
+        f"generation {frame['generation']}, "
+        f"uptime {frame['uptime_seconds']}s"
+    )
+    print(
+        f"  requests: {latency['count']} collected, "
+        f"p50 {latency['p50'] * 1000:.2f}ms  "
+        f"p95 {latency['p95'] * 1000:.2f}ms  "
+        f"p99 {latency['p99'] * 1000:.2f}ms  "
+        f"max {latency['max'] * 1000:.2f}ms"
+    )
+    print(
+        f"  pool: queue depth {frame['queue_depth']}, "
+        f"{frame['inflight']} in flight, {frame['pending']} pending, "
+        f"{frame['restarts']} restart(s)"
+        + (", DEGRADED" if frame.get("degraded") else "")
+    )
+    counters = frame["counters"]
+    print(
+        "  transport: "
+        + ", ".join(f"{name} {counters[name]}" for name in sorted(counters))
+    )
+    pool_counters = frame["metrics"].get("counters", {})
+    if pool_counters:
+        print(
+            "  pool counters: "
+            + ", ".join(
+                f"{name} {pool_counters[name]}" for name in sorted(pool_counters)
+            )
+        )
+    return 0
 
 
 def _command_db_verify(args) -> int:
@@ -499,26 +578,43 @@ def _command_db_serve(args) -> int:
     )
     from repro.db.storage import PlanCache
 
+    from contextlib import nullcontext
+
+    from repro.obs.trace import TraceRecorder, activated
+
     queries = [parse_query(text) for text in args.query]
     database = Database.open(args.path)
     plan_cache = PlanCache(os.path.join(args.path, "plans"))
     k_values = tuple(args.k) if args.k else (2, 3)
-    payloads = prewarm(
-        database,
-        queries,
-        k_values=k_values,
-        plan_cache=plan_cache,
-        memory_budget_bytes=args.memory_budget_bytes,
-        answer=args.answer,
-    )
+    recorder = None
+    if args.trace_out and not args.daemon:
+        recorder = TraceRecorder()
+    # activated() scopes the ambient recorder so the planner's spans land
+    # in the exported trace alongside the pool's serving spans.
+    with activated(recorder) if recorder is not None else nullcontext():
+        payloads = prewarm(
+            database,
+            queries,
+            k_values=k_values,
+            plan_cache=plan_cache,
+            memory_budget_bytes=args.memory_budget_bytes,
+            answer=args.answer,
+        )
     oracle = [execute_payload(payload, database) for payload in payloads]
     batch = payloads * max(1, args.repeat)
     if args.daemon:
+        if args.trace_out:
+            print(
+                "--trace-out is ignored with --daemon; pass --trace-out to "
+                "the daemon process instead",
+                flush=True,
+            )
         return _serve_through_daemon(args, batch, payloads, oracle, queries)
     started = time.perf_counter()
     with ServingPool(
         args.path,
         workers=args.workers,
+        trace=recorder,
         global_memory_budget_bytes=args.global_memory_budget_bytes,
         default_memory_budget_bytes=args.memory_budget_bytes,
         max_worker_restarts=args.max_worker_restarts,
@@ -530,6 +626,11 @@ def _command_db_serve(args) -> int:
         restarts = pool.restarts
         degraded = pool.degraded
     elapsed = time.perf_counter() - started
+    trace_events = None
+    if recorder is not None:
+        from repro.obs.export import write_chrome_trace
+
+        trace_events = write_chrome_trace(args.trace_out, recorder)
     matches = sum(
         1 for i, response in enumerate(responses)
         if strip_provenance(response) == oracle[i % len(payloads)]
@@ -564,10 +665,17 @@ def _command_db_serve(args) -> int:
                 + (f", degraded: {degraded}" if degraded else "")
             )
         for worker_id, report in reports.items():
+            startup = report.get("startup_seconds")
             print(
                 f"  worker {worker_id}: pid {report['pid']}, "
                 f"{report['mmap_columns']}/{report['total_columns']} columns "
                 f"mmap-shared, store digest {report['store_digest'][:12]}..."
+                + (f", ready in {startup:.3f}s" if startup is not None else "")
+            )
+        if trace_events is not None:
+            print(
+                f"  trace: {trace_events} span(s) written to {args.trace_out} "
+                "(open at https://ui.perfetto.dev)"
             )
     return 0 if matches == len(batch) else 1
 
@@ -619,6 +727,12 @@ def _serve_through_daemon(args, batch, payloads, oracle, queries) -> int:
             f"{after['restarts']} restart(s), "
             f"{after['counters']['requests_served'] - before['counters']['requests_served']} "
             f"request(s) served during this run"
+        )
+        print(
+            f"  daemon load: queue depth {after.get('queue_depth', 0)}, "
+            f"{after.get('inflight', 0)} in flight, "
+            f"{after.get('pending', 0)} pending, "
+            f"uptime {after.get('uptime_seconds', 0.0)}s"
         )
     return 0 if matches == len(batch) else 1
 

@@ -91,6 +91,7 @@ import numpy as np
 from repro.db.dictionary import Dictionary
 from repro.db.relation import Relation, Row, Value
 from repro.exceptions import DatabaseError
+from repro.obs.trace import note as _obs_note
 
 #: Largest bit budget for a packed int64 key (signed, one bit of slack).
 _PACK_BITS = 62
@@ -732,6 +733,7 @@ def columnar_natural_join(
             counts[start:stop] = (
                 np.searchsorted(sorted_keys, morsel, side="right") - morsel_lo
             )
+            _obs_note("probe_morsels")
     else:
         lo = np.searchsorted(sorted_keys, probe_keys, side="left")
         counts = np.searchsorted(sorted_keys, probe_keys, side="right") - lo
@@ -852,6 +854,8 @@ def columnar_natural_join(
                         left_idx if from_left else right_idx
                     ]
                 peak = max(peak, 5 * chunk_emit + 3 * (stop_row - start_row))
+            _obs_note("emit_morsels")
+            _obs_note("emitted", chunk_emit)
             offset += chunk_emit
             start_row = stop_row
         if stats is not None:
@@ -914,6 +918,7 @@ def columnar_semijoin(
                 hit = found < sorted_right.shape[0]
                 hit[hit] = sorted_right[found[hit]] == morsel[hit]
                 mask[start:stop] = hit
+                _obs_note("filter_morsels")
             if stats is not None:
                 elements = right_keys.shape[0] + 4 * min(chunk_rows, filter_card)
                 stats.note_transient(

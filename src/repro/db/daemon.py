@@ -91,6 +91,7 @@ bytes on one socket.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import queue
 import signal
@@ -109,6 +110,10 @@ from repro.db.serving import (
     prewarm,
 )
 from repro.exceptions import DatabaseError
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import TraceRecorder
+
+_DAEMON_LOG = logging.getLogger("repro.daemon")
 
 #: Wire-format marker + version carried by every daemon frame.
 DAEMON_FORMAT = "repro-daemon"
@@ -122,7 +127,7 @@ _HEADER = struct.Struct(">I")
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 #: Request kinds the daemon understands.
-REQUEST_KINDS = ("execute", "health", "plans", "refresh", "shutdown")
+REQUEST_KINDS = ("execute", "health", "metrics", "plans", "refresh", "shutdown")
 
 #: Machine-readable error codes of ``kind: "error"`` frames.
 ERROR_CODES = (
@@ -476,6 +481,11 @@ class _Connection:
             daemon._commands.put(("execute", self, dict(frame)))
         elif kind == "health":
             self.send(daemon._health_frame(frame_id))
+        elif kind == "metrics":
+            # Answered inline from the reader thread, like health: every
+            # instrument is lock-protected and the pool's depth properties
+            # read plain container lengths.
+            self.send(daemon._metrics_frame(frame_id))
         elif kind == "plans":
             self.send(daemon._plans_frame(frame_id))
         elif kind == "refresh":
@@ -521,6 +531,12 @@ class ServingDaemon:
     loop (every ``refresh_seconds``, plus on-demand ``refresh``
     requests).  Without queries the daemon is a pure executor for
     client-supplied payloads.
+
+    ``trace_out`` names a file: the daemon then attaches a
+    :class:`~repro.obs.trace.TraceRecorder` to its pool (per-request
+    admission/queue/attempt spans plus the kernel spans workers ship
+    back) and exports everything as Chrome trace-event JSON --
+    loadable at https://ui.perfetto.dev -- when the drain completes.
     """
 
     def __init__(
@@ -537,6 +553,7 @@ class ServingDaemon:
         drain_timeout_seconds: float = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         plan_cache=None,
+        trace_out=None,
         **pool_options,
     ) -> None:
         self.store_path = Path(store_path)
@@ -550,6 +567,11 @@ class ServingDaemon:
         self.drain_timeout_seconds = float(drain_timeout_seconds)
         self.max_frame_bytes = int(max_frame_bytes)
         self.plan_cache = plan_cache
+        self.trace_out = Path(trace_out) if trace_out else None
+        # The pool records admission/queue/attempt spans (plus the kernel
+        # spans workers ship back) into this recorder; _finish() exports
+        # it as Chrome trace-event JSON once the drain completes.
+        self._trace_recorder = TraceRecorder() if trace_out else None
         self.pool_options = dict(pool_options)
         self.stats = _Stats()
         self.started_at: Optional[float] = None
@@ -580,6 +602,7 @@ class ServingDaemon:
         # Fork the workers *before* spawning our own service threads:
         # forking a single-threaded process is the safe order.
         self._pool = ServingPool(self.store_path, workers=self.workers,
+                                 trace=self._trace_recorder,
                                  **self.pool_options)
         try:
             if self.queries:
@@ -680,6 +703,14 @@ class ServingDaemon:
                 Path(str(self.address[1])).unlink()
             except OSError:
                 pass
+        if self.trace_out is not None and self._trace_recorder is not None:
+            try:
+                events = write_chrome_trace(self.trace_out, self._trace_recorder)
+                _DAEMON_LOG.info(
+                    "wrote %d trace events to %s", events, self.trace_out
+                )
+            except OSError:  # export must never block the drain
+                _DAEMON_LOG.exception("trace export to %s failed", self.trace_out)
         stuck = [t for t in self._threads if t.is_alive()]
         self.exit_code = 1 if stuck else 0
         self._finished.set()
@@ -722,7 +753,9 @@ class ServingDaemon:
     # -- dispatcher (the only thread that touches the pool) ------------
     def _dispatch_loop(self) -> None:
         pool = self._pool
-        outstanding: Dict[int, Tuple[_Connection, Any]] = {}
+        # request_id -> (connection, frame_id, submit time); the third
+        # slot feeds the request_latency_seconds histogram on collect.
+        outstanding: Dict[int, Tuple[_Connection, Any, float]] = {}
         by_conn: Dict[int, set] = {}
         drain_deadline = None
         while True:
@@ -758,7 +791,7 @@ class ServingDaemon:
             self._sweep(outstanding, by_conn)
         # Drain over (or timed out): everything still in flight is
         # abandoned and answered with a structured error.
-        for request_id, (connection, frame_id) in outstanding.items():
+        for request_id, (connection, frame_id, _started) in outstanding.items():
             try:
                 pool.abandon(request_id)
             except ServingError:  # pragma: no cover - broken pool
@@ -816,7 +849,7 @@ class ServingDaemon:
         except DatabaseError as exc:
             self._send_error(connection, frame_id, "bad_request", str(exc))
             return
-        outstanding[request_id] = (connection, frame_id)
+        outstanding[request_id] = (connection, frame_id, time.monotonic())
         by_conn.setdefault(connection.conn_id, set()).add(request_id)
 
     def _sweep(self, outstanding, by_conn) -> None:
@@ -825,14 +858,17 @@ class ServingDaemon:
             try:
                 response = pool.try_collect(request_id)
             except ServingError as exc:
-                connection, frame_id = outstanding.pop(request_id)
+                connection, frame_id, _started = outstanding.pop(request_id)
                 by_conn.get(connection.conn_id, set()).discard(request_id)
                 self._send_error(connection, frame_id, "internal", str(exc))
                 continue
             if response is None:
                 continue
-            connection, frame_id = outstanding.pop(request_id)
+            connection, frame_id, started = outstanding.pop(request_id)
             by_conn.get(connection.conn_id, set()).discard(request_id)
+            pool.metrics.histogram("request_latency_seconds").observe(
+                time.monotonic() - started
+            )
             reply = dict(_base_frame("response", frame_id), response=response)
             if connection.send(reply):
                 self.stats.bump("requests_served")
@@ -862,6 +898,9 @@ class ServingDaemon:
             ),
             restarts=pool.restarts,
             degraded=degraded,
+            queue_depth=pool.queue_depth,
+            inflight=pool.inflight_count,
+            pending=pool.pending_count,
             generation=self._generation,
             refresh_seconds=self.refresh_seconds,
             uptime_seconds=(
@@ -870,6 +909,32 @@ class ServingDaemon:
                 else 0.0
             ),
             counters=self.stats.snapshot(),
+            pid=os.getpid(),
+        )
+        return frame
+
+    def _metrics_frame(self, frame_id) -> Dict[str, Any]:
+        """The daemon's full metrics snapshot: transport counters, pool
+        depth gauges, request-latency quantiles (p50/p95/p99 over the
+        fixed exponential buckets) and the raw registry payload --
+        everything ``repro db metrics`` renders."""
+        pool = self._pool
+        frame = _base_frame("metrics", frame_id)
+        frame.update(
+            generation=self._generation,
+            uptime_seconds=(
+                round(time.monotonic() - self.started_at, 3)
+                if self.started_at is not None
+                else 0.0
+            ),
+            queue_depth=pool.queue_depth,
+            inflight=pool.inflight_count,
+            pending=pool.pending_count,
+            restarts=pool.restarts,
+            degraded=pool.degraded,
+            counters=self.stats.snapshot(),
+            latency=pool.metrics.histogram("request_latency_seconds").quantiles(),
+            metrics=pool.metrics.to_payload(),
             pid=os.getpid(),
         )
         return frame
@@ -1019,6 +1084,11 @@ class DaemonClient:
 
     def health(self) -> Dict[str, Any]:
         return self._request(self._frame("health"))
+
+    def metrics(self) -> Dict[str, Any]:
+        """The daemon's metrics snapshot: counters, queue/in-flight
+        depth, latency quantiles and the mergeable registry payload."""
+        return self._request(self._frame("metrics"))
 
     def plans(self) -> Dict[str, Any]:
         """The daemon's current payload set: ``{"generation", "payloads"}``."""

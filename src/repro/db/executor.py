@@ -62,6 +62,7 @@ from repro.db.plan_ir import (
 )
 from repro.db.relation import Relation
 from repro.db.scheduler import TaskScheduler, resolve_threads
+from repro.obs.trace import TraceRecorder, obs_enabled, span_context
 from repro.db.yannakakis import (
     TreeQuery,
     evaluate,
@@ -156,6 +157,8 @@ def execute_plan(
     budget: Optional[int] = None,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    trace=None,
+    trace_id=None,
 ) -> ExecutionResult:
     """Interpret a plan-node IR tree against ``database``.
 
@@ -169,6 +172,14 @@ def execute_plan(
     *whether* it happens is scheduling-independent (counters only grow).
     ``threads``/``memory_budget_bytes`` default to the database's knobs;
     see the module docstring.
+
+    ``trace`` (a :class:`repro.obs.trace.TraceRecorder`) records one span
+    per plan node -- scans, joins, projections, Yannakakis phases, parallel
+    scheduler tasks -- tagged ``trace_id``, with morsel counts and emit
+    sizes in the span attrs.  Tracing is a write-only sidecar: answers,
+    row order and every ``OperatorStats`` counter are byte-identical with
+    it on or off (``REPRO_OBS=1`` forces a throwaway recorder to pin this
+    in whole-suite runs).
     """
     threads = resolve_threads(threads, default=getattr(database, "threads", 1))
     if memory_budget_bytes is None:
@@ -177,6 +188,8 @@ def execute_plan(
         memory_budget_bytes = None
     chunk_rows = chunk_rows_for_budget(memory_budget_bytes)
     scheduler = TaskScheduler(threads)
+    if trace is None and obs_enabled():
+        trace = TraceRecorder()
 
     stats = OperatorStats(budget=budget)
     atoms = {atom.name: atom for atom in plan.query.atoms}
@@ -205,42 +218,79 @@ def execute_plan(
 
     def run(node, needed=None) -> Relation:
         if isinstance(node, ScanNode):
-            return scan(node.atom_name)
+            with span_context(
+                trace, f"scan:{node.atom_name}", "plan", trace_id
+            ) as span:
+                relation = scan(node.atom_name)
+                span.attrs["rows"] = relation.cardinality
+            return relation
         if isinstance(node, JoinNode):
-            return fold_inputs(node, [run(child) for child in node.inputs], needed)
+            inputs = [run(child) for child in node.inputs]
+            with span_context(
+                trace, "join", "plan", trace_id, inputs=len(inputs)
+            ) as span:
+                relation = fold_inputs(node, inputs, needed)
+                span.attrs["rows"] = relation.cardinality
+            return relation
         if isinstance(node, ProjectNode):
             # Kernel-level projection pushdown: the join below gathers only
             # the columns this projection (or a later join key) still needs;
             # cardinalities and OperatorStats are unchanged.
-            return project(
-                run(node.input, needed=frozenset(node.attributes)),
-                list(node.attributes),
-                stats=stats,
-                name=node.name,
-                distinct=node.distinct,
-                chunk_rows=chunk_rows,
-            )
+            inner = run(node.input, needed=frozenset(node.attributes))
+            with span_context(
+                trace, f"project:{node.name or 'answer'}", "plan", trace_id
+            ) as span:
+                relation = project(
+                    inner,
+                    list(node.attributes),
+                    stats=stats,
+                    name=node.name,
+                    distinct=node.distinct,
+                    chunk_rows=chunk_rows,
+                )
+                span.attrs["rows"] = relation.cardinality
+            return relation
         raise DatabaseError(f"unknown plan node: {node!r}")
+
+    wrap = None
+    if trace is not None:
+        def wrap(key, fn, _trace=trace, _trace_id=trace_id):
+            def traced_task() -> None:
+                with _trace.span(
+                    f"{key[0]}:{key[1]}", category="task", trace_id=_trace_id
+                ):
+                    fn()
+            return traced_task
 
     root = plan.root
     if isinstance(root, YannakakisNode):
         if scheduler.parallel:
             return _execute_yannakakis_parallel(
                 root, scan, run, stats, scheduler, chunk_rows,
-                memory_budget_bytes,
+                memory_budget_bytes, wrap=wrap,
             )
-        relations = {node_id: run(expr) for node_id, expr in root.expressions}
+        relations = {}
+        for node_id, expr in root.expressions:
+            with span_context(
+                trace, f"expr:{node_id}", "yannakakis", trace_id
+            ) as span:
+                relations[node_id] = run(expr)
+                span.attrs["rows"] = relations[node_id].cardinality
         tree = TreeQuery(
             root=root.root,
             children={node_id: kids for node_id, kids in root.children},
             relations=relations,
         )
         if root.boolean:
-            answer = evaluate_boolean(tree, stats=stats, chunk_rows=chunk_rows)
+            answer = evaluate_boolean(
+                tree, stats=stats, chunk_rows=chunk_rows,
+                trace=trace, trace_id=trace_id,
+            )
             return ExecutionResult(relation=None, boolean=answer, stats=stats)
         result = evaluate(
             tree, list(root.output_variables), stats=stats, chunk_rows=chunk_rows,
             memory_budget_bytes=memory_budget_bytes,
+            trace=trace, trace_id=trace_id,
         )
         return ExecutionResult(relation=result, boolean=None, stats=stats)
 
@@ -249,7 +299,8 @@ def execute_plan(
     needed = frozenset() if plan.boolean else None
     if scheduler.parallel:
         result = _run_root_parallel(
-            root, scan, run, fold_inputs, stats, scheduler, chunk_rows, needed
+            root, scan, run, fold_inputs, stats, scheduler, chunk_rows, needed,
+            wrap=wrap,
         )
     else:
         result = run(root, needed=needed)
@@ -262,7 +313,7 @@ def execute_plan(
 
 def _run_root_parallel(
     node, scan, run, fold_inputs, stats, scheduler: TaskScheduler, chunk_rows,
-    needed=None,
+    needed=None, wrap=None,
 ) -> Relation:
     """Evaluate a Join/Project plan root with the top join's inputs as
     concurrent tasks; the join fold itself is the serial interpreter's
@@ -272,7 +323,7 @@ def _run_root_parallel(
     if isinstance(node, ProjectNode):
         inner = _run_root_parallel(
             node.input, scan, run, fold_inputs, stats, scheduler, chunk_rows,
-            needed=frozenset(node.attributes),
+            needed=frozenset(node.attributes), wrap=wrap,
         )
         return project(
             inner,
@@ -295,7 +346,8 @@ def _run_root_parallel(
             [
                 (spec.key, spec.deps, input_task(index, child))
                 for index, (spec, child) in enumerate(zip(specs, node.inputs))
-            ]
+            ],
+            wrap=wrap,
         )
         return fold_inputs(node, results, needed)
     return run(node, needed=needed)
@@ -303,7 +355,7 @@ def _run_root_parallel(
 
 def _execute_yannakakis_parallel(
     root: YannakakisNode, scan, run, stats, scheduler: TaskScheduler, chunk_rows,
-    memory_budget_bytes=None,
+    memory_budget_bytes=None, wrap=None,
 ) -> ExecutionResult:
     """Run one Yannakakis plan as its per-subtree task DAG.
 
@@ -342,7 +394,9 @@ def _execute_yannakakis_parallel(
         )
     )
     reduction_specs = [spec for spec in specs if spec.key[0] != "fold"]
-    scheduler.run([(s.key, s.deps, functions[s.key]) for s in reduction_specs])
+    scheduler.run(
+        [(s.key, s.deps, functions[s.key]) for s in reduction_specs], wrap=wrap
+    )
 
     if root.boolean:
         answer = relations[root.root].cardinality > 0
@@ -355,7 +409,9 @@ def _execute_yannakakis_parallel(
         memory_budget_bytes=memory_budget_bytes,
     )
     fold_specs = [spec for spec in specs if spec.key[0] == "fold"]
-    scheduler.run([(s.key, s.deps, fold_functions[s.key]) for s in fold_specs])
+    scheduler.run(
+        [(s.key, s.deps, fold_functions[s.key]) for s in fold_specs], wrap=wrap
+    )
 
     result = project(
         folded[root.root], plan.wanted, stats=stats, name="answer",
@@ -372,6 +428,8 @@ def execute_hypertree_plan(
     budget: Optional[int] = None,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    trace=None,
+    trace_id=None,
 ) -> ExecutionResult:
     """Run the query through the hypertree plan.
 
@@ -394,6 +452,8 @@ def execute_hypertree_plan(
         budget=budget,
         threads=threads,
         memory_budget_bytes=memory_budget_bytes,
+        trace=trace,
+        trace_id=trace_id,
     )
 
 
@@ -404,6 +464,8 @@ def naive_join_evaluation(
     budget: Optional[int] = None,
     threads: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    trace=None,
+    trace_id=None,
 ) -> ExecutionResult:
     """Evaluate the query by joining all bound atoms in a (given or textual)
     order, with no structural awareness -- the "flat" evaluation a
@@ -415,4 +477,6 @@ def naive_join_evaluation(
         budget=budget,
         threads=threads,
         memory_budget_bytes=memory_budget_bytes,
+        trace=trace,
+        trace_id=trace_id,
     )

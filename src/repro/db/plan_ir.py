@@ -106,6 +106,8 @@ class QueryPlanIR:
         budget: Optional[int] = None,
         threads: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
+        trace=None,
+        trace_id=None,
     ):
         """Interpret the plan against ``database`` (see
         :func:`repro.db.executor.execute_plan`).
@@ -115,7 +117,9 @@ class QueryPlanIR:
         representation-blind: every work counter and
         ``peak_transient_elements`` are byte-identical across column
         encodings, thread counts and chunkings; only the dtype-aware
-        ``peak_transient_bytes`` reflects the actual packed widths."""
+        ``peak_transient_bytes`` reflects the actual packed widths.
+        ``trace``/``trace_id`` forward to the executor's span recorder
+        (a write-only sidecar; results unchanged)."""
         from repro.db.executor import execute_plan
 
         return execute_plan(
@@ -124,6 +128,8 @@ class QueryPlanIR:
             budget=budget,
             threads=threads,
             memory_budget_bytes=memory_budget_bytes,
+            trace=trace,
+            trace_id=trace_id,
         )
 
 

@@ -114,25 +114,32 @@ class TaskScheduler:
     def parallel(self) -> bool:
         return self.threads > 1
 
-    def run(self, tasks: Sequence[Task]) -> None:
+    def run(self, tasks: Sequence[Task], wrap=None) -> None:
         """Execute every ``(key, deps, fn)`` task respecting dependencies.
 
         ``tasks`` must be topologically ordered (dependencies listed before
         dependents), which is how every extractor emits them -- the serial
         path can then simply execute in list order.
+
+        ``wrap`` is the observability hook: ``wrap(key, fn)`` returns the
+        callable actually executed (the executor uses it to open a trace
+        span per task).  It must be a pure decoration -- ordering,
+        dependency resolution and the first-error contract are unchanged.
         """
         if not self.parallel:
-            for _, _, fn in tasks:
-                fn()
+            for key, _, fn in tasks:
+                (fn if wrap is None else wrap(key, fn))()
             return
-        self._run_threaded(tasks)
+        self._run_threaded(tasks, wrap)
 
-    def _run_threaded(self, tasks: Sequence[Task]) -> None:
+    def _run_threaded(self, tasks: Sequence[Task], wrap=None) -> None:
         keys = {key for key, _, _ in tasks}
         if len(keys) != len(tasks):
             raise ValueError("duplicate task keys in DAG")
         pending = {key: {d for d in deps if d in keys} for key, deps, _ in tasks}
-        functions = {key: fn for key, _, fn in tasks}
+        functions = {
+            key: (fn if wrap is None else wrap(key, fn)) for key, _, fn in tasks
+        }
         # Tasks arrive in the serial engine's canonical order; the list
         # index below makes the first-error choice deterministic.
         order = {key: index for index, (key, _, _) in enumerate(tasks)}

@@ -74,6 +74,7 @@ steady-state serving does no planning at all.
 
 from __future__ import annotations
 
+import logging
 import os
 import queue
 import time
@@ -93,8 +94,12 @@ from repro.db.storage import (
     store_digest,
 )
 from repro.exceptions import DatabaseError
+from repro.obs.metrics import resolve_registry
+from repro.obs.trace import TraceRecorder
 from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
+
+_LOG = logging.getLogger("repro.serving")
 
 #: Wire-format marker + version carried by every serving payload.  Workers
 #: reject payloads they do not understand instead of guessing -- the same
@@ -116,6 +121,13 @@ DEADLINE_ENV = "REPRO_SERVE_DEADLINE_SECONDS"
 #: ``restarts``).  Scheduling-dependent, hence excluded from
 #: :func:`answer_digest` and stripped for oracle comparisons.
 PROVENANCE_KEY = "serving"
+
+#: Response key of the worker-side trace block (``{"id", "pid",
+#: "spans"}``), attached when the payload requests tracing
+#: (``payload["trace"]``).  Timing-dependent, hence treated exactly like
+#: :data:`PROVENANCE_KEY`: excluded from :func:`answer_digest`, removed
+#: by :func:`strip_provenance`.
+TRACE_KEY = "trace"
 
 _ANSWER_MODES = ("rows", "digest")
 
@@ -255,6 +267,15 @@ def _check_payload(payload: Mapping) -> None:
             raise DatabaseError("payload 'max_attempts' must be an integer")
         if attempts < 1:
             raise DatabaseError("payload 'max_attempts' must be >= 1")
+    trace_req = payload.get("trace")
+    if trace_req is not None and not isinstance(trace_req, bool):
+        if not isinstance(trace_req, Mapping):
+            raise DatabaseError(
+                "payload 'trace' must be a boolean or a mapping"
+            )
+        trace_id = trace_req.get("id")
+        if trace_id is not None and not isinstance(trace_id, (str, int)):
+            raise DatabaseError("payload 'trace.id' must be a string or integer")
 
 
 def answer_digest(result_payload: Mapping) -> str:
@@ -272,13 +293,17 @@ def answer_digest(result_payload: Mapping) -> str:
 
 
 def strip_provenance(response: Mapping) -> Dict[str, object]:
-    """A response without its pool-side ``"serving"`` provenance block.
+    """A response without its non-deterministic sidecar blocks: the
+    pool-side ``"serving"`` provenance and the ``"trace"`` span block.
 
-    ``attempts``/``restarts`` depend on scheduling (which worker died when),
-    so oracle comparisons -- pooled response vs in-process
-    :func:`execute_payload` -- go through this helper; everything that
-    remains is a function of (store bytes, payload) alone."""
-    return {k: v for k, v in response.items() if k != PROVENANCE_KEY}
+    ``attempts``/``restarts`` depend on scheduling (which worker died
+    when) and spans carry wall-clock timings, so oracle comparisons --
+    pooled response vs in-process :func:`execute_payload` -- go through
+    this helper; everything that remains is a function of (store bytes,
+    payload) alone."""
+    return {
+        k: v for k, v in response.items() if k not in (PROVENANCE_KEY, TRACE_KEY)
+    }
 
 
 def execute_payload(payload: Mapping, database: Database) -> Dict[str, object]:
@@ -290,6 +315,12 @@ def execute_payload(payload: Mapping, database: Database) -> Dict[str, object]:
     the pool cannot drift from the oracle.  A budget abort is a normal
     response (``status == "budget_exceeded"``) carrying the deterministic
     abort counters; only protocol violations raise.
+
+    A truthy ``payload["trace"]`` (``True``, or ``{"id": <trace id>}``)
+    records per-plan-node kernel spans during execution and attaches them
+    as the :data:`TRACE_KEY` response block -- attached *after* the digest
+    is computed and stripped by :func:`strip_provenance`, so traced and
+    untraced responses are byte-identical everywhere else.
     """
     from repro.db.algebra import EvaluationBudgetExceeded
 
@@ -297,21 +328,54 @@ def execute_payload(payload: Mapping, database: Database) -> Dict[str, object]:
     query = query_from_payload(payload["query"])
     plan_ir = plan_ir_from_payload(query, payload["plan"])
     answer_mode = payload.get("answer", "rows")
-    try:
-        result = execute_plan(
-            plan_ir,
-            database,
-            budget=payload.get("budget"),
-            threads=payload.get("threads"),
-            memory_budget_bytes=payload.get("memory_budget_bytes"),
+    trace_req = payload.get("trace")
+    recorder = None
+    trace_id = None
+    if trace_req:
+        recorder = TraceRecorder()
+        trace_id = (
+            trace_req.get("id") if isinstance(trace_req, Mapping) else None
         )
-    except EvaluationBudgetExceeded as exc:
+        if trace_id is None:
+            trace_id = query.name
+
+    def _trace_block() -> Dict[str, object]:
         return {
+            "id": trace_id,
+            "pid": os.getpid(),
+            "spans": recorder.to_payload(),
+        }
+
+    try:
+        if recorder is not None:
+            with recorder.span("execute", "serving", trace_id=trace_id):
+                result = execute_plan(
+                    plan_ir,
+                    database,
+                    budget=payload.get("budget"),
+                    threads=payload.get("threads"),
+                    memory_budget_bytes=payload.get("memory_budget_bytes"),
+                    trace=recorder,
+                    trace_id=trace_id,
+                )
+        else:
+            result = execute_plan(
+                plan_ir,
+                database,
+                budget=payload.get("budget"),
+                threads=payload.get("threads"),
+                memory_budget_bytes=payload.get("memory_budget_bytes"),
+            )
+    except EvaluationBudgetExceeded as exc:
+        response = {
             "status": "budget_exceeded",
             "query": query.name,
             "work_so_far": exc.work_so_far,
             "budget": exc.budget,
         }
+        if recorder is not None:
+            response[TRACE_KEY] = _trace_block()
+        return response
     response: Dict[str, object] = {
         "status": "ok",
         "query": query.name,
@@ -330,6 +394,8 @@ def execute_payload(payload: Mapping, database: Database) -> Dict[str, object]:
         if rows is not None:
             probe["rows"] = rows
         response["digest"] = answer_digest(probe)
+    if recorder is not None:
+        response[TRACE_KEY] = _trace_block()
     return response
 
 
@@ -402,7 +468,13 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
     :class:`~repro.db.faults.FaultPlan`, applied right before
     :func:`execute_payload` so injected crashes/raises/delays fire at an
     exact, reproducible point of the protocol.  Each worker process builds
-    its own plan instance (fire counts reset on respawn)."""
+    its own plan instance (fire counts reset on respawn).
+
+    The hello report carries ``startup_seconds`` (process entry to ready)
+    so slow spawn-method cold starts are visible at the pool; each result
+    message carries the attempt's wall-clock seconds for the pool's
+    ``worker_execute_seconds`` histogram."""
+    started = time.monotonic()
     try:
         database = Database.open(
             store_path,
@@ -413,7 +485,9 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
         faults = None
         if options.get("faults"):
             faults = FaultPlan.from_payload(options["faults"])
-        response_queue.put(("hello", worker_id, _store_report(database)))
+        report = _store_report(database)
+        report["startup_seconds"] = round(time.monotonic() - started, 6)
+        response_queue.put(("hello", worker_id, report))
     except BaseException as exc:  # noqa: BLE001 - must report, not vanish
         response_queue.put(("fatal", worker_id, repr(exc)))
         return
@@ -423,6 +497,7 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
             response_queue.put(("bye", worker_id, None))
             return
         _, request_id, attempt, payload = message
+        attempt_started = time.monotonic()
         try:
             if faults is not None:
                 faults.apply(
@@ -431,7 +506,10 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
             result = execute_payload(payload, database)
         except Exception as exc:  # noqa: BLE001 - ship the error, keep serving
             result = {"status": "error", "error": repr(exc)}
-        response_queue.put(("result", worker_id, request_id, attempt, result))
+        elapsed = time.monotonic() - attempt_started
+        response_queue.put(
+            ("result", worker_id, request_id, attempt, result, elapsed)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -442,13 +520,19 @@ def _worker_main(worker_id, store_path, request_queue, response_queue, options):
 class _RequestState:
     """Pool-side bookkeeping for one admitted request."""
 
-    __slots__ = ("payload", "attempts", "max_attempts", "deadline_seconds")
+    __slots__ = (
+        "payload", "attempts", "max_attempts", "deadline_seconds",
+        "trace_id", "submitted_at", "enqueued_at",
+    )
 
     def __init__(self, payload, max_attempts, deadline_seconds) -> None:
         self.payload = payload
         self.attempts = 0  # dispatches so far; bumped at dispatch time
         self.max_attempts = max_attempts
         self.deadline_seconds = deadline_seconds
+        self.trace_id = None  # set when the pool traces requests
+        self.submitted_at = 0.0  # monotonic admission instant
+        self.enqueued_at = 0.0  # monotonic start of the current queue wait
 
 
 class ServingPool:
@@ -504,6 +588,20 @@ class ServingPool:
         A :class:`~repro.db.faults.FaultPlan` (or its JSON payload)
         scripting deterministic worker faults; ``None`` defers to the
         ``REPRO_SERVE_FAULTS`` environment variable.
+    trace:
+        A :class:`~repro.obs.trace.TraceRecorder` collecting the pool's
+        request-path spans (``admission``, ``queue``, ``attempt``) plus
+        every worker's ingested kernel spans.  When set, payloads without
+        their own ``"trace"`` key are shipped with one (id
+        ``req-<request id>``) so workers record and return kernel spans.
+        ``None`` (the default) disables span recording entirely -- the
+        answer path is byte-identical either way.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to record service
+        counters and histograms into (admissions, rejections, retries,
+        timeouts, restarts, worker startup/execute seconds).  ``None``
+        creates a private live registry; ``False`` installs the null
+        registry (observability fully off, the benchmark baseline).
     """
 
     def __init__(
@@ -524,6 +622,8 @@ class ServingPool:
         default_deadline_seconds: Optional[float] = None,
         retry_backoff_seconds: float = 0.05,
         fault_plan=None,
+        trace=None,
+        metrics=None,
     ) -> None:
         import multiprocessing as mp
 
@@ -541,6 +641,8 @@ class ServingPool:
             default_deadline_seconds = seconds_from_env(DEADLINE_ENV)
         self.default_deadline_seconds = default_deadline_seconds
         self.retry_backoff_seconds = max(0.0, float(retry_backoff_seconds))
+        self.trace = trace
+        self.metrics = resolve_registry(metrics)
         plan = resolve_fault_plan(fault_plan)
         self._fault_payload = plan.to_payload() if plan is not None else None
         if mp_context is None:
@@ -586,6 +688,38 @@ class ServingPool:
         """Why the pool stopped accepting submissions (``None`` while the
         restart budget lasts)."""
         return self._degraded
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting in the backlog (not yet dispatched)."""
+        return len(self._backlog)
+
+    @property
+    def inflight_count(self) -> int:
+        """Requests currently executing on a worker."""
+        return len(self._inflight)
+
+    @property
+    def pending_count(self) -> int:
+        """Requests admitted but not yet collected (backlog + in flight +
+        resolved-but-uncollected)."""
+        return len(self._pending)
+
+    def _note_worker_ready(self, worker_id: int, report: Mapping) -> None:
+        """Record a worker's startup-to-ready timing: histogram + log, so
+        slow spawn-method cold starts are visible instead of silent."""
+        startup_seconds = report.get("startup_seconds")
+        if startup_seconds is None:
+            return
+        self.metrics.histogram("worker_startup_seconds").observe(
+            float(startup_seconds)
+        )
+        _LOG.info(
+            "worker %d (pid %s) ready in %.3fs",
+            worker_id,
+            report.get("pid"),
+            float(startup_seconds),
+        )
 
     def _spawn_worker(self, worker_id: int) -> None:
         """Start a (fresh) process in slot ``worker_id`` with its own
@@ -647,6 +781,7 @@ class ServingPool:
                     self._fail(f"protocol violation during startup: {message!r}")
                 self.worker_reports[message[1]] = message[2]
                 worker["state"] = "ready"
+                self._note_worker_ready(message[1], message[2])
                 progressed = True
             if not progressed and time.monotonic() > deadline:
                 ready = sum(
@@ -782,7 +917,8 @@ class ServingPool:
     def _handle_message(self, message) -> None:
         kind = message[0]
         if kind == "result":
-            _, worker_id, request_id, attempt, result = message
+            _, worker_id, request_id, attempt, result, elapsed = message
+            self.metrics.histogram("worker_execute_seconds").observe(elapsed)
             entry = self._inflight.get(worker_id)
             if (
                 entry is not None
@@ -790,10 +926,27 @@ class ServingPool:
                 and entry[1] == attempt
             ):
                 self._inflight.pop(worker_id)
+                if self.trace is not None:
+                    state = self._requests.get(request_id)
+                    self.trace.add_span(
+                        "attempt",
+                        "serving",
+                        entry[2],
+                        time.monotonic(),
+                        trace_id=state.trace_id if state is not None else None,
+                        attrs={
+                            "request": request_id,
+                            "attempt": attempt,
+                            "worker": worker_id,
+                            "status": result.get("status", "?"),
+                        },
+                    )
             if request_id in self._expired:
                 return  # collect() gave up on it: drain, never deliver
             if request_id in self._results or request_id not in self._requests:
                 return  # stale duplicate (an earlier attempt already won)
+            if self.trace is not None:
+                self.trace.ingest(result.get(TRACE_KEY))
             # First response wins; cancel any queued retry of the same id.
             self._results[request_id] = result
             self._backlog = [
@@ -817,6 +970,7 @@ class ServingPool:
                 return
             self.worker_reports[worker_id] = report
             worker["state"] = "ready"
+            self._note_worker_ready(worker_id, report)
         elif kind == "fatal":
             _, worker_id, error = message
             worker = self._workers.get(worker_id)
@@ -862,16 +1016,36 @@ class ServingPool:
         entry = self._inflight.pop(worker_id, None)
         if self.restarts < self.max_worker_restarts:
             self.restarts += 1
+            self.metrics.counter("worker_restarts").inc()
             self._spawn_worker(worker_id)
         elif self._degraded is None:
             self._degraded = (
                 f"restart budget ({self.max_worker_restarts}) exhausted; "
                 f"last death: {reason}"
             )
-        if entry is not None and not entry[3]:
-            self._requeue_or_fail(
-                entry[0], f"worker crashed mid-request: {reason}"
-            )
+        if entry is not None:
+            # The crashed attempt never sends a result message, so record
+            # its span here -- the trace shows the failed attempt next to
+            # the retry that replaces it.
+            if self.trace is not None:
+                state = self._requests.get(entry[0])
+                self.trace.add_span(
+                    "attempt",
+                    "serving",
+                    entry[2],
+                    time.monotonic(),
+                    trace_id=state.trace_id if state is not None else None,
+                    attrs={
+                        "request": entry[0],
+                        "attempt": entry[1],
+                        "worker": worker_id,
+                        "status": "crashed",
+                    },
+                )
+            if not entry[3]:
+                self._requeue_or_fail(
+                    entry[0], f"worker crashed mid-request: {reason}"
+                )
         self._fail_unservable()
 
     def _requeue_or_fail(
@@ -888,8 +1062,11 @@ class ServingPool:
                 self.retry_backoff_seconds * (2 ** (state.attempts - 1)),
                 _MAX_BACKOFF_SECONDS,
             )
+            self.metrics.counter("retries").inc()
+            state.enqueued_at = time.monotonic()
             self._backlog.append([time.monotonic() + delay, request_id])
             return
+        self.metrics.counter("request_errors").inc()
         record: Dict[str, object] = {
             "status": "error",
             "error": f"{reason} (after {state.attempts} attempt(s))",
@@ -913,6 +1090,7 @@ class ServingPool:
                 # accepted if it beats the retry -- first response wins),
                 # but the worker stays busy until it actually answers.
                 entry[3] = True
+                self.metrics.counter("deadline_timeouts").inc()
                 self._requeue_or_fail(
                     request_id,
                     f"request {request_id} attempt {attempt} exceeded its "
@@ -972,6 +1150,20 @@ class ServingPool:
                 state.attempts -= 1
                 remaining.append(item)
                 continue
+            self.metrics.counter("dispatches").inc()
+            if self.trace is not None:
+                self.trace.add_span(
+                    "queue",
+                    "serving",
+                    state.enqueued_at,
+                    now,
+                    trace_id=state.trace_id,
+                    attrs={
+                        "request": request_id,
+                        "attempt": state.attempts,
+                        "worker": worker_id,
+                    },
+                )
             self._inflight[worker_id] = [request_id, state.attempts, now, False]
         self._backlog = remaining
 
@@ -1015,8 +1207,10 @@ class ServingPool:
         self._service(block=False)
         if self._degraded:
             raise ServingError(f"serving pool is broken (degraded): {self._degraded}")
+        admission_started = time.monotonic()
         _check_payload(payload)
         if len(self._pending) >= self.max_pending:
+            self.metrics.counter("admission_rejected").inc()
             raise AdmissionRejected(
                 f"{len(self._pending)} requests pending (max {self.max_pending}); "
                 "collect responses before submitting more"
@@ -1026,11 +1220,13 @@ class ServingPool:
         if budget is not None:
             needed = budget if slice_bytes is None else slice_bytes
             if needed > budget:
+                self.metrics.counter("admission_rejected").inc()
                 raise AdmissionRejected(
                     f"request needs a {needed:,}-byte memory slice; the "
                     f"global budget is {budget:,} bytes"
                 )
             if self._admitted_bytes + needed > budget:
+                self.metrics.counter("admission_rejected").inc()
                 raise AdmissionRejected(
                     f"admitting a {needed:,}-byte slice would exceed the "
                     f"global budget ({self._admitted_bytes:,} of {budget:,} "
@@ -1053,9 +1249,30 @@ class ServingPool:
         max_attempts = shipped.get("max_attempts")
         if max_attempts is None:
             max_attempts = self.default_max_attempts
-        self._requests[request_id] = _RequestState(
-            shipped, int(max_attempts), deadline_seconds
-        )
+        state = _RequestState(shipped, int(max_attempts), deadline_seconds)
+        self.metrics.counter("requests_admitted").inc()
+        if self.trace is not None:
+            trace_req = shipped.get("trace")
+            if isinstance(trace_req, Mapping) and trace_req.get("id") is not None:
+                state.trace_id = trace_req["id"]
+            else:
+                state.trace_id = f"req-{request_id}"
+                # Ship a trace request so the worker records and returns
+                # per-plan-node kernel spans for this id.
+                shipped["trace"] = {"id": state.trace_id}
+        now = time.monotonic()
+        state.submitted_at = admission_started
+        state.enqueued_at = now
+        if self.trace is not None:
+            self.trace.add_span(
+                "admission",
+                "serving",
+                admission_started,
+                now,
+                trace_id=state.trace_id,
+                attrs={"request": request_id, "slice_bytes": charged},
+            )
+        self._requests[request_id] = state
         self._backlog.append([0.0, request_id])
         self._service(block=False)
         return request_id

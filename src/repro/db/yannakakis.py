@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.db.algebra import OperatorStats, natural_join, project, semijoin
 from repro.db.relation import Relation
 from repro.exceptions import DatabaseError
+from repro.obs.trace import span_context
 
 
 @dataclass
@@ -88,6 +89,8 @@ def semijoin_reduce(
     stats: Optional[OperatorStats] = None,
     full: bool = True,
     chunk_rows: Optional[int] = None,
+    trace=None,
+    trace_id=None,
 ) -> TreeQuery:
     """The semijoin program of Yannakakis' algorithm.
 
@@ -95,24 +98,38 @@ def semijoin_reduce(
     ``full`` is true (it is not needed for Boolean queries).  Returns a new
     :class:`TreeQuery` with reduced relations.  ``chunk_rows`` bounds the
     columnar semijoin kernels' transient memory (results unchanged).
+    ``trace`` records one span per reduced node (``up:<node>`` /
+    ``down:<node>``, matching the parallel task keys) without changing any
+    operator call.
     """
     tree.validate()
     relations = dict(tree.relations)
 
     # Bottom-up: parent ⋉ child, children first.
     for node in tree.post_order():
-        for child in tree.children.get(node, ()):
-            relations[node] = semijoin(
-                relations[node], relations[child], stats=stats, chunk_rows=chunk_rows
-            )
+        kids = tree.children.get(node, ())
+        if not kids:
+            continue
+        with span_context(trace, f"up:{node}", "yannakakis", trace_id) as span:
+            for child in kids:
+                relations[node] = semijoin(
+                    relations[node], relations[child], stats=stats,
+                    chunk_rows=chunk_rows,
+                )
+            span.attrs["rows"] = relations[node].cardinality
 
     if full:
         # Top-down: child ⋉ parent, parents first.
         for node in tree.node_ids():
             for child in tree.children.get(node, ()):
-                relations[child] = semijoin(
-                    relations[child], relations[node], stats=stats, chunk_rows=chunk_rows
-                )
+                with span_context(
+                    trace, f"down:{child}", "yannakakis", trace_id
+                ) as span:
+                    relations[child] = semijoin(
+                        relations[child], relations[node], stats=stats,
+                        chunk_rows=chunk_rows,
+                    )
+                    span.attrs["rows"] = relations[child].cardinality
 
     return TreeQuery(root=tree.root, children=dict(tree.children), relations=relations)
 
@@ -121,10 +138,15 @@ def evaluate_boolean(
     tree: TreeQuery,
     stats: Optional[OperatorStats] = None,
     chunk_rows: Optional[int] = None,
+    trace=None,
+    trace_id=None,
 ) -> bool:
     """Answer the Boolean query represented by the tree: true iff the
     semijoin-reduced root is non-empty."""
-    reduced = semijoin_reduce(tree, stats=stats, full=False, chunk_rows=chunk_rows)
+    reduced = semijoin_reduce(
+        tree, stats=stats, full=False, chunk_rows=chunk_rows,
+        trace=trace, trace_id=trace_id,
+    )
     return reduced.relations[reduced.root].cardinality > 0
 
 
@@ -212,6 +234,8 @@ def evaluate(
     stats: Optional[OperatorStats] = None,
     chunk_rows: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    trace=None,
+    trace_id=None,
 ) -> Relation:
     """Full evaluation: the projection of the join of all node relations onto
     ``output_variables`` (all variables of the tree if empty).
@@ -219,28 +243,37 @@ def evaluate(
     After full semijoin reduction, nodes are joined bottom-up; each
     intermediate result is projected onto the output variables plus the
     variables shared with the remaining (upper) part of the tree (the
-    precomputed :func:`fold_plan`).
+    precomputed :func:`fold_plan`).  ``trace`` records one ``fold:<node>``
+    span per contribution joined upward (matching the parallel task keys).
     """
-    reduced = semijoin_reduce(tree, stats=stats, full=True, chunk_rows=chunk_rows)
+    reduced = semijoin_reduce(
+        tree, stats=stats, full=True, chunk_rows=chunk_rows,
+        trace=trace, trace_id=trace_id,
+    )
     plan = fold_plan(reduced, output_variables)
 
     folded = dict(reduced.relations)
     for node in reduced.post_order():
         if node == reduced.root:
             continue
-        contribution = project(
-            folded[node], plan.keeps[node], stats=stats, chunk_rows=chunk_rows
-        )
-        up = plan.parent[node]
-        folded[up] = natural_join(
-            folded[up], contribution, stats=stats, chunk_rows=chunk_rows,
-            memory_budget_bytes=memory_budget_bytes,
-        )
+        with span_context(trace, f"fold:{node}", "yannakakis", trace_id) as span:
+            contribution = project(
+                folded[node], plan.keeps[node], stats=stats, chunk_rows=chunk_rows
+            )
+            up = plan.parent[node]
+            folded[up] = natural_join(
+                folded[up], contribution, stats=stats, chunk_rows=chunk_rows,
+                memory_budget_bytes=memory_budget_bytes,
+            )
+            span.attrs["rows"] = folded[up].cardinality
 
-    return project(
-        folded[reduced.root], plan.wanted, stats=stats, name="answer",
-        chunk_rows=chunk_rows,
-    )
+    with span_context(trace, "project:answer", "yannakakis", trace_id) as span:
+        answer = project(
+            folded[reduced.root], plan.wanted, stats=stats, name="answer",
+            chunk_rows=chunk_rows,
+        )
+        span.attrs["rows"] = answer.cardinality
+    return answer
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.decomposition.minimal import TieBreaker, minimal_k_decomp
 from repro.decomposition.normal_form import complete_decomposition
 from repro.exceptions import NoDecompositionExistsError, PlanningError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs.trace import active_recorder
 from repro.planner.plans import HypertreePlan
 from repro.query.conjunctive import ConjunctiveQuery, is_fresh_variable
 from repro.weights.querycost import QueryCostTAF
@@ -181,6 +182,7 @@ def cost_k_decomp(
             )
 
     started = time.perf_counter()
+    started_monotonic = time.monotonic()
     if family is not None:
         planned_query = family.planned_query
         hypergraph = family.hypergraph
@@ -222,6 +224,22 @@ def cost_k_decomp(
         decomposition = _strip_fresh_variables(decomposition, query.hypergraph())
 
     elapsed = time.perf_counter() - started
+    recorder = active_recorder()
+    if recorder is not None:
+        # Planner layers predate the trace= plumbing; they record into the
+        # ambient recorder the caller activated (a write-only sidecar --
+        # the search itself never sees it).
+        recorder.add_span(
+            f"plan:{query.name}",
+            "planner",
+            started_monotonic,
+            time.monotonic(),
+            attrs={
+                "k": k,
+                "estimated_cost": float(estimated_cost),
+                "weighting": taf.name,
+            },
+        )
     return HypertreePlan(
         query=query,
         decomposition=decomposition,
